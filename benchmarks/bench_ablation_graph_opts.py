@@ -1,0 +1,111 @@
+"""Ablations: what each CAGRA design choice buys at search time.
+
+Complements Fig. 3 (graph metrics) with end-to-end search effects:
+
+* reordering flavour (rank / distance / none) at fixed search budget;
+* reverse edges on vs off;
+* initial-graph degree ``d_init`` = 2d vs 3d (the paper's recommended
+  range) — build cost vs search quality.
+"""
+
+from conftest import emit
+
+from repro import CagraIndex, GraphBuildConfig, SearchConfig
+from repro.bench import format_table
+from repro.core.metrics import recall
+
+DATASET = "deep-1m"
+ITOPK = 32
+
+
+def test_ablation_reordering_and_reverse(ctx, benchmark):
+    bundle = ctx.bundle(DATASET)
+    truth = ctx.truth(DATASET)
+    knn = ctx.knn(DATASET)
+    d = ctx.degree(DATASET)
+
+    variants = {
+        "rank + reverse (CAGRA)": GraphBuildConfig(graph_degree=d),
+        "distance + reverse": GraphBuildConfig(graph_degree=d, reordering="distance"),
+        "none + reverse": GraphBuildConfig(graph_degree=d, reordering="none"),
+        "rank, no reverse": GraphBuildConfig(graph_degree=d, add_reverse_edges=False),
+        "none, no reverse (plain kNN)": GraphBuildConfig(
+            graph_degree=d, reordering="none", add_reverse_edges=False
+        ),
+    }
+
+    def run():
+        rows = []
+        recalls = {}
+        for label, config in variants.items():
+            index = CagraIndex.from_knn_result(bundle.data, knn, config)
+            result = index.search(
+                bundle.queries, 10, SearchConfig(itopk=ITOPK, algo="single_cta")
+            )
+            r = recall(result.indices, truth)
+            recalls[label] = r
+            rows.append([
+                label, f"{r:.4f}",
+                result.report.distance_computations // len(bundle.queries),
+            ])
+        return rows, recalls
+
+    rows, recalls = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_graph_opts",
+        format_table(
+            ["graph variant", f"recall@10 (itopk={ITOPK})", "dist/query"],
+            rows,
+            title=f"Ablation: optimization choices on {DATASET} (fixed budget)",
+        ),
+    )
+    assert recalls["rank + reverse (CAGRA)"] >= recalls["none, no reverse (plain kNN)"] - 0.01
+    # Rank-based matches distance-based (the Q-A3 claim, search-level).
+    assert abs(recalls["rank + reverse (CAGRA)"] - recalls["distance + reverse"]) < 0.05
+
+
+def test_ablation_dinit(ctx, benchmark):
+    from repro.core.nn_descent import build_knn_graph
+    from repro.gpusim import GpuCostModel
+
+    bundle = ctx.bundle(DATASET)
+    truth = ctx.truth(DATASET)
+    d = ctx.degree(DATASET)
+    gpu = GpuCostModel()
+
+    def run():
+        rows = []
+        quality = {}
+        for factor in (2, 3):
+            knn = build_knn_graph(
+                bundle.data, factor * d,
+                GraphBuildConfig(graph_degree=d, metric=bundle.spec.metric),
+            )
+            build_seconds = gpu.knn_build_time(
+                knn.distance_computations, bundle.spec.dim,
+                num_nodes=len(bundle.data), k=factor * d, iterations=knn.iterations,
+            )
+            index = CagraIndex.from_knn_result(
+                bundle.data, knn,
+                GraphBuildConfig(graph_degree=d, metric=bundle.spec.metric),
+            )
+            result = index.search(
+                bundle.queries, 10, SearchConfig(itopk=ITOPK, algo="single_cta")
+            )
+            r = recall(result.indices, truth)
+            quality[factor] = (build_seconds, r)
+            rows.append([f"{factor}d", f"{build_seconds * 1e3:.1f} ms", f"{r:.4f}"])
+        return rows, quality
+
+    rows, quality = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_dinit",
+        format_table(
+            ["d_init", "initial build (sim)", f"recall@10 (itopk={ITOPK})"],
+            rows,
+            title=f"Ablation: d_init = 2d vs 3d on {DATASET}",
+        ),
+    )
+    # 3d costs more to build and must not hurt quality materially.
+    assert quality[3][0] > quality[2][0]
+    assert quality[3][1] >= quality[2][1] - 0.03

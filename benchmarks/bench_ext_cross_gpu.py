@@ -1,0 +1,68 @@
+"""Extension bench: do the paper's conclusions transfer across GPUs?
+
+The paper notes that the Fig. 7 thresholds "depend on the hardware" and
+recommends ``b_T`` = the SM count.  Re-pricing the *same* measured search
+counters on an H100 model checks which conclusions are hardware-robust:
+
+* absolute QPS scales roughly with bandwidth (the large-batch kernel is
+  memory-bound);
+* the single-/multi-CTA dispatch boundary moves with the SM count;
+* the team-size optimum is a property of the data shape, not the GPU.
+"""
+
+from conftest import emit
+
+from repro import SearchConfig
+from repro.bench import format_table, scale_report
+from repro.core.config import choose_algo
+from repro.gpusim import A100_80GB, H100_80GB, GpuCostModel
+from repro.gpusim.kernels import auto_team_size
+
+DATASET = "deep-1m"
+BATCH = 10_000
+
+
+def test_ext_cross_gpu(ctx, benchmark):
+    bundle = ctx.bundle(DATASET)
+    index = ctx.cagra(DATASET)
+    specs = {"A100": A100_80GB, "H100": H100_80GB}
+
+    def run():
+        result = index.search(
+            bundle.queries, 10, SearchConfig(itopk=64, algo="single_cta")
+        )
+        report = scale_report(result.report, BATCH / len(bundle.queries))
+        rows = []
+        qps = {}
+        for name, spec in specs.items():
+            timing = GpuCostModel(spec).search_time(report, index.dim, itopk=64)
+            qps[name] = timing.qps(BATCH)
+            boundary = choose_algo(SearchConfig(itopk=64), spec.num_sms - 1,
+                                   num_sms=spec.num_sms)
+            rows.append([
+                name, spec.num_sms, f"{spec.mem_bandwidth_gbps:,.0f} GB/s",
+                f"{qps[name]:,.0f}",
+                f"batch < {spec.num_sms} -> {boundary}",
+                auto_team_size(index.dim, 4, spec),
+            ])
+        return rows, qps
+
+    rows, qps = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ext_cross_gpu",
+        format_table(
+            ["GPU", "SMs", "bandwidth", "QPS (sim)", "dispatch boundary",
+             "auto team (dim 96)"],
+            rows,
+            title=f"Extension: same counters, different GPU ({DATASET}, "
+            f"batch {BATCH:,}, itopk 64)",
+        ),
+    )
+
+    # H100's higher bandwidth lifts the memory-bound kernel's throughput
+    # by roughly the bandwidth ratio.
+    ratio = qps["H100"] / qps["A100"]
+    bw_ratio = H100_80GB.mem_bandwidth_gbps / A100_80GB.mem_bandwidth_gbps
+    assert 0.7 * bw_ratio < ratio < 1.3 * bw_ratio
+    # The team-size optimum is data-shape-driven, not GPU-driven.
+    assert auto_team_size(96, 4, A100_80GB) == auto_team_size(96, 4, H100_80GB)

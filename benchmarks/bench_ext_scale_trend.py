@@ -1,0 +1,76 @@
+"""Extension bench: the single-query gap grows with dataset scale.
+
+EXPERIMENTS.md notes that Fig. 14's 3.4–53x CAGRA-over-HNSW factor
+compresses at bench scale because HNSW's per-query hop count shrinks with
+N while CAGRA's multi-CTA critical path is nearly flat.  This bench
+substantiates that claim: over the DEEP size ladder, HNSW's batch-1 cost
+must grow faster than CAGRA's, i.e. the measured speedup must increase
+with N — extrapolating toward the paper's regime.
+"""
+
+from conftest import emit
+
+from repro import SearchConfig
+from repro.bench import format_table
+from repro.gpusim import CpuCostModel, GpuCostModel
+
+SERIES = [("deep-1m", 1250), ("deep-10m", 2500), ("deep-100m", 5000)]
+NUM_QUERIES = 15
+
+
+def test_ext_single_query_scale_trend(ctx, benchmark):
+    gpu = GpuCostModel()
+    cpu = CpuCostModel()
+
+    def run():
+        rows = []
+        speedups = []
+        for name, scale in SERIES:
+            bundle = ctx.bundle(name, scale=scale)
+            index = ctx.cagra(name, scale=scale)
+            hnsw = ctx.hnsw(name, scale=scale)
+            queries = bundle.queries[:NUM_QUERIES]
+
+            cagra_seconds = 0.0
+            for i in range(NUM_QUERIES):
+                result = index.search(
+                    queries[i], 10, SearchConfig(itopk=64, algo="multi_cta", seed=i)
+                )
+                cagra_seconds += gpu.search_time(
+                    result.report, index.dim, itopk=64
+                ).seconds
+            cagra_latency = cagra_seconds / NUM_QUERIES
+
+            _, _, counters = hnsw.search(queries, 10, ef=64)
+            hnsw_latency = cpu.search_time(
+                counters.distance_computations // NUM_QUERIES,
+                counters.hops // NUM_QUERIES,
+                index.dim,
+                batch_size=1,
+            ).seconds
+
+            speedup = hnsw_latency / cagra_latency
+            speedups.append(speedup)
+            rows.append([
+                name, len(bundle.data),
+                f"{cagra_latency * 1e6:.1f} us", f"{hnsw_latency * 1e6:.1f} us",
+                f"{speedup:.2f}x",
+            ])
+        return rows, speedups
+
+    rows, speedups = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ext_scale_trend",
+        format_table(
+            ["dataset", "bench N", "CAGRA multi-CTA latency (sim)",
+             "HNSW 1-thread latency (sim)", "CAGRA speedup"],
+            rows,
+            title="Extension: batch-1 CAGRA-over-HNSW gap vs dataset scale "
+            "(the Fig. 14 factor grows with N)",
+        ),
+    )
+
+    # The speedup must grow monotonically-ish with N.
+    assert speedups[-1] > speedups[0]
+    # CAGRA ahead at every size.
+    assert min(speedups) > 1.0

@@ -1,0 +1,77 @@
+"""Fig. 12: graph quality — CAGRA vs NSSG graphs under the NSSG searcher.
+
+The CAGRA graph is handed to the *NSSG* search implementation (random
+seeds + best-first beam, single CPU thread) so only the graphs differ,
+exactly the paper's methodology.  Degrees are aligned: CAGRA's fixed
+degree is the largest multiple of 16 at or below the NSSG graph's average
+out-degree — but never above the bench degree.
+
+Expected shape: near-equivalent recall–QPS curves, with small mixed wins.
+"""
+
+from conftest import emit
+
+from repro import CagraIndex, GraphBuildConfig
+from repro.baselines import nssg_search
+from repro.bench import format_curve_table, run_beam_sweep_cpu
+
+DATASETS = ["sift-1m", "glove-200", "nytimes", "deep-1m"]
+BEAMS = [16, 32, 64, 128]
+BATCH = 1000
+
+
+def test_fig12_graph_quality_nssg_searcher(ctx, benchmark):
+    def run():
+        curves = []
+        by_key = {}
+        for name in DATASETS:
+            bundle = ctx.bundle(name)
+            truth = ctx.truth(name)
+            metric = bundle.spec.metric
+            nssg = ctx.nssg(name)
+
+            # Degree alignment, as in the paper.
+            aligned = max(16, int(nssg.average_degree // 16) * 16)
+            aligned = min(aligned, ctx.degree(name))
+            cagra = CagraIndex.from_knn_result(
+                bundle.data, ctx.knn(name),
+                GraphBuildConfig(graph_degree=aligned, metric=metric),
+            )
+
+            for graph_name, adjacency in (
+                ("CAGRA-graph", cagra.graph),
+                ("NSSG-graph", nssg.adjacency),
+            ):
+                def fn(queries, k, beam, adjacency=adjacency):
+                    return nssg_search(
+                        bundle.data, adjacency, queries, k,
+                        beam_width=beam, num_seeds=16, metric=metric,
+                    )
+
+                curve = run_beam_sweep_cpu(
+                    f"{name}/{graph_name}", fn, bundle.queries, truth, 10,
+                    BEAMS, BATCH, dim=bundle.spec.dim, threads=1,
+                )
+                curves.append(curve)
+                by_key[(name, graph_name)] = curve
+        return curves, by_key
+
+    curves, by_key = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig12_graph_search_quality",
+        format_curve_table(
+            curves,
+            title="Fig. 12: NSSG single-thread searcher on CAGRA vs NSSG graphs",
+        ),
+    )
+
+    for name in DATASETS:
+        cagra_curve = by_key[(name, "CAGRA-graph")]
+        nssg_curve = by_key[(name, "NSSG-graph")]
+        # Roughly equivalent: comparable peak recall and, at a 90% target,
+        # QPS within ~2.5x either way.
+        assert cagra_curve.max_recall() >= nssg_curve.max_recall() - 0.1, name
+        cagra_qps = cagra_curve.qps_at_recall(0.9)
+        nssg_qps = nssg_curve.qps_at_recall(0.9)
+        if cagra_qps and nssg_qps:
+            assert 0.4 < cagra_qps / nssg_qps < 2.5, name

@@ -1,0 +1,108 @@
+"""Fig. 13: large-batch search — all methods, four datasets, FP32 + FP16.
+
+Batch 10K, recall@10.  CAGRA single-CTA (FP32 and FP16 storage), GGNN and
+GANNS on the GPU model; HNSW and NSSG (searched with the HNSW-style
+multi-threaded bottom-layer searcher, best thread count) on the CPU model.
+
+Expected shape: CAGRA above everything; tens-of-x over the CPU methods in
+the 90–95% recall band (paper: 33–77x); several-x over the GPU baselines
+(paper: 3.8–8.8x); FP16 at or above FP32.
+"""
+
+from conftest import emit
+
+from repro import SearchConfig
+from repro.bench import (
+    format_curve_table,
+    run_beam_sweep_cpu,
+    run_beam_sweep_gpu,
+    run_cagra_sweep,
+    run_hnsw_sweep,
+    speedup_at_recall,
+)
+
+DATASETS = ["sift-1m", "glove-200", "nytimes", "deep-1m"]
+BATCH = 10_000
+SWEEP = [10, 16, 32, 64, 128]
+BEAMS = [16, 32, 64, 128]
+
+
+def _curves_for(ctx, name):
+    bundle = ctx.bundle(name)
+    truth = ctx.truth(name)
+    dim = bundle.spec.dim
+    metric = bundle.spec.metric
+    degree = ctx.degree(name)
+    curves = []
+
+    index = ctx.cagra(name)
+    curves.append(run_cagra_sweep(
+        index, bundle.queries, truth, 10, SWEEP, BATCH,
+        SearchConfig(algo="single_cta"), method="CAGRA (FP32)",
+    ))
+    curves.append(run_cagra_sweep(
+        index, bundle.queries, truth, 10, SWEEP, BATCH,
+        SearchConfig(algo="single_cta"), dtype_bytes=2, method="CAGRA (FP16)",
+    ))
+
+    ggnn = ctx.ggnn(name)
+    curves.append(run_beam_sweep_gpu(
+        "GGNN", lambda q, k, b: ggnn.search(q, k, beam_width=b),
+        bundle.queries, truth, 10, BEAMS, BATCH, dim=dim, degree=degree,
+    ))
+    ganns = ctx.ganns(name)
+    curves.append(run_beam_sweep_gpu(
+        "GANNS", lambda q, k, b: ganns.search(q, k, beam_width=b),
+        bundle.queries, truth, 10, BEAMS, BATCH, dim=dim, degree=degree,
+    ))
+
+    hnsw = ctx.hnsw(name)
+    curves.append(run_hnsw_sweep(hnsw, bundle.queries, truth, 10, SWEEP, BATCH))
+
+    nssg = ctx.nssg(name)
+    curves.append(run_beam_sweep_cpu(
+        "NSSG", lambda q, k, b: nssg.search(q, k, beam_width=b, num_seeds=16),
+        bundle.queries, truth, 10, BEAMS, BATCH, dim=dim,
+    ))
+    return curves
+
+
+def test_fig13_large_batch(ctx, benchmark):
+    def run():
+        return {name: _curves_for(ctx, name) for name in DATASETS}
+
+    all_curves = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    sections = []
+    for name, curves in all_curves.items():
+        sections.append(format_curve_table(
+            curves, title=f"Fig. 13 [{name}]: batch {BATCH:,}, recall@10"
+        ))
+        sections.append(speedup_at_recall(curves, "HNSW", [0.90, 0.95]))
+    emit("fig13_large_batch", "\n\n".join(sections))
+
+    for name, curves in all_curves.items():
+        by_name = {c.method: c for c in curves}
+        target = 0.90
+        cagra = by_name["CAGRA (FP32)"].qps_at_recall(target)
+        hnsw = by_name["HNSW"].qps_at_recall(target)
+        nssg = by_name["NSSG"].qps_at_recall(target)
+        ggnn = by_name["GGNN"].qps_at_recall(target)
+        ganns = by_name["GANNS"].qps_at_recall(target)
+        assert cagra is not None, name
+        # CPU methods: roughly an order of magnitude or more behind.
+        # (Paper: 33-77x at 1M scale; at bench scale HNSW needs relatively
+        # fewer hops, compressing the ratio — see EXPERIMENTS.md.)
+        if hnsw:
+            assert cagra / hnsw > 8, (name, cagra / hnsw)
+        if nssg:
+            assert cagra / nssg > 8, (name, cagra / nssg)
+        # GPU baselines: a small-integer factor behind.
+        if ggnn:
+            assert cagra / ggnn > 1.5, (name, cagra / ggnn)
+        if ganns:
+            assert cagra / ganns > 1.5, (name, cagra / ganns)
+        # FP16 compatible-or-better at matched recall.
+        fp16 = by_name["CAGRA (FP16)"].qps_at_recall(target)
+        if fp16 and cagra:
+            assert fp16 >= cagra * 0.95, name

@@ -1,0 +1,64 @@
+"""Fig. 14: single-query (online) search — CAGRA vs HNSW, FP32 + FP16.
+
+Batch 1 — the use case where GPU batch methods traditionally lose to the
+CPU (GGNN/GANNS are omitted, as in the paper).  CAGRA uses the multi-CTA
+implementation the Fig. 7 rule dispatches at this batch size; HNSW runs
+single-threaded (one query has no batch parallelism to mine).
+
+Expected shape: CAGRA above HNSW at matched recall (paper: 3.4–53x at
+95%), with the advantage growing as the recall target rises.
+"""
+
+from conftest import emit
+
+from repro import SearchConfig
+from repro.bench import format_curve_table, run_cagra_sweep, run_hnsw_sweep
+
+DATASETS = ["sift-1m", "glove-200", "nytimes", "deep-1m"]
+SWEEP = [16, 32, 64, 128]
+
+
+def test_fig14_single_query(ctx, benchmark):
+    def run():
+        results = {}
+        for name in DATASETS:
+            bundle = ctx.bundle(name)
+            truth = ctx.truth(name)
+            queries = bundle.queries[:20]
+            index = ctx.cagra(name)
+            curves = [
+                run_cagra_sweep(
+                    index, queries, truth[:20], 10, SWEEP, 1,
+                    SearchConfig(algo="multi_cta"), method="CAGRA (FP32)",
+                ),
+                run_cagra_sweep(
+                    index, queries, truth[:20], 10, SWEEP, 1,
+                    SearchConfig(algo="multi_cta"), dtype_bytes=2,
+                    method="CAGRA (FP16)",
+                ),
+                run_hnsw_sweep(
+                    ctx.hnsw(name), queries, truth[:20], 10, SWEEP, 1, threads=1
+                ),
+            ]
+            results[name] = curves
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    sections = [
+        format_curve_table(curves, title=f"Fig. 14 [{name}]: batch 1, recall@10")
+        for name, curves in results.items()
+    ]
+    emit("fig14_single_query", "\n\n".join(sections))
+
+    for name, curves in results.items():
+        by_name = {c.method: c for c in curves}
+        cagra = by_name["CAGRA (FP32)"].qps_at_recall(0.95)
+        hnsw = by_name["HNSW"].qps_at_recall(0.95)
+        assert cagra is not None, name
+        # CAGRA wins at matched recall on every dataset.  The magnitude
+        # compresses at bench scale: HNSW's hop count shrinks with N
+        # (log-ish) while CAGRA's multi-CTA critical path is nearly flat,
+        # so the paper's 3.4-53x at 1M points becomes ~1.5-2x at 2.5k —
+        # see EXPERIMENTS.md.
+        if hnsw:
+            assert cagra / hnsw > 1.3, (name, cagra / hnsw)

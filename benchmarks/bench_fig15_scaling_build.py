@@ -1,0 +1,69 @@
+"""Fig. 15: construction-time scaling — CAGRA vs HNSW over DEEP sizes.
+
+The DEEP-1M/10M/100M series is represented by a geometric size ladder of
+the DEEP-like generator (the 1:10:100 ratio is kept; absolute sizes are
+bench-scaled, as recorded in DESIGN.md §2).
+
+Expected shape: both builders scale ~linearly with N, and CAGRA stays
+~2x faster than HNSW (paper: 1.8–2.0x on this series).
+"""
+
+from conftest import emit
+
+from repro.bench import format_table
+from repro.gpusim import CpuCostModel, GpuCostModel
+
+SERIES = [("deep-1m", 1250), ("deep-10m", 2500), ("deep-100m", 5000)]
+
+
+def test_fig15_build_scaling(ctx, benchmark):
+    gpu = GpuCostModel()
+    cpu = CpuCostModel()
+
+    def run():
+        rows = []
+        times = {}
+        for name, scale in SERIES:
+            bundle = ctx.bundle(name, scale=scale)
+            dim = bundle.spec.dim
+            knn = ctx.knn(name, scale=scale)
+            index = ctx.cagra(name, scale=scale)
+            n = len(bundle.data)
+
+            cagra_s = gpu.knn_build_time(
+                knn.distance_computations, dim,
+                num_nodes=n, k=knn.graph.degree, iterations=knn.iterations,
+            ) + gpu.optimize_time(
+                index.build_report.optimize.detour_checks, n, ctx.degree(name)
+            )
+            hnsw = ctx.hnsw(name, scale=scale)
+            hnsw_s = cpu.build_time(
+                hnsw.build_stats.distance_computations, hnsw.build_stats.hops, dim
+            )
+            times[(name, "CAGRA")] = cagra_s
+            times[(name, "HNSW")] = hnsw_s
+            rows.append([name, n, f"{cagra_s * 1e3:.1f} ms", f"{hnsw_s * 1e3:.1f} ms",
+                         f"{hnsw_s / cagra_s:.1f}x"])
+        return rows, times
+
+    rows, times = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig15_scaling_build",
+        format_table(
+            ["dataset", "bench N", "CAGRA build (sim)", "HNSW build (sim)",
+             "HNSW / CAGRA"],
+            rows,
+            title="Fig. 15: construction-time scaling over the DEEP series "
+            "(sizes bench-scaled 1:2:4 for the paper's 1:10:100)",
+        ),
+    )
+
+    # CAGRA faster at every size.
+    for name, _ in SERIES:
+        assert times[(name, "HNSW")] > times[(name, "CAGRA")], name
+    # ~Linear scaling: doubling N should not much more than double time.
+    for method in ("CAGRA", "HNSW"):
+        small = times[(SERIES[0][0], method)]
+        large = times[(SERIES[-1][0], method)]
+        growth = large / small
+        assert 2.0 < growth < 12.0, (method, growth)  # 4x N -> ~4x time

@@ -1,0 +1,59 @@
+"""Fig. 16: search-performance scaling — CAGRA vs HNSW over DEEP sizes,
+recall@10 and recall@100, batch 10K.
+
+Expected shape: as N grows, recall at a fixed search budget declines only
+slightly and similarly for both methods, and CAGRA's throughput advantage
+persists at every size.
+"""
+
+from conftest import emit
+
+from repro import SearchConfig
+from repro.bench import format_curve_table, run_cagra_sweep, run_hnsw_sweep
+
+SERIES = [("deep-1m", 1250), ("deep-10m", 2500), ("deep-100m", 5000)]
+BATCH = 10_000
+
+
+def test_fig16_search_scaling(ctx, benchmark):
+    def run():
+        results = {}
+        for k, sweep in ((10, [16, 32, 64]), (100, [128, 256])):
+            for name, scale in SERIES:
+                bundle = ctx.bundle(name, scale=scale)
+                truth = ctx.truth(name, k=k, scale=scale)
+                index = ctx.cagra(name, scale=scale)
+                hnsw = ctx.hnsw(name, scale=scale)
+                curves = [
+                    run_cagra_sweep(
+                        index, bundle.queries, truth, k, sweep, BATCH,
+                        SearchConfig(algo="single_cta"),
+                        method=f"CAGRA@{k}/{name}",
+                    ),
+                    run_hnsw_sweep(
+                        hnsw, bundle.queries, truth, k, sweep, BATCH,
+                        method=f"HNSW@{k}/{name}",
+                    ),
+                ]
+                results[(k, name)] = curves
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    sections = []
+    for (k, name), curves in results.items():
+        sections.append(format_curve_table(
+            curves, title=f"Fig. 16 [{name}] recall@{k}, batch {BATCH:,}"
+        ))
+    emit("fig16_scaling_search", "\n\n".join(sections))
+
+    for k in (10, 100):
+        recalls = []
+        for name, _ in SERIES:
+            cagra, hnsw = results[(k, name)]
+            recalls.append(cagra.max_recall())
+            # CAGRA's throughput edge persists at every size.
+            best_cagra = max(p.qps for p in cagra.points)
+            best_hnsw = max(p.qps for p in hnsw.points)
+            assert best_cagra > 3 * best_hnsw, (k, name)
+        # Recall declines only gently with dataset size.
+        assert recalls[-1] > recalls[0] - 0.15, (k, recalls)

@@ -1,0 +1,82 @@
+"""Fig. 3: 2-hop node counts and strong CC across optimization stages.
+
+For each dataset: a plain pruned k-NN graph, reorder-only, reverse-only,
+and the fully optimized CAGRA graph, all derived from one shared initial
+NN-descent graph (exactly the paper's ablation).
+
+Expected shape: both optimizations raise the 2-hop count, reordering more
+than reverse edges; reverse edges collapse the strong CC count toward 1.
+"""
+
+import pytest
+from conftest import emit
+
+from repro import CagraIndex, GraphBuildConfig
+from repro.bench import format_table
+from repro.core.graph import FixedDegreeGraph
+from repro.core.metrics import average_two_hop_count, strong_connected_components
+from repro.core.optimize import prune_to_degree
+
+DATASETS = ["sift-1m", "glove-200", "nytimes", "deep-1m"]
+
+
+def _variants(ctx, name):
+    bundle = ctx.bundle(name)
+    knn = ctx.knn(name)
+    d = ctx.degree(name)
+    metric = bundle.spec.metric
+    return {
+        "knn": FixedDegreeGraph(prune_to_degree(knn.graph.neighbors, d)),
+        "reorder-only": CagraIndex.from_knn_result(
+            bundle.data, knn,
+            GraphBuildConfig(graph_degree=d, metric=metric, add_reverse_edges=False),
+        ).graph,
+        "reverse-only": CagraIndex.from_knn_result(
+            bundle.data, knn,
+            GraphBuildConfig(graph_degree=d, metric=metric, reordering="none"),
+        ).graph,
+        "full": CagraIndex.from_knn_result(
+            bundle.data, knn, GraphBuildConfig(graph_degree=d, metric=metric)
+        ).graph,
+    }
+
+
+def test_fig3_graph_quality(ctx, benchmark):
+    def run():
+        rows = []
+        metrics = {}
+        for name in DATASETS:
+            d = ctx.degree(name)
+            max_2hop = d + d * d
+            for variant, graph in _variants(ctx, name).items():
+                two_hop = average_two_hop_count(graph, sample=400, seed=0)
+                scc = strong_connected_components(graph)
+                rows.append([name, variant, d, f"{two_hop:.1f}",
+                             f"{two_hop / max_2hop:.0%}", scc])
+                metrics[(name, variant)] = (two_hop, scc)
+        return rows, metrics
+
+    rows, metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["dataset", "graph", "degree", "avg 2-hop", "of max", "strong CC"],
+        rows,
+        title="Fig. 3: 2-hop node count and strong CC by optimization stage",
+    )
+    emit("fig3_graph_quality", table)
+
+    for name in DATASETS:
+        knn_2hop, knn_scc = metrics[(name, "knn")]
+        full_2hop, full_scc = metrics[(name, "full")]
+        reorder_2hop, _ = metrics[(name, "reorder-only")]
+        _, reverse_scc = metrics[(name, "reverse-only")]
+        # Shape assertions from the paper.
+        assert full_2hop > knn_2hop, name
+        assert reorder_2hop > knn_2hop, name
+        assert full_scc <= knn_scc, name
+        assert reverse_scc <= knn_scc, name
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_fig3_full_graph_is_strongly_connected_or_close(ctx, name):
+    full = _variants(ctx, name)["full"]
+    assert strong_connected_components(full) <= 3

@@ -1,0 +1,56 @@
+"""Fig. 5: search performance of rank- vs distance-optimized graphs.
+
+Runs the same CAGRA search over graphs optimized with each reordering
+flavour and compares recall–QPS curves.
+
+Expected shape: the curves coincide (the paper's Q-A3: "the
+recall-throughput balance is almost the same"), so the faster rank-based
+optimization costs nothing at search time.
+"""
+
+from conftest import emit
+
+from repro import SearchConfig
+from repro.bench import format_curve_table, run_cagra_sweep
+
+DATASETS = ["deep-1m", "glove-200"]
+SWEEP = [10, 16, 32, 64, 128]
+BATCH = 10_000
+
+
+def test_fig5_rank_vs_distance_search(ctx, benchmark):
+    def run():
+        curves = []
+        pairs = {}
+        for name in DATASETS:
+            bundle = ctx.bundle(name)
+            truth = ctx.truth(name)
+            for flavour in ("rank", "distance"):
+                index = ctx.cagra(name, reordering=flavour)
+                curve = run_cagra_sweep(
+                    index, bundle.queries, truth, 10, SWEEP, BATCH,
+                    SearchConfig(algo="single_cta"),
+                    method=f"{name}/{flavour}",
+                )
+                curves.append(curve)
+                pairs[(name, flavour)] = curve
+        return curves, pairs
+
+    curves, pairs = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig5_rank_vs_distance",
+        format_curve_table(
+            curves,
+            title=f"Fig. 5: CAGRA search on rank- vs distance-optimized graphs "
+            f"(batch {BATCH:,})",
+        ),
+    )
+
+    # Shape: at every sweep point the two flavours' recalls are close and
+    # QPS is identical up to counter noise (same search, same kernel).
+    for name in DATASETS:
+        rank_points = pairs[(name, "rank")].points
+        dist_points = pairs[(name, "distance")].points
+        for rp, dp in zip(rank_points, dist_points):
+            assert abs(rp.recall - dp.recall) < 0.08, (name, rp.param)
+            assert 0.5 < rp.qps / dp.qps < 2.0, (name, rp.param)

@@ -1,0 +1,69 @@
+"""Fig. 8: the effect of warp-splitting team size on throughput.
+
+The same searches are priced with every team size in {2, 4, 8, 16, 32}
+on a small-dimension dataset (DEEP-like, 96) and a large-dimension one
+(GIST-like, 960).  Recall is team-size-independent (the split changes only
+the kernel mapping), matching the paper's flat recall axis.
+
+Expected shape: dim 96 peaks at team 4-8 with a register-pressure penalty
+at 2; dim 960 peaks at 32 with severe degradation at small teams.
+"""
+
+from conftest import emit
+
+from repro import SearchConfig
+from repro.bench import format_table, scale_report
+from repro.gpusim import GpuCostModel
+
+DATASETS = ["deep-1m", "gist-1m"]
+TEAMS = [2, 4, 8, 16, 32]
+BATCH = 10_000
+ITOPK = 64
+
+
+def test_fig8_team_size(ctx, benchmark):
+    gpu = GpuCostModel()
+
+    def run():
+        rows = []
+        qps = {}
+        for name in DATASETS:
+            bundle = ctx.bundle(name)
+            index = ctx.cagra(name)
+            result = index.search(
+                bundle.queries, 10, SearchConfig(itopk=ITOPK, algo="single_cta")
+            )
+            report = scale_report(result.report, BATCH / len(bundle.queries))
+            for team in TEAMS:
+                timing = gpu.search_time(
+                    report, index.dim, team_size=team, itopk=ITOPK
+                )
+                qps[(name, team)] = timing.qps(BATCH)
+                rows.append([
+                    name, bundle.spec.dim, team,
+                    f"{timing.qps(BATCH):,.0f}",
+                    int(timing.breakdown["registers"]),
+                    timing.waves,
+                ])
+        return rows, qps
+
+    rows, qps = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig8_team_size",
+        format_table(
+            ["dataset", "dim", "team size", "QPS (sim)", "regs/thread", "waves"],
+            rows,
+            title=f"Fig. 8: team-size sweep (batch {BATCH:,}, itopk {ITOPK})",
+        ),
+    )
+
+    deep = {t: qps[("deep-1m", t)] for t in TEAMS}
+    gist = {t: qps[("gist-1m", t)] for t in TEAMS}
+    # Paper shapes: DEEP peaks at 4 or 8; team 2 is worse than the peak.
+    assert max(deep, key=deep.get) in (4, 8)
+    assert deep[2] < max(deep.values())
+    # GIST peaks at the largest teams (paper: 32; our bandwidth model
+    # ties 16 and 32 within a few percent); small teams degrade severely.
+    assert max(gist, key=gist.get) in (16, 32)
+    assert gist[32] >= 0.9 * max(gist.values())
+    assert gist[32] > 3 * gist[2]

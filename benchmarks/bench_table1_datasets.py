@@ -1,0 +1,50 @@
+"""Table I: the dataset roster.
+
+Regenerates the paper's dataset table (dim, N, dtype, CAGRA degree) side
+by side with this reproduction's scaled synthetic substitutes, and
+benchmarks dataset generation itself.
+"""
+
+from conftest import BENCH_SCALES, emit
+
+from repro.bench import format_table
+from repro.datasets import DATASETS, load_dataset
+
+
+def _rows():
+    rows = []
+    for spec in DATASETS.values():
+        rows.append([
+            spec.name,
+            spec.dim,
+            f"{spec.original_size:,}",
+            "float",
+            spec.graph_degree,
+            f"{BENCH_SCALES[spec.name]:,}",
+            spec.metric,
+            spec.hardness,
+        ])
+    return rows
+
+
+def test_table1_dataset_roster(benchmark):
+    def generate_all():
+        for name in DATASETS:
+            load_dataset(name, scale=500, num_queries=4)
+        return True
+
+    assert benchmark.pedantic(generate_all, rounds=1, iterations=1)
+    table = format_table(
+        ["dataset", "dim (n)", "paper N", "dtype", "degree (d)",
+         "bench N", "metric", "hardness"],
+        _rows(),
+        title="Table I: datasets (paper roster -> synthetic substitutes)",
+    )
+    emit("table1_datasets", table)
+
+
+def test_table1_shapes_match_spec(ctx):
+    for name, spec in DATASETS.items():
+        bundle = ctx.bundle(name, scale=300)
+        assert bundle.data.shape == (300, spec.dim)
+        assert bundle.data.dtype.name == "float32"

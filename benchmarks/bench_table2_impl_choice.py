@@ -1,0 +1,59 @@
+"""Table II + Fig. 7: the single-CTA / multi-CTA implementation matrix.
+
+Regenerates the configuration summary (use case, CTA mapping, hash table
+location and management) by interrogating the actual implementations, and
+benchmarks the dispatch rule across the (batch, itopk) plane.
+"""
+
+from conftest import emit
+
+from repro import SearchConfig
+from repro.bench import format_table
+from repro.core.config import choose_algo
+
+
+def test_table2_configuration_matrix(ctx, benchmark):
+    index = ctx.cagra("deep-1m")
+    bundle = ctx.bundle("deep-1m")
+
+    def run_both():
+        single = index.search(
+            bundle.queries[:4], 10, SearchConfig(itopk=64, algo="single_cta")
+        )
+        multi = index.search(
+            bundle.queries[:4], 10, SearchConfig(itopk=64, algo="multi_cta")
+        )
+        return single.report, multi.report
+
+    single, multi = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    rows = [
+        ["use case", "large-batch", "small-batch / higher recall"],
+        ["CTAs per query", "1", f"{multi.cta_count // 4} (itopk=64)"],
+        ["hash table location",
+         "shared memory" if single.hash_in_shared else "device memory",
+         "shared memory" if multi.hash_in_shared else "device memory"],
+        ["hash management",
+         "forgettable" if single.hash_resets else "standard",
+         "forgettable" if multi.hash_resets else "standard"],
+    ]
+    table = format_table(
+        ["", "single-CTA", "multi-CTA"], rows,
+        title="Table II: implementation summary (from live CostReports)",
+    )
+
+    # Fig. 7 dispatch rule across the (batch, itopk) plane.
+    dispatch_rows = []
+    for batch in (1, 32, 107, 108, 10_000):
+        for itopk in (64, 512, 513):
+            algo = choose_algo(SearchConfig(itopk=itopk), batch, num_sms=108)
+            dispatch_rows.append([batch, itopk, algo])
+    dispatch = format_table(
+        ["batch", "itopk", "chosen implementation"], dispatch_rows,
+        title="Fig. 7: dispatch rule (b_T = 108 SMs, M_T = 512)",
+    )
+    emit("table2_impl_choice", table + "\n\n" + dispatch)
+
+    assert single.hash_in_shared and single.hash_resets > 0
+    assert not multi.hash_in_shared and multi.hash_resets == 0
+    assert multi.cta_count > 4

@@ -1,0 +1,180 @@
+"""Shared benchmark context: datasets, memoized index builds, reporting.
+
+Every bench regenerates one table/figure of the paper.  Pure-Python
+builds are the expensive part, so all builders are memoized in one
+session-scoped context and shared across bench files.
+
+Bench scales are deliberately small (the scale substitution is recorded in
+DESIGN.md §2); each bench prints the scale factor it ran at.  Output goes
+to stdout (visible with ``pytest -s``) and to ``benchmarks/results/*.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+import pytest
+
+from repro import CagraIndex, GraphBuildConfig
+from repro.baselines import (
+    GannsIndex,
+    GgnnIndex,
+    HnswIndex,
+    NssgIndex,
+    exact_search,
+)
+from repro.core.nn_descent import KnnGraphResult, build_knn_graph
+from repro.datasets import DatasetBundle, load_dataset
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Per-dataset bench scales (original sizes are 290K-100M; see DESIGN.md).
+BENCH_SCALES = {
+    "sift-1m": 2500,
+    "gist-1m": 1200,
+    "glove-200": 2500,
+    "nytimes": 2000,
+    "deep-1m": 2500,
+    "deep-10m": 5000,
+    "deep-100m": 10000,
+}
+
+#: Bench graph degrees: Table I's degrees assume 1M-100M points; at bench
+#: scale we keep their *ratios* but cap so degree << N.
+BENCH_DEGREES = {
+    "sift-1m": 32,
+    "gist-1m": 48,
+    "glove-200": 64,
+    "nytimes": 48,
+    "deep-1m": 32,
+    "deep-10m": 32,
+    "deep-100m": 32,
+}
+
+NUM_QUERIES = 40
+
+
+@dataclass
+class BenchContext:
+    """Memoizes datasets, ground truth, and index builds for the session."""
+
+    bundles: dict = field(default_factory=dict)
+    truths: dict = field(default_factory=dict)
+    knns: dict = field(default_factory=dict)
+    cagras: dict = field(default_factory=dict)
+    hnsws: dict = field(default_factory=dict)
+    nssgs: dict = field(default_factory=dict)
+    ggnns: dict = field(default_factory=dict)
+    gannses: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def bundle(self, name: str, scale: int = 0) -> DatasetBundle:
+        key = (name, scale)
+        if key not in self.bundles:
+            self.bundles[key] = load_dataset(
+                name, scale=scale or BENCH_SCALES[name], num_queries=NUM_QUERIES
+            )
+        return self.bundles[key]
+
+    def truth(self, name: str, k: int = 10, scale: int = 0) -> np.ndarray:
+        key = (name, k, scale)
+        if key not in self.truths:
+            bundle = self.bundle(name, scale)
+            ids, _ = exact_search(bundle.data, bundle.queries, k, metric=bundle.spec.metric)
+            self.truths[key] = ids
+        return self.truths[key]
+
+    def degree(self, name: str) -> int:
+        return BENCH_DEGREES[name]
+
+    # ------------------------------------------------------------------
+    def knn(self, name: str, d_init_factor: int = 2, scale: int = 0) -> KnnGraphResult:
+        key = (name, d_init_factor, scale)
+        if key not in self.knns:
+            bundle = self.bundle(name, scale)
+            d = self.degree(name)
+            self.knns[key] = build_knn_graph(
+                bundle.data,
+                d_init_factor * d,
+                GraphBuildConfig(graph_degree=d, metric=bundle.spec.metric),
+            )
+        return self.knns[key]
+
+    def cagra(self, name: str, reordering: str = "rank", scale: int = 0,
+              dtype: str = "float32") -> CagraIndex:
+        key = (name, reordering, scale, dtype)
+        if key not in self.cagras:
+            bundle = self.bundle(name, scale)
+            config = GraphBuildConfig(
+                graph_degree=self.degree(name),
+                metric=bundle.spec.metric,
+                reordering=reordering,
+            )
+            if dtype == "float32":
+                # Reuse the memoized initial k-NN graph across reorderings.
+                index = CagraIndex.from_knn_result(bundle.data, self.knn(name, scale=scale), config)
+            else:
+                index = CagraIndex.build(bundle.data, config, dataset_dtype=dtype)
+            self.cagras[key] = index
+        return self.cagras[key]
+
+    def hnsw(self, name: str, scale: int = 0) -> HnswIndex:
+        key = (name, scale)
+        if key not in self.hnsws:
+            bundle = self.bundle(name, scale)
+            self.hnsws[key] = HnswIndex(
+                bundle.data, m=16, ef_construction=100, metric=bundle.spec.metric
+            ).build()
+        return self.hnsws[key]
+
+    def nssg(self, name: str, scale: int = 0) -> NssgIndex:
+        key = (name, scale)
+        if key not in self.nssgs:
+            bundle = self.bundle(name, scale)
+            self.nssgs[key] = NssgIndex(
+                bundle.data,
+                self.knn(name, scale=scale),
+                degree_bound=self.degree(name),
+                pool_size=3 * self.degree(name),
+                metric=bundle.spec.metric,
+            ).build()
+        return self.nssgs[key]
+
+    def ggnn(self, name: str, scale: int = 0) -> GgnnIndex:
+        key = (name, scale)
+        if key not in self.ggnns:
+            bundle = self.bundle(name, scale)
+            self.ggnns[key] = GgnnIndex(
+                bundle.data,
+                degree=self.degree(name),
+                shard_size=400,
+                metric=bundle.spec.metric,
+            ).build()
+        return self.ggnns[key]
+
+    def ganns(self, name: str, scale: int = 0) -> GannsIndex:
+        key = (name, scale)
+        if key not in self.gannses:
+            bundle = self.bundle(name, scale)
+            self.gannses[key] = GannsIndex(
+                bundle.data,
+                degree=self.degree(name),
+                metric=bundle.spec.metric,
+            ).build()
+        return self.gannses[key]
+
+
+@pytest.fixture(scope="session")
+def ctx() -> BenchContext:
+    return BenchContext()
+
+
+def emit(name: str, text: str) -> None:
+    """Print a bench table and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,70 @@
+"""Online (single-query) search: multi-CTA vs single-CTA vs HNSW.
+
+Run:  python examples/online_single_query.py
+
+The online-serving use case (Fig. 10 top / Fig. 14): one query at a time.
+A single CTA leaves the GPU almost entirely idle, so CAGRA maps one query
+to *multiple* CTAs sharing a device-memory hash table.  This example shows
+(a) the Fig. 7 auto-dispatch rule picking multi-CTA at batch 1, and
+(b) simulated latencies against HNSW on the CPU.
+"""
+
+import numpy as np
+
+from repro import CagraIndex, GraphBuildConfig, SearchConfig
+from repro.baselines import HnswIndex, exact_search
+from repro.core.config import choose_algo
+from repro.core.metrics import recall
+from repro.datasets import load_dataset
+from repro.gpusim import CpuCostModel, GpuCostModel
+
+
+def main(scale: int = 3000, num_queries: int = 30) -> None:
+    bundle = load_dataset("glove-200", scale=scale, num_queries=num_queries)
+    data, queries = bundle.data, bundle.queries
+    metric = bundle.spec.metric
+    truth, _ = exact_search(data, queries, 10, metric=metric)
+
+    print("Fig. 7 dispatch rule (108 SMs, M_T=512):")
+    for batch, itopk in ((1, 64), (50, 64), (10_000, 64), (10_000, 1024)):
+        algo = choose_algo(SearchConfig(itopk=itopk), batch, num_sms=108)
+        print(f"  batch={batch:>6,} itopk={itopk:>5} -> {algo}")
+
+    print("\nbuilding CAGRA and HNSW indexes...")
+    index = CagraIndex.build(
+        data, GraphBuildConfig(graph_degree=32, metric=metric)
+    )
+    hnsw = HnswIndex(data, m=16, ef_construction=100, metric=metric).build()
+    gpu, cpu = GpuCostModel(), CpuCostModel()
+
+    print(f"\nsingle-query latency (batch=1), {len(queries)} queries averaged:")
+    print(f"{'method':<22}{'recall@10':>10}{'latency (sim)':>16}{'QPS (sim)':>12}")
+    for algo in ("multi_cta", "single_cta"):
+        seconds = 0.0
+        hits = 0.0
+        for i in range(len(queries)):
+            result = index.search(
+                queries[i], 10, SearchConfig(itopk=64, algo=algo, seed=i)
+            )
+            seconds += gpu.search_time(result.report, index.dim, itopk=64).seconds
+            hits += recall(result.indices, truth[i : i + 1])
+        mean = seconds / len(queries)
+        print(f"{'CAGRA ' + algo:<22}{hits / len(queries):>10.4f}"
+              f"{mean * 1e6:>13.1f} us{1 / mean:>12,.0f}")
+
+    ids, _, counters = hnsw.search(queries, 10, ef=64)
+    per_query = cpu.search_time(
+        counters.distance_computations // len(queries),
+        counters.hops // len(queries),
+        index.dim,
+        batch_size=1,
+    ).seconds
+    print(f"{'HNSW (1 thread)':<22}{recall(ids, truth):>10.4f}"
+          f"{per_query * 1e6:>13.1f} us{1 / per_query:>12,.0f}")
+    print("\npaper shape check: multi-CTA CAGRA above HNSW at matched recall "
+          "(paper: 3.4-53x at 95% recall), and the advantage grows with the "
+          "recall target.")
+
+
+if __name__ == "__main__":
+    main()

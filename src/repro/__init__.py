@@ -1,0 +1,45 @@
+"""repro — a pure-Python reproduction of CAGRA (ICDE 2024).
+
+CAGRA (Cuda Anns GRAph-based) is NVIDIA's GPU-native graph index for
+approximate nearest neighbor search.  This package reimplements the whole
+system described in the paper — NN-descent initial graph construction,
+rank-based graph optimization, the top-M/candidate-buffer search with
+forgettable hash tables and single-/multi-CTA mappings — plus the CPU and
+GPU baselines it is evaluated against (HNSW, NSSG, GGNN-like, GANNS-like)
+and an analytical GPU cost model standing in for the A100 the paper ran on.
+
+Quick start::
+
+    import numpy as np
+    from repro import CagraIndex, GraphBuildConfig, SearchConfig
+
+    data = np.random.default_rng(0).standard_normal((2000, 64), dtype=np.float32)
+    index = CagraIndex.build(data, GraphBuildConfig(graph_degree=16))
+    result = index.search(data[:10], k=5, config=SearchConfig(itopk=32))
+    print(result.indices)
+"""
+
+from repro.core import (
+    CagraIndex,
+    FixedDegreeGraph,
+    GraphBuildConfig,
+    HashTableConfig,
+    SearchConfig,
+    ShardedCagraIndex,
+    refine,
+    validate_index,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CagraIndex",
+    "FixedDegreeGraph",
+    "GraphBuildConfig",
+    "HashTableConfig",
+    "SearchConfig",
+    "ShardedCagraIndex",
+    "refine",
+    "validate_index",
+    "__version__",
+]

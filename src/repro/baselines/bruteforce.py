@@ -1,0 +1,39 @@
+"""Exact (brute-force) k-NN search — the recall ground truth (Eq. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distances import pairwise_distances
+
+__all__ = ["exact_search"]
+
+
+def exact_search(
+    data: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    metric: str = "sqeuclidean",
+    block: int = 256,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact top-k by blocked exhaustive scan.
+
+    Returns ``(indices, distances)`` of shapes ``(n_queries, k)``, sorted
+    ascending by distance.  Blocked over queries so memory stays at
+    ``block × N`` floats.
+    """
+    queries = np.atleast_2d(queries)
+    n = data.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}]")
+    indices = np.empty((queries.shape[0], k), dtype=np.uint32)
+    distances = np.empty((queries.shape[0], k), dtype=np.float64)
+    for start in range(0, queries.shape[0], block):
+        stop = min(start + block, queries.shape[0])
+        d = pairwise_distances(queries[start:stop], data, metric=metric)
+        part = np.argpartition(d, k - 1, axis=1)[:, :k]
+        part_d = np.take_along_axis(d, part, axis=1)
+        order = np.argsort(part_d, axis=1, kind="stable")
+        indices[start:stop] = np.take_along_axis(part, order, axis=1).astype(np.uint32)
+        distances[start:stop] = np.take_along_axis(part_d, order, axis=1)
+    return indices, distances

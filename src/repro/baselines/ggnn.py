@@ -1,0 +1,226 @@
+"""GGNN-like GPU baseline (Groh et al., IEEE Big Data 2022).
+
+GGNN builds its graph hierarchically: the dataset is split into small
+shards whose exact k-NN graphs are cheap to build in parallel on the GPU,
+then shards are merged bottom-up, refining every node's neighbor list by
+searching the merged graph.  Search is a per-query best-first traversal
+(one query per thread block, fixed-degree graph, device-memory visited
+set) without CAGRA's team splitting, forgettable hashing or buffer-based
+top-M maintenance — precisely the gap the paper measures in Figs. 11/13.
+
+This implementation keeps that structure: exact intra-shard graphs, a
+beam-search refinement pass per node over the merged graph, fixed degree,
+and operation counters that the GPU cost model prices with ``team_size=32``
+and a device-memory hash (see :mod:`repro.bench.harness`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.beam import BeamCounters, beam_search
+from repro.core.distances import pairwise_distances
+from repro.core.graph import FixedDegreeGraph
+
+__all__ = ["GgnnIndex"]
+
+
+@dataclass
+class GgnnBuildStats:
+    """Construction work counters."""
+
+    distance_computations: int = 0
+    hops: int = 0
+    num_shards: int = 0
+
+
+class GgnnIndex:
+    """GGNN-like index: sharded exact graphs + search-based merge refinement.
+
+    Args:
+        data: dataset.
+        degree: fixed out-degree of the final graph (``KBuild`` in GGNN).
+        shard_size: points per leaf shard (exact graphs inside).
+        refine_beam: beam width of the merge-refinement searches.
+        refine_rounds: merge-refinement passes (GGNN's hierarchy depth
+            analogue; each pass searches the previous pass's graph).
+        metric: distance metric.
+        seed: shard shuffling seed.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        degree: int = 24,
+        shard_size: int = 512,
+        refine_beam: int = 32,
+        refine_rounds: int = 2,
+        metric: str = "sqeuclidean",
+        seed: int = 0,
+    ):
+        self.data = np.asarray(data)
+        self.degree = min(degree, self.data.shape[0] - 1)
+        self.shard_size = max(shard_size, self.degree + 1)
+        self.refine_beam = max(refine_beam, self.degree)
+        self.refine_rounds = max(1, refine_rounds)
+        self.metric = metric
+        self.seed = seed
+        self.graph: FixedDegreeGraph | None = None
+        self.build_stats = GgnnBuildStats()
+
+    def build(self) -> "GgnnIndex":
+        """Shard → exact intra-shard graphs → beam-refine over the union."""
+        n = self.data.shape[0]
+        rng = np.random.default_rng(self.seed)
+        permutation = rng.permutation(n)
+        stats = self.build_stats
+        neighbors = np.zeros((n, self.degree), dtype=np.int64)
+
+        # Stage 1: exact k-NN graphs inside each shard.
+        shards = [
+            permutation[start : start + self.shard_size]
+            for start in range(0, n, self.shard_size)
+        ]
+        stats.num_shards = len(shards)
+        for shard in shards:
+            d = pairwise_distances(self.data[shard], self.data[shard], self.metric)
+            stats.distance_computations += len(shard) * len(shard)
+            np.fill_diagonal(d, np.inf)
+            take = min(self.degree, len(shard) - 1)
+            part = np.argpartition(d, take - 1, axis=1)[:, :take]
+            part_d = np.take_along_axis(d, part, axis=1)
+            order = np.argsort(part_d, axis=1, kind="stable")
+            local = np.take_along_axis(part, order, axis=1)
+            rows = shard[local]  # map shard-local ids to global
+            if take < self.degree:  # tiny trailing shard: pad by repetition
+                rows = np.pad(rows, ((0, 0), (0, self.degree - take)), mode="edge")
+            neighbors[shard] = rows
+
+        # Stage 2a: cross-shard linking — every node searches the stitched
+        # graph from random seeds and merges what it finds (this is what
+        # first connects the shards).
+        counters = BeamCounters()
+        for node in range(n):
+            seeds = np.concatenate([neighbors[node][:4], rng.integers(0, n, size=8)])
+            ids, _ = beam_search(
+                self.data,
+                neighbors,
+                self.data[node],
+                min(self.refine_beam, n - 1),
+                self.refine_beam,
+                seeds,
+                self.metric,
+                counters,
+            )
+            found = ids[ids != node].astype(np.int64)
+            merged = np.concatenate([neighbors[node], found])
+            _, keep = np.unique(merged, return_index=True)
+            merged = merged[np.sort(keep)]
+            dists = pairwise_distances(
+                self.data[node : node + 1], self.data[merged], self.metric
+            )[0]
+            stats.distance_computations += len(merged)
+            order = np.argsort(dists, kind="stable")[: self.degree]
+            row = merged[order]
+            if len(row) < self.degree:
+                row = np.pad(row, (0, self.degree - len(row)), mode="edge")
+            neighbors[node] = row
+        stats.distance_computations += counters.distance_computations
+        stats.hops += counters.hops
+
+        # Stage 2b: neighborhood-propagation sweeps (GGNN's bottom-up
+        # merges net out to this): each node re-ranks its 2-hop pool and
+        # keeps the nearest ``degree``, batched over blocks.
+        for _ in range(self.refine_rounds):
+            neighbors = self._two_hop_sweep(neighbors, stats)
+
+        # Reverse-edge pass: guarantee in-links so no node is unreachable
+        # (GGNN symmetrizes during its merge step).
+        for node in range(n):
+            target = int(neighbors[node][0])
+            if node not in neighbors[target]:
+                neighbors[target][-1] = node
+
+        # Top of the hierarchy: a coarse random subset used as search entry
+        # points (GGNN descends its layer hierarchy to seed the base-layer
+        # traversal; a nearest-of-coarse-sample scan is that descent's
+        # net effect).
+        coarse_size = min(n, max(32, 4 * int(np.sqrt(n))))
+        self.coarse_ids = rng.choice(n, size=coarse_size, replace=False).astype(np.int64)
+
+        self.graph = FixedDegreeGraph(neighbors.astype(np.uint32))
+        return self
+
+    def _two_hop_sweep(
+        self, neighbors: np.ndarray, stats: GgnnBuildStats, block: int = 512
+    ) -> np.ndarray:
+        """One vectorized refinement sweep: each node keeps the nearest
+        ``degree`` nodes of its (self ∪ 1-hop ∪ 2-hop) pool."""
+        n = neighbors.shape[0]
+        out = neighbors.copy()
+        for start in range(0, n, block):
+            stop = min(start + block, n)
+            rows = np.arange(start, stop)
+            pool = np.concatenate(
+                [neighbors[start:stop], neighbors[neighbors[start:stop]].reshape(stop - start, -1)],
+                axis=1,
+            )
+            # Mask self ids by replacing them with the first neighbor.
+            self_mask = pool == rows[:, None]
+            pool[self_mask] = np.broadcast_to(
+                neighbors[start:stop, :1], pool.shape
+            )[self_mask]
+            diffs = self.data[pool].astype(np.float64) - self.data[rows][:, None, :]
+            if self.metric in ("inner_product", "cosine"):
+                dists = -np.einsum(
+                    "bpd,bd->bp", self.data[pool].astype(np.float64), self.data[rows]
+                )
+            else:
+                dists = np.einsum("bpd,bpd->bp", diffs, diffs)
+            stats.distance_computations += pool.size
+            # Deduplicate ids per row: worse copies get +inf.
+            order = np.lexsort((dists, pool), axis=1)
+            sorted_pool = np.take_along_axis(pool, order, axis=1)
+            sorted_dists = np.take_along_axis(dists, order, axis=1)
+            dup = np.zeros_like(sorted_dists, dtype=bool)
+            dup[:, 1:] = sorted_pool[:, 1:] == sorted_pool[:, :-1]
+            sorted_dists[dup] = np.inf
+            keep = np.argsort(sorted_dists, axis=1, kind="stable")[:, : self.degree]
+            out[start:stop] = np.take_along_axis(sorted_pool, keep, axis=1)
+        return out
+
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int,
+        beam_width: int = 64,
+        num_seeds: int = 8,
+        seed: int = 0,
+    ) -> tuple[np.ndarray, np.ndarray, BeamCounters]:
+        """Per-query beam search seeded by the coarse hierarchy layer
+        (GGNN maps one query to one thread block)."""
+        if self.graph is None:
+            raise RuntimeError("call build() before search()")
+        queries = np.atleast_2d(queries)
+        counters = BeamCounters()
+        ids = np.empty((queries.shape[0], k), dtype=np.uint32)
+        dists = np.empty((queries.shape[0], k), dtype=np.float64)
+        # Hierarchy descent: nearest coarse-layer nodes seed the base layer.
+        coarse_d = pairwise_distances(queries, self.data[self.coarse_ids], self.metric)
+        counters.distance_computations += coarse_d.size
+        seed_pick = np.argsort(coarse_d, axis=1, kind="stable")[:, :num_seeds]
+        for i in range(queries.shape[0]):
+            seeds = self.coarse_ids[seed_pick[i]]
+            ids[i], dists[i] = beam_search(
+                self.data,
+                self.graph.neighbors,
+                queries[i],
+                k,
+                beam_width,
+                seeds,
+                self.metric,
+                counters,
+            )
+        return ids, dists, counters

@@ -1,0 +1,215 @@
+"""NSSG (Fu et al., TPAMI 2022) — the graph whose pipeline CAGRA's most
+resembles (Sec. V: both build an explicit k-NN graph first and both start
+search from random samples).
+
+Construction: starting from a k-NN graph, each node gathers a candidate
+pool (its neighbors plus 2-hop expansion), then prunes it with the
+*angular* criterion — a candidate is kept only if the angle it forms at
+the node with every already-kept neighbor exceeds a threshold (60° in the
+NSSG paper), which spreads edges in all directions like satellite orbits.
+Reverse edges are added up to the degree bound, and random spanning-tree
+edges patch disconnected nodes.
+
+Search: best-first beam from random seeds (:func:`nssg_search` also runs
+on *any* adjacency array, which is how Fig. 12 evaluates a CAGRA graph
+"converted to NSSG format" under the NSSG searcher).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.beam import BeamCounters, beam_search
+from repro.core.distances import distances_to_query
+from repro.core.graph import FixedDegreeGraph
+from repro.core.nn_descent import KnnGraphResult
+
+__all__ = ["NssgIndex", "nssg_search"]
+
+
+@dataclass
+class NssgBuildStats:
+    """Construction work counters."""
+
+    distance_computations: int = 0
+    pool_sizes_mean: float = 0.0
+    patched_nodes: int = 0
+
+
+class NssgIndex:
+    """Navigating Satellite System Graph.
+
+    Args:
+        data: dataset.
+        knn: initial k-NN graph (reused from NN-descent, as NSSG does).
+        degree_bound: maximum out-degree ``R``.
+        pool_size: candidate pool length ``L`` per node.
+        angle_degrees: minimum pairwise edge angle (NSSG default 60°).
+        metric: distance metric.
+        seed: RNG seed for 2-hop sampling / patching.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        knn: KnnGraphResult,
+        degree_bound: int = 32,
+        pool_size: int = 100,
+        angle_degrees: float = 60.0,
+        metric: str = "sqeuclidean",
+        seed: int = 0,
+    ):
+        self.data = np.asarray(data)
+        self.knn = knn
+        self.degree_bound = degree_bound
+        self.pool_size = pool_size
+        self.cos_threshold = math.cos(math.radians(angle_degrees))
+        self.metric = metric
+        self.seed = seed
+        self.adjacency: list[np.ndarray] = []
+        self.build_stats = NssgBuildStats()
+        self._built = False
+
+    # ------------------------------------------------------------------
+    def build(self) -> "NssgIndex":
+        """Prune every node's pool angularly, add reverse edges, patch."""
+        rng = np.random.default_rng(self.seed)
+        n = self.data.shape[0]
+        neighbors = self.knn.graph.neighbors
+        stats = self.build_stats
+        pool_total = 0
+
+        kept: list[list[int]] = []
+        for node in range(n):
+            pool = self._candidate_pool(node, neighbors, rng)
+            pool_total += len(pool)
+            kept.append(self._angular_prune(node, pool, stats))
+        stats.pool_sizes_mean = pool_total / max(1, n)
+
+        # Reverse edges up to the degree bound.
+        adjacency = [list(dict.fromkeys(row)) for row in kept]
+        for src, row in enumerate(kept):
+            for dst in row:
+                if len(adjacency[dst]) < self.degree_bound and src not in adjacency[dst]:
+                    adjacency[dst].append(src)
+
+        # Patch unreachable nodes with a random incoming edge (NSSG's
+        # spanning-tree step, simplified to random attachment).
+        in_degree = np.zeros(n, dtype=np.int64)
+        for row in adjacency:
+            for dst in row:
+                in_degree[dst] += 1
+        for node in np.nonzero(in_degree == 0)[0]:
+            donor = int(rng.integers(0, n))
+            if donor != node:
+                adjacency[donor].append(int(node))
+                stats.patched_nodes += 1
+
+        self.adjacency = [np.array(row[: self.degree_bound], dtype=np.int64) for row in adjacency]
+        self._built = True
+        return self
+
+    def _candidate_pool(
+        self, node: int, neighbors: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Neighbors plus sampled 2-hop expansion, distance-sorted, <= L."""
+        one_hop = neighbors[node].astype(np.int64)
+        two_hop = neighbors[one_hop].ravel().astype(np.int64)
+        if len(two_hop) > self.pool_size:
+            two_hop = rng.choice(two_hop, size=self.pool_size, replace=False)
+        pool = np.unique(np.concatenate([one_hop, two_hop]))
+        pool = pool[pool != node]
+        dists = distances_to_query(self.data, self.data[node], pool, self.metric)
+        self.build_stats.distance_computations += len(pool)
+        order = np.argsort(dists, kind="stable")[: self.pool_size]
+        return pool[order]
+
+    def _angular_prune(
+        self, node: int, pool: np.ndarray, stats: NssgBuildStats
+    ) -> list[int]:
+        """Keep candidates whose pairwise angles at ``node`` exceed the
+        threshold; nearest-first (satellite-system spreading)."""
+        origin = self.data[node].astype(np.float64)
+        kept: list[int] = []
+        kept_dirs: list[np.ndarray] = []
+        for cand in pool:
+            if len(kept) >= self.degree_bound:
+                break
+            direction = self.data[int(cand)].astype(np.float64) - origin
+            norm = np.linalg.norm(direction)
+            if norm == 0.0:
+                continue
+            direction /= norm
+            ok = True
+            for kd in kept_dirs:
+                stats.distance_computations += 1
+                if float(direction @ kd) > self.cos_threshold:
+                    ok = False
+                    break
+            if ok:
+                kept.append(int(cand))
+                kept_dirs.append(direction)
+        return kept
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int,
+        beam_width: int = 64,
+        num_seeds: int = 16,
+        seed: int = 0,
+    ) -> tuple[np.ndarray, np.ndarray, BeamCounters]:
+        """Random-seeded beam search on the built graph."""
+        if not self._built:
+            raise RuntimeError("call build() before search()")
+        return nssg_search(
+            self.data,
+            self.adjacency,
+            queries,
+            k,
+            beam_width=beam_width,
+            num_seeds=num_seeds,
+            metric=self.metric,
+            seed=seed,
+        )
+
+    @property
+    def average_degree(self) -> float:
+        return float(np.mean([len(row) for row in self.adjacency]))
+
+
+def nssg_search(
+    data: np.ndarray,
+    adjacency,
+    queries: np.ndarray,
+    k: int,
+    beam_width: int = 64,
+    num_seeds: int = 16,
+    metric: str = "sqeuclidean",
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, BeamCounters]:
+    """NSSG's search procedure over any adjacency structure.
+
+    This is the "NSSG search implementation" of Fig. 12: random seed
+    sampling followed by best-first beam search.  ``adjacency`` may be an
+    ``(N, d)`` array (e.g. a CAGRA graph) or a list of id arrays (a native
+    NSSG graph).
+    """
+    queries = np.atleast_2d(queries)
+    if isinstance(adjacency, FixedDegreeGraph):
+        adjacency = adjacency.neighbors
+    n = len(adjacency)
+    rng = np.random.default_rng(seed)
+    counters = BeamCounters()
+    ids = np.empty((queries.shape[0], k), dtype=np.uint32)
+    dists = np.empty((queries.shape[0], k), dtype=np.float64)
+    for i in range(queries.shape[0]):
+        seeds = rng.integers(0, n, size=num_seeds)
+        ids[i], dists[i] = beam_search(
+            data, adjacency, queries[i], k, beam_width, seeds, metric, counters
+        )
+    return ids, dists, counters

@@ -1,0 +1,44 @@
+"""Benchmark harness: recall–QPS sweeps and paper-shaped reporting.
+
+:mod:`repro.bench.harness` runs each method across its recall knob
+(CAGRA: ``itopk``; HNSW: ``ef``; beam searchers: beam width), measures
+*real* recall against brute-force ground truth, and prices the emitted
+operation counters with the GPU/CPU cost models to get simulated QPS.
+
+The large batch sizes of the paper (10K queries) are simulated by running
+a smaller real query set and scaling the counters linearly — recall is a
+per-query property, so the measured value is unbiased, while the cost
+models handle batch effects (CTA waves, thread counts) exactly.
+
+:mod:`repro.bench.reporting` renders the tables/series the paper's
+figures show.
+"""
+
+from repro.bench.analysis import TracePoint, iteration_trace
+from repro.bench.harness import (
+    MethodCurve,
+    SweepPoint,
+    beam_to_report,
+    run_beam_sweep_gpu,
+    run_beam_sweep_cpu,
+    run_cagra_sweep,
+    run_hnsw_sweep,
+    scale_report,
+)
+from repro.bench.reporting import format_curve_table, format_table, speedup_at_recall
+
+__all__ = [
+    "TracePoint",
+    "iteration_trace",
+    "MethodCurve",
+    "SweepPoint",
+    "beam_to_report",
+    "run_beam_sweep_gpu",
+    "run_beam_sweep_cpu",
+    "run_cagra_sweep",
+    "run_hnsw_sweep",
+    "scale_report",
+    "format_curve_table",
+    "format_table",
+    "speedup_at_recall",
+]

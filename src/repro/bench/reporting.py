@@ -1,0 +1,74 @@
+"""Plain-text rendering of the paper-shaped tables and curve series."""
+
+from __future__ import annotations
+
+from repro.bench.harness import MethodCurve
+
+__all__ = ["format_table", "format_curve_table", "speedup_at_recall"]
+
+
+def format_table(headers: list[str], rows: list[list[object]], title: str = "") -> str:
+    """Aligned-column text table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_curve_table(curves: list[MethodCurve], title: str = "") -> str:
+    """Render recall–QPS curves as the series a paper figure plots."""
+    rows = []
+    for curve in curves:
+        for point in sorted(curve.points, key=lambda p: p.recall):
+            rows.append(
+                [curve.method, point.param, point.recall, point.qps,
+                 point.distance_computations_per_query]
+            )
+    return format_table(
+        ["method", "param", "recall", "QPS(sim)", "dist/query"], rows, title=title
+    )
+
+
+def speedup_at_recall(
+    curves: list[MethodCurve], reference: str, targets: list[float]
+) -> str:
+    """The paper's headline metric: how much faster each method is than
+    ``reference`` at each recall target."""
+    by_name = {c.method: c for c in curves}
+    if reference not in by_name:
+        raise KeyError(f"reference {reference!r} not among curves")
+    ref = by_name[reference]
+    rows = []
+    for target in targets:
+        ref_qps = ref.qps_at_recall(target)
+        for curve in curves:
+            if curve.method == reference:
+                continue
+            qps = curve.qps_at_recall(target)
+            if qps is None or ref_qps is None:
+                rows.append([f"{target:.0%}", curve.method, "n/a", "n/a"])
+            else:
+                rows.append(
+                    [f"{target:.0%}", curve.method, qps, f"{qps / ref_qps:.1f}x"]
+                )
+    return format_table(
+        ["recall", "method", "QPS(sim)", f"speedup vs {reference}"], rows
+    )

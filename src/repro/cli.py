@@ -1,0 +1,207 @@
+"""Command-line interface: ``repro-cagra`` (or ``python -m repro.cli``).
+
+Subcommands::
+
+    repro-cagra info                          # list registered datasets
+    repro-cagra build  --dataset deep-1m --scale 4000 --out idx.npz
+    repro-cagra search --index idx.npz --dataset deep-1m --scale 4000 -k 10
+    repro-cagra bench  --dataset deep-1m --scale 3000 --batch 10000
+    repro-cagra validate --index idx.npz      # integrity + reachability audit
+    repro-cagra report                        # aggregate benchmarks/results/
+
+``build``/``search`` work on the synthetic registry datasets or on real
+``.fvecs`` files (``--fvecs path``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro import CagraIndex, GraphBuildConfig, SearchConfig
+from repro.baselines import exact_search
+from repro.core.metrics import recall as recall_of
+from repro.datasets import DATASETS, load_dataset, read_fvecs
+
+__all__ = ["main"]
+
+
+def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="deep-1m", help="registry dataset name")
+    parser.add_argument("--scale", type=int, default=0, help="vectors to generate (0 = default)")
+    parser.add_argument("--fvecs", default="", help="load dataset from an .fvecs file instead")
+    parser.add_argument("--queries", type=int, default=100, help="query count")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _load(args) -> tuple[np.ndarray, np.ndarray, str, int]:
+    """Returns (data, queries, metric, graph_degree)."""
+    if args.fvecs:
+        data = read_fvecs(args.fvecs)
+        from repro.datasets import make_queries
+
+        return data, make_queries(data, args.queries, seed=args.seed + 1), "sqeuclidean", 32
+    bundle = load_dataset(args.dataset, scale=args.scale, num_queries=args.queries, seed=args.seed)
+    return bundle.data, bundle.queries, bundle.spec.metric, bundle.spec.graph_degree
+
+
+def _cmd_info(args) -> int:
+    print(f"{'name':<12}{'dim':>6}{'orig N':>12}{'metric':>15}{'degree':>8}{'default scale':>15}")
+    for spec in DATASETS.values():
+        print(
+            f"{spec.name:<12}{spec.dim:>6}{spec.original_size:>12,}"
+            f"{spec.metric:>15}{spec.graph_degree:>8}{spec.default_scale:>15,}"
+        )
+    return 0
+
+
+def _cmd_build(args) -> int:
+    data, _, metric, degree = _load(args)
+    config = GraphBuildConfig(
+        graph_degree=args.degree or degree,
+        metric=metric,
+        reordering=args.reordering,
+        seed=args.seed,
+    )
+    started = time.perf_counter()
+    index = CagraIndex.build(data, config, dataset_dtype=args.dtype)
+    elapsed = time.perf_counter() - started
+    index.save(args.out)
+    report = index.build_report
+    print(f"built {index!r} in {elapsed:.2f}s "
+          f"(knn {report.knn_seconds:.2f}s + optimize {report.optimize_seconds:.2f}s)")
+    print(f"saved to {args.out}")
+    return 0
+
+
+def _cmd_search(args) -> int:
+    index = CagraIndex.load(args.index)
+    _, queries, metric, _ = _load(args)
+    config = SearchConfig(itopk=args.itopk, algo=args.algo)
+    started = time.perf_counter()
+    if args.fast:
+        result = index.search_fast(queries, args.k, config=config)
+    else:
+        result = index.search(queries, args.k, config=config)
+    elapsed = time.perf_counter() - started
+    truth, _ = exact_search(index.dataset, queries, args.k, metric=index.metric)
+    print(f"searched {queries.shape[0]} queries in {elapsed:.3f}s (python wall time)")
+    print(f"recall@{args.k}: {recall_of(result.indices, truth):.4f}")
+    print(f"distance computations/query: "
+          f"{result.report.distance_computations / queries.shape[0]:.0f}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.baselines import HnswIndex
+    from repro.bench import (
+        format_curve_table,
+        run_cagra_sweep,
+        run_hnsw_sweep,
+        speedup_at_recall,
+    )
+
+    data, queries, metric, degree = _load(args)
+    truth, _ = exact_search(data, queries, args.k, metric=metric)
+    print(f"dataset: {args.dataset} n={data.shape[0]} dim={data.shape[1]} metric={metric}")
+    index = CagraIndex.build(
+        data, GraphBuildConfig(graph_degree=args.degree or degree, metric=metric)
+    )
+    hnsw = HnswIndex(data, m=16, ef_construction=100, metric=metric).build()
+    sweep = [max(args.k, v) for v in (10, 16, 32, 64, 128)]
+    curves = [
+        run_cagra_sweep(index, queries, truth, args.k, sweep, args.batch),
+        run_hnsw_sweep(hnsw, queries, truth, args.k, sweep, args.batch),
+    ]
+    print(format_curve_table(curves, f"batch={args.batch} recall@{args.k}"))
+    print()
+    print(speedup_at_recall(curves, "HNSW", [0.90, 0.95]))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro import validate_index
+
+    index = CagraIndex.load(args.index)
+    report = validate_index(index, sample=args.sample)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_report(args) -> int:
+    import glob
+    import os
+
+    pattern = os.path.join(args.results, "*.txt")
+    files = sorted(glob.glob(pattern))
+    if not files:
+        print(f"no result files under {args.results!r}; "
+              "run: pytest benchmarks/ --benchmark-only")
+        return 1
+    for path in files:
+        print(f"===== {os.path.basename(path)[:-4]} =====")
+        with open(path) as handle:
+            print(handle.read())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cagra",
+        description="CAGRA reproduction: build, search, and benchmark ANN graph indexes.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list registered datasets")
+
+    p_build = sub.add_parser("build", help="build a CAGRA index")
+    _add_dataset_args(p_build)
+    p_build.add_argument("--out", required=True, help="output .npz path")
+    p_build.add_argument("--degree", type=int, default=0, help="graph degree (0 = dataset default)")
+    p_build.add_argument("--reordering", choices=("rank", "distance", "none"), default="rank")
+    p_build.add_argument("--dtype", choices=("float32", "float16"), default="float32")
+
+    p_search = sub.add_parser("search", help="search a saved index")
+    _add_dataset_args(p_search)
+    p_search.add_argument("--index", required=True, help="index .npz path")
+    p_search.add_argument("-k", type=int, default=10)
+    p_search.add_argument("--itopk", type=int, default=64)
+    p_search.add_argument("--algo", choices=("auto", "single_cta", "multi_cta"), default="auto")
+    p_search.add_argument("--fast", action="store_true",
+                          help="use the vectorized lockstep batch search")
+
+    p_bench = sub.add_parser("bench", help="quick CAGRA-vs-HNSW recall/QPS sweep")
+    _add_dataset_args(p_bench)
+    p_bench.add_argument("-k", type=int, default=10)
+    p_bench.add_argument("--degree", type=int, default=0)
+    p_bench.add_argument("--batch", type=int, default=10000, help="simulated batch size")
+
+    p_validate = sub.add_parser("validate", help="audit a saved index")
+    p_validate.add_argument("--index", required=True, help="index .npz path")
+    p_validate.add_argument("--sample", type=int, default=1000,
+                            help="node sample for 2-hop statistics")
+
+    p_report = sub.add_parser("report", help="print all regenerated bench tables")
+    p_report.add_argument("--results", default="benchmarks/results",
+                          help="results directory")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "build": _cmd_build,
+        "search": _cmd_search,
+        "bench": _cmd_bench,
+        "validate": _cmd_validate,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,165 @@
+"""Distance kernels used throughout the reproduction.
+
+All kernels are batched NumPy operations.  Internally the library works with
+*L2 squared* distances (monotone with the L2 norm, so top-k results are
+identical) unless the metric is inner product or cosine.
+
+The paper stores datasets either in FP32 or FP16 (Sec. V-C: "we can gain
+higher throughput using half-precision (FP16) for the vector data type").
+We emulate FP16 storage by rounding the dataset to ``float16`` and widening
+to ``float32`` for arithmetic, which matches what the CUDA kernels do with
+``half2`` loads and FP32 accumulation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "METRICS",
+    "pairwise_distances",
+    "distances_to_query",
+    "gathered_distances",
+    "normalize_rows",
+    "as_storage_dtype",
+]
+
+#: Metric names accepted by the public API.
+METRICS = ("sqeuclidean", "inner_product", "cosine")
+
+
+def _check_metric(metric: str) -> None:
+    if metric not in METRICS:
+        raise ValueError(f"unknown metric {metric!r}; expected one of {METRICS}")
+
+
+def normalize_rows(data: np.ndarray) -> np.ndarray:
+    """Return ``data`` with every row scaled to unit L2 norm.
+
+    Zero rows are left untouched (they would otherwise become NaN).
+    """
+    norms = np.linalg.norm(data, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    return data / norms
+
+
+def as_storage_dtype(data: np.ndarray, dtype: str = "float32") -> np.ndarray:
+    """Convert a dataset to its storage dtype (``float32`` or ``float16``).
+
+    FP16 storage emulates the paper's half-precision mode: values are
+    quantized to half precision but all arithmetic later happens in FP32.
+    """
+    if dtype not in ("float32", "float16"):
+        raise ValueError(f"storage dtype must be float32 or float16, got {dtype!r}")
+    return np.ascontiguousarray(data, dtype=dtype)
+
+
+def _compute_dtype(data: np.ndarray) -> np.dtype:
+    """Arithmetic dtype for a stored dataset (always at least float32)."""
+    return np.dtype(np.float64) if data.dtype == np.float64 else np.dtype(np.float32)
+
+
+def pairwise_distances(
+    a: np.ndarray, b: np.ndarray, metric: str = "sqeuclidean"
+) -> np.ndarray:
+    """Dense ``(len(a), len(b))`` distance matrix between two row sets.
+
+    For ``inner_product`` and ``cosine`` the returned values are *negated*
+    similarities so that smaller is always better, uniformly with L2².
+    """
+    _check_metric(metric)
+    dtype = _compute_dtype(a)
+    a = np.asarray(a, dtype=dtype)
+    b = np.asarray(b, dtype=dtype)
+    if metric == "cosine":
+        a = normalize_rows(a)
+        b = normalize_rows(b)
+    if metric in ("inner_product", "cosine"):
+        return -(a @ b.T)
+    # ||a - b||^2 = ||a||^2 - 2 a.b + ||b||^2, clipped to guard against
+    # negative values from floating point cancellation.
+    sq_a = np.einsum("ij,ij->i", a, a)[:, None]
+    sq_b = np.einsum("ij,ij->i", b, b)[None, :]
+    d = sq_a - 2.0 * (a @ b.T) + sq_b
+    np.maximum(d, 0.0, out=d)
+    return d
+
+
+def distances_to_query(
+    data: np.ndarray,
+    query: np.ndarray,
+    indices: np.ndarray | None = None,
+    metric: str = "sqeuclidean",
+) -> np.ndarray:
+    """Distances from one query vector to ``data[indices]`` (or all rows)."""
+    _check_metric(metric)
+    dtype = _compute_dtype(data)
+    rows = data if indices is None else data[indices]
+    rows = np.asarray(rows, dtype=dtype)
+    q = np.asarray(query, dtype=dtype)
+    if metric == "cosine":
+        rows = normalize_rows(rows)
+        nq = np.linalg.norm(q)
+        if nq > 0.0:
+            q = q / nq
+    if metric in ("inner_product", "cosine"):
+        return -(rows @ q)
+    diff = rows - q
+    return np.einsum("ij,ij->i", diff, diff)
+
+
+def gathered_distances(
+    data: np.ndarray,
+    queries: np.ndarray,
+    indices: np.ndarray,
+    metric: str = "sqeuclidean",
+) -> np.ndarray:
+    """Row-wise gathered distances.
+
+    ``indices`` has shape ``(n_queries, width)``; the result ``[i, j]`` is the
+    distance between ``queries[i]`` and ``data[indices[i, j]]``.  This is the
+    access pattern of the CAGRA candidate-list distance step (step ③).
+    """
+    _check_metric(metric)
+    dtype = _compute_dtype(data)
+    gathered = np.asarray(data[indices], dtype=dtype)  # (q, w, dim)
+    q = np.asarray(queries, dtype=dtype)[:, None, :]  # (q, 1, dim)
+    if metric == "cosine":
+        norms = np.linalg.norm(gathered, axis=2, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        gathered = gathered / norms
+        qn = np.linalg.norm(q, axis=2, keepdims=True)
+        qn[qn == 0.0] = 1.0
+        q = q / qn
+    if metric in ("inner_product", "cosine"):
+        return -np.einsum("qwd,qod->qw", gathered, q)
+    diff = gathered - q
+    return np.einsum("qwd,qwd->qw", diff, diff)
+
+
+def distance_function(metric: str) -> Callable[[np.ndarray, np.ndarray], float]:
+    """Scalar two-vector distance, mostly for tests and reference code."""
+    _check_metric(metric)
+
+    def _sqeuclidean(x: np.ndarray, y: np.ndarray) -> float:
+        d = np.asarray(x, dtype=np.float64) - np.asarray(y, dtype=np.float64)
+        return float(d @ d)
+
+    def _inner_product(x: np.ndarray, y: np.ndarray) -> float:
+        return -float(np.asarray(x, dtype=np.float64) @ np.asarray(y, dtype=np.float64))
+
+    def _cosine(x: np.ndarray, y: np.ndarray) -> float:
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        nx, ny = np.linalg.norm(x), np.linalg.norm(y)
+        if nx == 0.0 or ny == 0.0:
+            return 0.0
+        return -float(x @ y) / (nx * ny)
+
+    return {
+        "sqeuclidean": _sqeuclidean,
+        "inner_product": _inner_product,
+        "cosine": _cosine,
+    }[metric]

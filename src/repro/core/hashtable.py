@@ -1,0 +1,149 @@
+"""Open-addressing visited-node hash tables (Sec. IV-B3).
+
+The CAGRA search computes a candidate's distance only the first time the
+node appears; a hash table records visited nodes.  Two variants:
+
+* :class:`StandardHashTable` — sized for the whole search
+  (``>= 2 * I_max * p * d`` entries, paper's sizing rule); lives in device
+  memory in the multi-CTA implementation.
+* :class:`ForgettableHashTable` — a small table (paper: 2^8–2^13 entries)
+  that models the shared-memory table of the single-CTA kernel: it is
+  wiped every ``reset_interval`` iterations and re-seeded with the current
+  internal top-M list.  False "not visited" answers after a reset merely
+  cause re-computed distances, never wrong results.
+
+Both use linear probing with a multiplicative hash, mirroring the CUDA
+implementation's open addressing, and both count their operations so the
+GPU cost model can charge shared- vs device-memory latencies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardHashTable", "ForgettableHashTable", "standard_table_log2_size"]
+
+_EMPTY = np.uint32(0xFFFFFFFF)
+#: Knuth multiplicative hashing constant (2^32 / phi).
+_HASH_MULT = np.uint64(0x9E3779B9)
+
+
+def standard_table_log2_size(max_iterations: int, search_width: int, degree: int) -> int:
+    """Paper sizing rule: at least ``2 * I_max * p * d`` entries."""
+    needed = 2 * max_iterations * search_width * degree + 1
+    return max(8, int(np.ceil(np.log2(needed))))
+
+
+class StandardHashTable:
+    """Open-addressing insert-only set of ``uint32`` node ids.
+
+    ``insert_unique`` is the only mutating operation the search needs: it
+    inserts every id that is not already present and reports which ones
+    were new (those get a distance computation).
+    """
+
+    def __init__(self, log2_size: int):
+        if not 2 <= log2_size <= 28:
+            raise ValueError("log2_size out of range [2, 28]")
+        self.log2_size = log2_size
+        self.size = 1 << log2_size
+        self._mask = np.uint64(self.size - 1)
+        self._slots = np.full(self.size, _EMPTY, dtype=np.uint32)
+        self.lookups = 0  # probe sequences started
+        self.probes = 0  # individual slot inspections
+        self.insertions = 0
+        self.resets = 0
+
+    def _first_slot(self, key: int) -> int:
+        # Knuth multiplicative hashing: multiply mod 2^32, keep the *top*
+        # log2_size bits — the high bits of the truncated product are the
+        # well-mixed ones (taking high bits of the full 64-bit product
+        # would cluster small keys into the first slots).
+        product = (np.uint64(key) * _HASH_MULT) & np.uint64(0xFFFFFFFF)
+        return int(product >> np.uint64(32 - self.log2_size))
+
+    def contains(self, key: int) -> bool:
+        """Membership test (probe sequence ends at the first empty slot)."""
+        self.lookups += 1
+        slot = self._first_slot(key)
+        for _ in range(self.size):
+            self.probes += 1
+            value = self._slots[slot]
+            if value == np.uint32(key):
+                return True
+            if value == _EMPTY:
+                return False
+            slot = (slot + 1) & int(self._mask)
+        return False
+
+    def insert(self, key: int) -> bool:
+        """Insert ``key``; returns True if it was not present before.
+
+        A full table silently reports the key as "seen" — the search then
+        skips the distance computation, which only costs recall, exactly
+        like a saturated on-GPU table would.
+        """
+        self.lookups += 1
+        slot = self._first_slot(key)
+        for _ in range(self.size):
+            self.probes += 1
+            value = self._slots[slot]
+            if value == np.uint32(key):
+                return False
+            if value == _EMPTY:
+                self._slots[slot] = np.uint32(key)
+                self.insertions += 1
+                return True
+            slot = (slot + 1) & int(self._mask)
+        return False
+
+    def insert_unique(self, keys: np.ndarray) -> np.ndarray:
+        """Insert a batch of ids; boolean mask of the newly inserted ones.
+
+        Duplicate ids inside ``keys`` are handled like the serialized GPU
+        warp would: only the first occurrence reports "new".
+        """
+        keys = np.asarray(keys, dtype=np.uint32)
+        fresh = np.empty(keys.shape, dtype=bool)
+        flat = keys.ravel()
+        out = fresh.ravel()
+        for i, key in enumerate(flat):
+            out[i] = self.insert(int(key))
+        return fresh
+
+    def occupancy(self) -> float:
+        """Fraction of slots in use."""
+        return float((self._slots != _EMPTY).sum()) / self.size
+
+    def reset(self) -> None:
+        """Wipe the table."""
+        self._slots.fill(_EMPTY)
+        self.resets += 1
+
+
+class ForgettableHashTable(StandardHashTable):
+    """Small periodically-reset table emulating the shared-memory variant.
+
+    Call :meth:`maybe_reset` once per search iteration with the current
+    top-M node ids; every ``reset_interval`` iterations the table forgets
+    everything except those ids (Sec. IV-B3: "after resetting the table, we
+    only register the nodes present in the internal top-M list").
+    """
+
+    def __init__(self, log2_size: int, reset_interval: int = 1):
+        super().__init__(log2_size)
+        if reset_interval < 1:
+            raise ValueError("reset_interval must be >= 1")
+        self.reset_interval = reset_interval
+        self._iterations_since_reset = 0
+
+    def maybe_reset(self, topm_ids: np.ndarray) -> bool:
+        """Periodic reset hook; returns True when a reset happened."""
+        self._iterations_since_reset += 1
+        if self._iterations_since_reset < self.reset_interval:
+            return False
+        self._iterations_since_reset = 0
+        self.reset()
+        for key in np.asarray(topm_ids, dtype=np.uint32).ravel():
+            self.insert(int(key))
+        return True

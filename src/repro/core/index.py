@@ -1,0 +1,301 @@
+"""Public index API: build a CAGRA graph once, search it many times.
+
+Typical use::
+
+    from repro import CagraIndex, GraphBuildConfig, SearchConfig
+
+    index = CagraIndex.build(dataset, GraphBuildConfig(graph_degree=32))
+    result = index.search(queries, k=10, config=SearchConfig(itopk=64))
+
+The index owns the dataset (possibly FP16-quantized), the optimized graph,
+and the build-time reports; :meth:`save` / :meth:`load` round-trip
+everything through a single ``.npz`` file.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import GraphBuildConfig, SearchConfig
+from repro.core.distances import METRICS, as_storage_dtype
+from repro.core.graph import MAX_DATASET_SIZE, FixedDegreeGraph
+from repro.core.nn_descent import KnnGraphResult, build_knn_graph
+from repro.core.optimize import OptimizeReport, optimize_graph
+from repro.core.search import CostReport, SearchResult, search_batch
+
+__all__ = ["BuildReport", "CagraIndex"]
+
+
+@dataclass
+class BuildReport:
+    """Timing and work breakdown of one index build.
+
+    Mirrors the Fig. 11 breakdown: initial k-NN graph build vs graph
+    optimization.
+    """
+
+    knn_seconds: float
+    optimize_seconds: float
+    knn_distance_computations: int
+    nn_descent_iterations: int
+    optimize: OptimizeReport
+
+    @property
+    def total_seconds(self) -> float:
+        return self.knn_seconds + self.optimize_seconds
+
+
+class CagraIndex:
+    """A CAGRA ANN index: dataset + fixed-degree optimized graph."""
+
+    def __init__(
+        self,
+        dataset: np.ndarray,
+        graph: FixedDegreeGraph,
+        metric: str = "sqeuclidean",
+        build_config: GraphBuildConfig | None = None,
+        build_report: BuildReport | None = None,
+    ):
+        dataset = np.asarray(dataset)
+        if dataset.ndim != 2:
+            raise ValueError("dataset must be a 2-D array")
+        if dataset.shape[0] != graph.num_nodes:
+            raise ValueError(
+                f"dataset has {dataset.shape[0]} rows but graph has "
+                f"{graph.num_nodes} nodes"
+            )
+        if metric not in METRICS:
+            raise ValueError(f"metric must be one of {METRICS}")
+        self.dataset = dataset
+        self.graph = graph
+        self.metric = metric
+        self.build_config = build_config
+        self.build_report = build_report
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        dataset: np.ndarray,
+        config: GraphBuildConfig | None = None,
+        dataset_dtype: str = "float32",
+    ) -> "CagraIndex":
+        """Build an index: NN-descent initial graph, then CAGRA optimization.
+
+        Args:
+            dataset: ``(N, dim)`` vectors, ``2 <= N <= 2**31 - 1`` (the MSB
+                parented flag halves the id space, as in the paper).
+            config: build parameters (degree, reordering flavour, metric...).
+            dataset_dtype: ``float32`` or ``float16`` storage (the paper's
+                half-precision mode).
+        """
+        config = config or GraphBuildConfig()
+        dataset = np.asarray(dataset)
+        if dataset.ndim != 2 or dataset.shape[0] < 2:
+            raise ValueError("dataset must be (N >= 2, dim)")
+        if dataset.shape[0] > MAX_DATASET_SIZE:
+            raise ValueError(
+                f"dataset too large: the 1-bit parented flag caps N at "
+                f"{MAX_DATASET_SIZE}"
+            )
+        stored = as_storage_dtype(dataset, dataset_dtype)
+
+        started = time.perf_counter()
+        knn = build_knn_graph(stored, config.resolved_intermediate_degree, config)
+        knn_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        graph, opt_report = optimize_graph(knn, config)
+        optimize_seconds = time.perf_counter() - started
+
+        report = BuildReport(
+            knn_seconds=knn_seconds,
+            optimize_seconds=optimize_seconds,
+            knn_distance_computations=knn.distance_computations,
+            nn_descent_iterations=knn.iterations,
+            optimize=opt_report,
+        )
+        return cls(
+            stored,
+            graph,
+            metric=config.metric,
+            build_config=config,
+            build_report=report,
+        )
+
+    @classmethod
+    def from_knn_result(
+        cls, dataset: np.ndarray, knn: KnnGraphResult, config: GraphBuildConfig
+    ) -> "CagraIndex":
+        """Optimize a pre-built initial k-NN graph (reuses NN-descent work
+        across ablation configurations)."""
+        started = time.perf_counter()
+        graph, opt_report = optimize_graph(knn, config)
+        optimize_seconds = time.perf_counter() - started
+        report = BuildReport(
+            knn_seconds=0.0,
+            optimize_seconds=optimize_seconds,
+            knn_distance_computations=knn.distance_computations,
+            nn_descent_iterations=knn.iterations,
+            optimize=opt_report,
+        )
+        return cls(
+            np.asarray(dataset),
+            graph,
+            metric=config.metric,
+            build_config=config,
+            build_report=report,
+        )
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        config: SearchConfig | None = None,
+        num_sms: int = 108,
+        filter_mask: np.ndarray | None = None,
+    ) -> SearchResult:
+        """k-ANN search for a batch of queries (see :func:`search_batch`).
+
+        ``filter_mask`` (length-N bool) restricts results to rows whose
+        entry is True (pre-filtered search).
+        """
+        return search_batch(
+            self.dataset,
+            self.graph,
+            queries,
+            k,
+            config=config,
+            metric=self.metric,
+            num_sms=num_sms,
+            filter_mask=filter_mask,
+        )
+
+    def search_fast(
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        config: SearchConfig | None = None,
+        filter_mask: np.ndarray | None = None,
+    ) -> SearchResult:
+        """Vectorized lockstep batch search (single-CTA semantics, exact
+        visited tracking) — typically ~10x faster in Python than
+        :meth:`search`; see :mod:`repro.core.batch_search`."""
+        from repro.core.batch_search import search_batch_fast
+
+        return search_batch_fast(
+            self.dataset,
+            self.graph,
+            queries,
+            k,
+            config=config,
+            metric=self.metric,
+            filter_mask=filter_mask,
+        )
+
+    # ------------------------------------------------------------------
+    # incremental insertion
+    # ------------------------------------------------------------------
+    def extend(
+        self, new_vectors: np.ndarray, itopk: int = 0, seed: int = 0
+    ) -> "CagraIndex":
+        """Insert new vectors without rebuilding (cuVS CAGRA ``extend``).
+
+        Each new vector searches the current index for its ``degree``
+        nearest neighbors, which become its out-edges; reverse edges are
+        planted by replacing the last (least important) slot of half of
+        its targets, so new vectors stay reachable.  Returns a *new*
+        index — the original is untouched.
+
+        Quality note: this is the standard search-based insertion; edges
+        among the new vectors themselves only appear via reverse links,
+        so after extending by a large fraction of the index a full
+        rebuild recovers graph quality (exactly the cuVS guidance).
+        """
+        new_vectors = np.atleast_2d(np.asarray(new_vectors))
+        if new_vectors.shape[1] != self.dim:
+            raise ValueError(
+                f"new vectors have dim {new_vectors.shape[1]}, index has {self.dim}"
+            )
+        degree = self.degree
+        if self.size + new_vectors.shape[0] > MAX_DATASET_SIZE:
+            raise ValueError("extend would exceed the 2**31 - 1 id space")
+        new_vectors = as_storage_dtype(new_vectors, str(self.dataset.dtype))
+        config = SearchConfig(
+            itopk=itopk or max(2 * degree, 32), algo="single_cta", seed=seed
+        )
+        result = self.search_fast(new_vectors, k=degree, config=config)
+
+        n = self.size
+        m = new_vectors.shape[0]
+        neighbors = np.vstack(
+            [self.graph.neighbors, result.indices.astype(np.uint32)]
+        )
+        # Reverse links: the new node replaces the last slot of its first
+        # degree/2 targets (unless already present).
+        for i in range(m):
+            new_id = np.uint32(n + i)
+            for target in result.indices[i][: degree // 2]:
+                row = neighbors[int(target)]
+                if new_id not in row:
+                    row[-1] = new_id
+        return CagraIndex(
+            np.vstack([self.dataset, new_vectors]),
+            FixedDegreeGraph(neighbors),
+            metric=self.metric,
+            build_config=self.build_config,
+        )
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Serialize dataset + graph + metric to a ``.npz`` file."""
+        np.savez_compressed(
+            path,
+            dataset=self.dataset,
+            neighbors=self.graph.neighbors,
+            metric=np.array(self.metric),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "CagraIndex":
+        """Load an index written by :meth:`save`."""
+        with np.load(path, allow_pickle=False) as archive:
+            dataset = archive["dataset"]
+            neighbors = archive["neighbors"]
+            metric = str(archive["metric"])
+        return cls(dataset, FixedDegreeGraph(neighbors), metric=metric)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return int(self.dataset.shape[0])
+
+    @property
+    def dim(self) -> int:
+        return int(self.dataset.shape[1])
+
+    @property
+    def degree(self) -> int:
+        return self.graph.degree
+
+    def memory_bytes(self) -> int:
+        """Device-memory footprint of dataset + graph."""
+        return int(self.dataset.nbytes + self.graph.neighbors.nbytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"CagraIndex(size={self.size}, dim={self.dim}, degree={self.degree}, "
+            f"metric={self.metric!r}, dtype={self.dataset.dtype})"
+        )

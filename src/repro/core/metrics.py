@@ -1,0 +1,155 @@
+"""Quality metrics: recall, strong connected components, 2-hop node counts.
+
+These are the three quantities the paper evaluates graphs with:
+
+* **recall@k** (Eq. 2): overlap between approximate and exact top-k sets.
+* **strong CC count** (Sec. III-A property 1): number of strongly connected
+  components of the directed graph; fewer is better (1 = every node can
+  reach every other node).
+* **average 2-hop node count** (Sec. III-A property 2): how many distinct
+  nodes are reachable within two traversals from a node, averaged over
+  nodes; bounded by ``d + d^2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.graph import FixedDegreeGraph
+
+__all__ = [
+    "recall",
+    "recall_per_query",
+    "strong_connected_components",
+    "weak_connected_components",
+    "average_two_hop_count",
+    "two_hop_counts",
+]
+
+
+def recall_per_query(found: np.ndarray, truth: np.ndarray) -> np.ndarray:
+    """Per-query recall (Eq. 2): ``|found ∩ truth| / |truth|``.
+
+    Args:
+        found: ``(n_queries, k)`` approximate neighbor ids.
+        truth: ``(n_queries, k_truth)`` exact neighbor ids with
+            ``k_truth >= k`` columns used as the reference set.
+    """
+    found = np.atleast_2d(found)
+    truth = np.atleast_2d(truth)
+    if found.shape[0] != truth.shape[0]:
+        raise ValueError("found and truth must have the same number of queries")
+    scores = np.empty(found.shape[0], dtype=np.float64)
+    for i in range(found.shape[0]):
+        scores[i] = len(np.intersect1d(found[i], truth[i])) / truth.shape[1]
+    return scores
+
+
+def recall(found: np.ndarray, truth: np.ndarray) -> float:
+    """Mean recall@k over all queries."""
+    return float(recall_per_query(found, truth).mean())
+
+
+def strong_connected_components(graph: FixedDegreeGraph) -> int:
+    """Number of strongly connected components (iterative Tarjan).
+
+    Implemented from scratch (no networkx dependency in the library); the
+    test suite cross-checks it against both networkx and
+    ``scipy.sparse.csgraph``.
+    """
+    n = graph.num_nodes
+    adjacency = graph.neighbors
+    index = np.full(n, -1, dtype=np.int64)  # discovery order
+    lowlink = np.zeros(n, dtype=np.int64)
+    on_stack = np.zeros(n, dtype=bool)
+    stack: list[int] = []
+    counter = 0
+    components = 0
+
+    for root in range(n):
+        if index[root] != -1:
+            continue
+        # Each frame is (node, next-neighbor-position).
+        work: list[list[int]] = [[root, 0]]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, pos = work[-1]
+            if pos < adjacency.shape[1]:
+                work[-1][1] += 1
+                child = int(adjacency[node, pos])
+                if index[child] == -1:
+                    index[child] = lowlink[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack[child] = True
+                    work.append([child, 0])
+                elif on_stack[child]:
+                    lowlink[node] = min(lowlink[node], index[child])
+            else:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    components += 1
+                    while True:
+                        top = stack.pop()
+                        on_stack[top] = False
+                        if top == node:
+                            break
+    return components
+
+
+def weak_connected_components(graph: FixedDegreeGraph) -> int:
+    """Number of weakly connected components (union-find over edges)."""
+    n = graph.num_nodes
+    parent = np.arange(n, dtype=np.int64)
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = int(parent[x])
+        return x
+
+    for src in range(n):
+        rs = find(src)
+        for dst in graph.neighbors[src]:
+            rd = find(int(dst))
+            if rs != rd:
+                parent[rd] = rs
+    return int(sum(1 for i in range(n) if find(i) == i))
+
+
+def two_hop_counts(graph: FixedDegreeGraph, sample: int = 0, seed: int = 0) -> np.ndarray:
+    """Per-node 2-hop node counts.
+
+    The 2-hop count of node ``v`` is the number of *distinct* nodes
+    reachable in one or two hops from ``v``, excluding ``v`` itself
+    (maximum ``d + d^2``).  ``sample > 0`` evaluates a random node subset,
+    which is what the Fig. 3 bench does on larger graphs.
+    """
+    adjacency = graph.neighbors
+    n = graph.num_nodes
+    if sample and sample < n:
+        rng = np.random.default_rng(seed)
+        nodes = rng.choice(n, size=sample, replace=False)
+    else:
+        nodes = np.arange(n)
+    counts = np.empty(len(nodes), dtype=np.int64)
+    for out, v in enumerate(nodes):
+        one_hop = adjacency[v]
+        reachable = np.unique(
+            np.concatenate([one_hop, adjacency[one_hop].ravel()])
+        )
+        counts[out] = len(reachable) - int(np.isin(v, reachable))
+    return counts
+
+
+def average_two_hop_count(
+    graph: FixedDegreeGraph, sample: int = 0, seed: int = 0
+) -> float:
+    """Average 2-hop node count (``N_2hop`` of Sec. III-A)."""
+    return float(two_hop_counts(graph, sample=sample, seed=seed).mean())

@@ -1,0 +1,161 @@
+"""Literal NN-descent (Dong et al., WWW'11) — the test oracle.
+
+:mod:`repro.core.nn_descent` restructures the algorithm for NumPy
+vectorization (2-hop candidate pools merged per node).  This module keeps
+the *textbook* algorithm — per-node local joins updating both endpoints of
+every compared pair — exactly as Algorithm 2 of the paper describes:
+
+1. each node samples ``rho*K`` of its new neighbors and ``rho*K`` old;
+2. reverse lists are built and sampled the same way;
+3. the local join compares every (new x new) and (new x old) pair and
+   tries the distance on *both* sides' k-NN lists;
+4. stop when fewer than ``delta*N*K`` updates happen in a round.
+
+It is O(N·(ρK)²) *Python-loop* work per round — only usable at test
+scale, which is the point: the test suite checks that the fast builder
+reaches the same graph quality as this reference on small inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distances import distance_function
+from repro.core.graph import FixedDegreeGraph
+from repro.core.nn_descent import KnnGraphResult
+
+__all__ = ["build_knn_graph_reference"]
+
+
+class _NeighborList:
+    """One node's bounded k-NN list: (distance, id, is_new) triples."""
+
+    __slots__ = ("k", "entries", "members")
+
+    def __init__(self, k: int):
+        self.k = k
+        self.entries: list[list] = []  # [distance, id, is_new], sorted
+        self.members: set[int] = set()
+
+    def insert(self, distance: float, node: int) -> bool:
+        """Try to insert; returns True when the list changed."""
+        if node in self.members:
+            return False
+        if len(self.entries) >= self.k and distance >= self.entries[-1][0]:
+            return False
+        if len(self.entries) >= self.k:
+            evicted = self.entries.pop()
+            self.members.discard(evicted[1])
+        # Insertion sort (lists are tiny).
+        position = 0
+        while position < len(self.entries) and self.entries[position][0] <= distance:
+            position += 1
+        self.entries.insert(position, [distance, node, True])
+        self.members.add(node)
+        return True
+
+    def sample_split(
+        self, rho_k: int, rng: np.random.Generator
+    ) -> tuple[list[int], list[int]]:
+        """Sample up to ``rho_k`` new ids (marking them old) and all old."""
+        new_positions = [i for i, e in enumerate(self.entries) if e[2]]
+        old_ids = [e[1] for e in self.entries if not e[2]]
+        if len(new_positions) > rho_k:
+            new_positions = list(
+                rng.choice(new_positions, size=rho_k, replace=False)
+            )
+        sampled_new = []
+        for position in new_positions:
+            self.entries[position][2] = False
+            sampled_new.append(self.entries[position][1])
+        return sampled_new, old_ids
+
+
+def build_knn_graph_reference(
+    data: np.ndarray,
+    k: int,
+    rho: float = 0.5,
+    delta: float = 0.001,
+    max_iterations: int = 30,
+    metric: str = "sqeuclidean",
+    seed: int = 0,
+) -> KnnGraphResult:
+    """Textbook NN-descent; see module docstring.  Test-scale only."""
+    n = int(data.shape[0])
+    if n < 2:
+        raise ValueError("need at least 2 vectors")
+    k = min(k, n - 1)
+    rng = np.random.default_rng(seed)
+    dist = distance_function(metric)
+    rho_k = max(1, int(round(rho * k)))
+
+    lists = [_NeighborList(k) for _ in range(n)]
+    for v in range(n):
+        for u in rng.choice([x for x in range(n) if x != v], size=k, replace=False):
+            lists[v].insert(dist(data[v], data[int(u)]), int(u))
+    distance_computations = n * k
+
+    iterations = 0
+    for _ in range(max_iterations):
+        iterations += 1
+        # Sample forward new/old per node.
+        new_fwd: list[list[int]] = []
+        old_fwd: list[list[int]] = []
+        for v in range(n):
+            sampled_new, sampled_old = lists[v].sample_split(rho_k, rng)
+            new_fwd.append(sampled_new)
+            old_fwd.append(sampled_old)
+
+        # Reverse lists of the sampled sets, themselves sampled to rho*K.
+        new_rev: list[list[int]] = [[] for _ in range(n)]
+        old_rev: list[list[int]] = [[] for _ in range(n)]
+        for v in range(n):
+            for u in new_fwd[v]:
+                new_rev[u].append(v)
+            for u in old_fwd[v]:
+                old_rev[u].append(v)
+        for u in range(n):
+            if len(new_rev[u]) > rho_k:
+                new_rev[u] = list(rng.choice(new_rev[u], size=rho_k, replace=False))
+            if len(old_rev[u]) > rho_k:
+                old_rev[u] = list(rng.choice(old_rev[u], size=rho_k, replace=False))
+
+        updates = 0
+        for v in range(n):
+            new_set = list(dict.fromkeys(new_fwd[v] + new_rev[v]))
+            old_set = list(dict.fromkeys(old_fwd[v] + old_rev[v]))
+            # new x new (each unordered pair once) and new x old.
+            for i, u1 in enumerate(new_set):
+                for u2 in new_set[i + 1:]:
+                    if u1 == u2:
+                        continue
+                    d = dist(data[u1], data[u2])
+                    distance_computations += 1
+                    updates += lists[u1].insert(d, u2)
+                    updates += lists[u2].insert(d, u1)
+                for u2 in old_set:
+                    if u1 == u2:
+                        continue
+                    d = dist(data[u1], data[u2])
+                    distance_computations += 1
+                    updates += lists[u1].insert(d, u2)
+                    updates += lists[u2].insert(d, u1)
+        if updates <= delta * n * k:
+            break
+
+    ids = np.empty((n, k), dtype=np.uint32)
+    dists = np.empty((n, k), dtype=np.float32)
+    for v in range(n):
+        entries = lists[v].entries
+        # Pathological underfill (tiny n): pad with the nearest entry.
+        while len(entries) < k:
+            entries.append(entries[-1][:])
+        for j, (d, u, _) in enumerate(entries[:k]):
+            ids[v, j] = u
+            dists[v, j] = d
+    return KnnGraphResult(
+        graph=FixedDegreeGraph(ids),
+        distances=dists,
+        iterations=iterations,
+        distance_computations=distance_computations,
+    )

@@ -1,0 +1,280 @@
+"""CAGRA graph optimization: edge reordering, pruning, reverse-edge merge.
+
+This implements Sec. III-B2 of the paper.  The input is the initial k-NN
+graph (degree ``d_init``, rows sorted ascending by distance, so a column
+index *is* the edge's initial rank); the output is the final fixed-degree
+CAGRA graph (degree ``d``).
+
+Reordering (Fig. 2): for every edge ``X→Y`` we count *detourable routes* —
+two-hop paths ``X→Z→Y`` that could replace the direct edge.  Following
+NGT's criterion (Eq. 3) a route detours ``X→Y`` when
+``max(w(X→Z), w(Z→Y)) < w(X→Y)``.  CAGRA's contribution is the
+**rank-based** variant: the *initial rank* (position in the
+distance-sorted adjacency list) replaces the distance ``w``, so the whole
+optimization runs without a single distance computation or an
+``N × d_init`` distance table.  The **distance-based** variant is kept as
+the ablation baseline of Figs. 4–5.
+
+Edges are then reordered ascending by detourable-route count (an edge few
+routes can bypass is important for 2-hop reachability), pruned to the top
+``d``, and finally merged with up to ``d/2`` *reverse* edges per node,
+interleaved, reverse lists being ordered by the rank their forward twin
+holds ("someone who considers you important is also important to you").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import GraphBuildConfig
+from repro.core.graph import FixedDegreeGraph
+from repro.core.nn_descent import KnnGraphResult
+
+__all__ = [
+    "OptimizeReport",
+    "count_detourable_routes",
+    "reorder_edges",
+    "prune_to_degree",
+    "merge_reverse_edges",
+    "optimize_graph",
+]
+
+_BLOCK = 256  # nodes processed per vectorized batch in the detour counter
+
+
+@dataclass
+class OptimizeReport:
+    """Work and memory accounting for one optimization run.
+
+    These counters feed the construction-time cost model and the Fig. 4
+    bench (rank- vs distance-based optimization time / memory).
+    """
+
+    reordering: str = "rank"
+    detour_checks: int = 0
+    distance_computations: int = 0
+    distance_table_bytes: int = 0
+    reorder_seconds: float = 0.0
+    reverse_merge_seconds: float = 0.0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.reorder_seconds + self.reverse_merge_seconds
+
+
+def count_detourable_routes(
+    neighbors: np.ndarray,
+    distances: np.ndarray | None = None,
+    block: int = _BLOCK,
+) -> np.ndarray:
+    """Detourable-route counts per edge.
+
+    Args:
+        neighbors: ``(N, d_init)`` adjacency, rows sorted ascending by
+            distance (column index = initial rank).
+        distances: optional ``(N, d_init)`` distance table.  When given the
+            NGT criterion uses real distances (distance-based reordering);
+            when ``None`` the initial rank substitutes for the distance
+            (rank-based reordering, the CAGRA default).
+        block: rows per vectorized batch.
+
+    Returns:
+        ``(N, d_init)`` int64 counts aligned with ``neighbors``.
+    """
+    n, d_init = neighbors.shape
+    counts = np.zeros((n, d_init), dtype=np.int64)
+    col = np.arange(d_init)
+    # a = rank of X→Z (first hop), j = rank of Z→Y in Z's list (second hop).
+    a_grid = col[None, :, None]
+    j_grid = col[None, None, :]
+
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        rows = np.arange(start, stop, dtype=np.int64)
+        b = len(rows)
+        nx = neighbors[start:stop].astype(np.int64)  # (b, d_init) = Z ids
+        two_hop = neighbors[nx].astype(np.int64)  # (b, d_init, d_init) = Y ids
+
+        # Locate each two-hop target Y inside X's own adjacency row.  Rows
+        # are made globally unique with a per-row offset so one flat
+        # searchsorted covers the whole block.
+        order = np.argsort(nx, axis=1, kind="stable")
+        sorted_nx = np.take_along_axis(nx, order, axis=1)
+        offsets = (rows - start) * np.int64(n)
+        flat_sorted = (sorted_nx + offsets[:, None]).ravel()
+        keys = (two_hop + offsets[:, None, None]).reshape(b, -1) + 0  # (b, d²)
+        pos = np.searchsorted(flat_sorted, keys.ravel())
+        pos_clipped = np.minimum(pos, flat_sorted.size - 1)
+        found = flat_sorted[pos_clipped] == keys.ravel()
+        # Map the match position back to the rank of Y in X's (unsorted,
+        # i.e. distance-ordered) adjacency row.
+        local_sorted_pos = pos_clipped - (pos_clipped // d_init) * d_init
+        row_of_pos = pos_clipped // d_init
+        rank_y = order[row_of_pos, local_sorted_pos]  # (b*d²,)
+        rank_y = rank_y.reshape(b, d_init, d_init)
+        found = found.reshape(b, d_init, d_init)
+
+        if distances is None:
+            # Rank-based: detourable iff max(a, j) < rank(X→Y).
+            detour = found & (np.maximum(a_grid, j_grid) < rank_y)
+        else:
+            w_xz = distances[start:stop][:, :, None]  # (b, d_init, 1)
+            w_zy = distances[nx]  # (b, d_init, d_init)
+            w_xy = np.take_along_axis(
+                distances[start:stop], rank_y.reshape(b, -1), axis=1
+            ).reshape(b, d_init, d_init)
+            detour = found & (np.maximum(w_xz, w_zy) < w_xy)
+
+        block_counts = np.zeros((b, d_init), dtype=np.int64)
+        np.add.at(
+            block_counts,
+            (np.repeat(np.arange(b), d_init * d_init)[detour.ravel()],
+             rank_y.ravel()[detour.ravel()]),
+            1,
+        )
+        counts[start:stop] = block_counts
+    return counts
+
+
+def reorder_edges(
+    neighbors: np.ndarray,
+    counts: np.ndarray,
+) -> np.ndarray:
+    """Reorder every adjacency row ascending by detourable-route count.
+
+    Stable sort: ties keep their initial (distance) rank, matching Fig. 2
+    where the count order falls back on the original ordering.
+    """
+    order = np.argsort(counts, axis=1, kind="stable")
+    return np.take_along_axis(neighbors, order, axis=1)
+
+
+def prune_to_degree(neighbors: np.ndarray, degree: int) -> np.ndarray:
+    """Keep the first ``degree`` (most important) edges of every row."""
+    if degree > neighbors.shape[1]:
+        raise ValueError(
+            f"cannot prune to degree {degree}: rows only have {neighbors.shape[1]} edges"
+        )
+    return np.ascontiguousarray(neighbors[:, :degree])
+
+
+def merge_reverse_edges(
+    pruned: FixedDegreeGraph, rng: np.random.Generator | None = None
+) -> FixedDegreeGraph:
+    """Interleave forward and reverse edges into the final CAGRA graph.
+
+    Per node: up to ``d/2`` reverse edges (ordered by the rank of their
+    forward twin) are interleaved with forward edges; missing reverse slots
+    are compensated from the forward list (Sec. III-B2).  Duplicates are
+    skipped; in pathological tiny graphs remaining slots are filled with
+    random distinct nodes so the out-degree stays fixed.
+    """
+    rng = rng or np.random.default_rng(0)
+    d = pruned.degree
+    n = pruned.num_nodes
+    half = d // 2
+    reverse_lists = pruned.reversed_edge_lists()
+    merged = np.empty((n, d), dtype=np.uint32)
+
+    for node in range(n):
+        fwd = pruned.neighbors[node]
+        rev = reverse_lists[node][:d]
+        chosen: list[int] = []
+        seen = {node}
+        fwd_pos = rev_pos = 0
+        rev_taken = 0
+        # Interleave: forward slot, then reverse slot, compensating from
+        # the forward list when reverse edges run out.
+        while len(chosen) < d:
+            use_reverse = (len(chosen) % 2 == 1) and rev_taken < half
+            advanced = False
+            if use_reverse:
+                while rev_pos < len(rev):
+                    cand = int(rev[rev_pos])
+                    rev_pos += 1
+                    if cand not in seen:
+                        chosen.append(cand)
+                        seen.add(cand)
+                        rev_taken += 1
+                        advanced = True
+                        break
+            if not advanced:
+                while fwd_pos < len(fwd):
+                    cand = int(fwd[fwd_pos])
+                    fwd_pos += 1
+                    if cand not in seen:
+                        chosen.append(cand)
+                        seen.add(cand)
+                        advanced = True
+                        break
+            if not advanced and not use_reverse:
+                # Forward exhausted: drain remaining reverse edges.
+                while rev_pos < len(rev):
+                    cand = int(rev[rev_pos])
+                    rev_pos += 1
+                    if cand not in seen:
+                        chosen.append(cand)
+                        seen.add(cand)
+                        advanced = True
+                        break
+                if not advanced:
+                    break
+        while len(chosen) < d:
+            cand = int(rng.integers(0, n))
+            if cand not in seen:
+                chosen.append(cand)
+                seen.add(cand)
+        merged[node] = np.asarray(chosen, dtype=np.uint32)
+    return FixedDegreeGraph(merged)
+
+
+def optimize_graph(
+    initial: KnnGraphResult,
+    config: GraphBuildConfig,
+) -> tuple[FixedDegreeGraph, OptimizeReport]:
+    """Run the full CAGRA optimization pipeline on an initial k-NN graph.
+
+    Honors ``config.reordering`` (``rank`` / ``distance`` / ``none``) and
+    ``config.add_reverse_edges`` so the Fig. 3 partial-optimization
+    ablations reuse this single entry point.
+    """
+    d = config.graph_degree
+    neighbors = initial.graph.neighbors
+    n, d_init = neighbors.shape
+    if d > d_init:
+        raise ValueError(
+            f"graph_degree {d} exceeds initial degree {d_init}; "
+            "raise intermediate_degree"
+        )
+    report = OptimizeReport(reordering=config.reordering)
+
+    started = time.perf_counter()
+    if config.reordering == "none":
+        reordered = neighbors
+    else:
+        distances = None
+        if config.reordering == "distance":
+            distances = initial.distances
+            report.distance_table_bytes = distances.nbytes
+            report.distance_computations = 0  # table reused from NN-descent
+            report.notes.append(
+                "distance-based reordering holds an N x d_init distance table "
+                f"({distances.nbytes / 1e6:.1f} MB)"
+            )
+        counts = count_detourable_routes(neighbors, distances=distances)
+        report.detour_checks = n * d_init * d_init
+        reordered = reorder_edges(neighbors, counts)
+    pruned = FixedDegreeGraph(prune_to_degree(reordered, d))
+    report.reorder_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    if config.add_reverse_edges:
+        final = merge_reverse_edges(pruned, rng=np.random.default_rng(config.seed))
+    else:
+        final = pruned
+    report.reverse_merge_seconds = time.perf_counter() - started
+    return final, report

@@ -1,0 +1,466 @@
+"""The CAGRA search algorithm (Sec. IV).
+
+The search walks the fixed-degree graph with a sequential buffer made of an
+**internal top-M list** and a ``p×d`` **candidate list** (Fig. 6):
+
+* ⓪ initialization — ``p×d`` uniformly random nodes seed the candidate
+  list (no hierarchy: random sampling replaces HNSW's upper layers);
+* ① top-M update — merge the candidate list into the top-M list;
+* ② traversal — pick the best ``p`` nodes of the top-M list that have not
+  been parents yet (the MSB of the stored index is the 1-bit parented
+  flag, Sec. IV-B4), and gather their ``d`` neighbors each;
+* ③ distance calculation — compute distances only for nodes seen for the
+  first time, tracked by an open-addressing hash table.
+
+Iterate ①–③ until every top-M entry has been a parent, then return the
+top-k prefix.
+
+Two hardware mappings exist (Table II).  **single-CTA** processes one
+query per CTA with the forgettable shared-memory hash — the large-batch
+path.  **multi-CTA** spreads one query over several CTAs, each running a
+narrow (``p=1``, 32-entry top-M) instance of the same loop while *sharing*
+one device-memory hash table, so different CTAs explore disjoint regions —
+the small-batch / high-recall path.
+
+Python cannot run CUDA, so this module executes the *algorithm* exactly
+(ids, distances and recall are real) and meters every operation class into
+a :class:`CostReport`; :mod:`repro.gpusim` turns those counters into
+simulated kernel time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import HashTableConfig, SearchConfig, choose_algo
+from repro.core.distances import distances_to_query
+from repro.core.graph import INDEX_MASK, PARENT_FLAG, FixedDegreeGraph
+from repro.core.hashtable import (
+    ForgettableHashTable,
+    StandardHashTable,
+    standard_table_log2_size,
+)
+from repro.core.topm import bitonic_comparator_count, merge_topm, sort_strategy
+
+__all__ = ["CostReport", "SearchResult", "search_batch", "search_single_query"]
+
+
+@dataclass
+class CostReport:
+    """Operation counters for one search call (batch-wide totals).
+
+    The GPU cost model prices these; the algorithmic outputs never depend
+    on them.
+    """
+
+    algo: str = "single_cta"
+    batch_size: int = 0
+    cta_count: int = 0
+    iterations: int = 0
+    distance_computations: int = 0
+    skipped_distance_computations: int = 0
+    recomputed_distances: int = 0
+    candidate_gathers: int = 0
+    sort_comparator_ops: int = 0
+    radix_sorted_elements: int = 0
+    serial_queue_ops: int = 0
+    hash_lookups: int = 0
+    hash_probes: int = 0
+    hash_insertions: int = 0
+    hash_resets: int = 0
+    hash_in_shared: bool = True
+    hash_log2_size: int = 0
+    random_inits: int = 0
+    kernel_launches: int = 1
+    extras: dict = field(default_factory=dict)
+
+    def merge_from(self, other: "CostReport") -> None:
+        """Accumulate another report's counters (per-query → batch)."""
+        self.cta_count += other.cta_count
+        self.iterations += other.iterations
+        self.distance_computations += other.distance_computations
+        self.skipped_distance_computations += other.skipped_distance_computations
+        self.recomputed_distances += other.recomputed_distances
+        self.candidate_gathers += other.candidate_gathers
+        self.sort_comparator_ops += other.sort_comparator_ops
+        self.radix_sorted_elements += other.radix_sorted_elements
+        self.serial_queue_ops += other.serial_queue_ops
+        self.hash_lookups += other.hash_lookups
+        self.hash_probes += other.hash_probes
+        self.hash_insertions += other.hash_insertions
+        self.hash_resets += other.hash_resets
+        self.random_inits += other.random_inits
+
+
+@dataclass
+class SearchResult:
+    """Batched ANN search output.
+
+    Attributes:
+        indices: ``(batch, k)`` neighbor ids (``INDEX_MASK`` marks unfilled
+            slots, which only happens on pathologically small graphs).
+        distances: matching distances (``inf`` on unfilled slots).
+        report: operation counters for the whole batch.
+    """
+
+    indices: np.ndarray
+    distances: np.ndarray
+    report: CostReport
+
+
+def _make_hash_table(
+    hash_config: HashTableConfig, max_iterations: int, search_width: int, degree: int
+) -> StandardHashTable:
+    if hash_config.kind == "forgettable":
+        return ForgettableHashTable(
+            hash_config.log2_size, reset_interval=hash_config.reset_interval
+        )
+    log2 = max(
+        hash_config.log2_size,
+        standard_table_log2_size(max_iterations, search_width, degree),
+    )
+    return StandardHashTable(log2)
+
+
+def _default_hash_config(algo: str, config: SearchConfig) -> HashTableConfig:
+    """Table II defaults: forgettable/shared for single-CTA, standard/device
+    for multi-CTA."""
+    if config.hash_table is not None:
+        return config.hash_table
+    if algo == "single_cta":
+        return HashTableConfig(kind="forgettable", log2_size=11, reset_interval=2)
+    return HashTableConfig(kind="standard", log2_size=13)
+
+
+def _charge_sort(report: CostReport, candidate_length: int, topm: int) -> None:
+    """Meter step ①'s sort+merge for one iteration."""
+    strategy = sort_strategy(candidate_length)
+    if strategy == "warp_bitonic":
+        report.sort_comparator_ops += bitonic_comparator_count(candidate_length)
+    else:
+        report.radix_sorted_elements += candidate_length
+    # Bitonic merge of two sorted runs of total length M + len.
+    report.sort_comparator_ops += bitonic_comparator_count(topm + candidate_length) // max(
+        1, (topm + candidate_length).bit_length()
+    ) * 2
+
+
+def _greedy_core(
+    data: np.ndarray,
+    graph: FixedDegreeGraph,
+    query: np.ndarray,
+    itopk: int,
+    search_width: int,
+    max_iterations: int,
+    min_iterations: int,
+    table: StandardHashTable,
+    rng: np.random.Generator,
+    metric: str,
+    report: CostReport,
+    seed_ids: np.ndarray | None = None,
+    filter_mask: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One CTA's greedy loop; returns the final (ids, dists) top-M buffer.
+
+    ``seed_ids`` overrides the random initialization (used by tests and by
+    multi-CTA workers that partition the random seeds).
+
+    ``filter_mask`` implements filtered search the way the production
+    kernels do: a node whose mask entry is False gets its distance forced
+    to +inf right after computation, so it can never enter the top-M list
+    (and therefore never the results), while the graph remains fully
+    traversable through the unfiltered nodes.
+    """
+    n = graph.num_nodes
+    degree = graph.degree
+    width = search_width * degree
+    # All node ids whose distance was ever computed; distances computed
+    # again after a forgettable reset are L2-cached reloads, which the
+    # cost model prices below DRAM traffic.
+    ever_computed: set[int] = set()
+
+    # ⓪ random initialization.
+    if seed_ids is None:
+        seed_ids = rng.integers(0, n, size=width, dtype=np.uint32)
+    else:
+        seed_ids = np.asarray(seed_ids, dtype=np.uint32)
+    report.random_inits += len(seed_ids)
+    fresh = table.insert_unique(seed_ids)
+    cand_ids = seed_ids.copy()
+    cand_dists = np.full(len(seed_ids), np.inf)
+    if fresh.any():
+        cand_dists[fresh] = distances_to_query(
+            data, query, cand_ids[fresh], metric=metric
+        )
+        report.distance_computations += int(fresh.sum())
+        ever_computed.update(int(x) for x in cand_ids[fresh])
+    if filter_mask is not None:
+        cand_dists[~filter_mask[cand_ids.astype(np.int64)]] = np.inf
+    report.skipped_distance_computations += int((~fresh).sum())
+
+    topm_ids = np.full(itopk, INDEX_MASK, dtype=np.uint32)
+    topm_dists = np.full(itopk, np.inf)
+
+    iteration = 0
+    while iteration < max_iterations:
+        iteration += 1
+        # ① top-M update.
+        _charge_sort(report, len(cand_ids), itopk)
+        topm_ids, topm_dists = merge_topm(
+            topm_ids, topm_dists, cand_ids, cand_dists, itopk
+        )
+
+        # ② pick un-parented parents.
+        unparented = np.nonzero(
+            ((topm_ids & PARENT_FLAG) == 0) & (topm_ids != INDEX_MASK)
+        )[0]
+        if len(unparented) == 0:
+            if iteration >= min_iterations:
+                break
+            # Converged early but min_iterations demands more work: re-seed
+            # with fresh random nodes, as the kernel's slack iterations do.
+            extra = rng.integers(0, n, size=width, dtype=np.uint32)
+            fresh = table.insert_unique(extra)
+            cand_ids = extra
+            cand_dists = np.full(width, np.inf)
+            if fresh.any():
+                cand_dists[fresh] = distances_to_query(
+                    data, query, extra[fresh], metric=metric
+                )
+                report.distance_computations += int(fresh.sum())
+                fresh_ids = [int(x) for x in extra[fresh]]
+                report.recomputed_distances += sum(
+                    1 for x in fresh_ids if x in ever_computed
+                )
+                ever_computed.update(fresh_ids)
+            if filter_mask is not None:
+                cand_dists[~filter_mask[extra.astype(np.int64)]] = np.inf
+            report.skipped_distance_computations += int((~fresh).sum())
+            continue
+        parents_pos = unparented[:search_width]
+        parent_nodes = (topm_ids[parents_pos] & INDEX_MASK).astype(np.int64)
+        topm_ids[parents_pos] |= PARENT_FLAG
+
+        # ② gather neighbor indices into the candidate list.
+        cand_ids = graph.neighbors[parent_nodes].reshape(-1)
+        report.candidate_gathers += len(cand_ids)
+
+        # ③ compute distances for first-time nodes only.
+        fresh = table.insert_unique(cand_ids)
+        cand_dists = np.full(len(cand_ids), np.inf)
+        if fresh.any():
+            cand_dists[fresh] = distances_to_query(
+                data, query, cand_ids[fresh], metric=metric
+            )
+            report.distance_computations += int(fresh.sum())
+            fresh_ids = [int(x) for x in cand_ids[fresh]]
+            report.recomputed_distances += sum(
+                1 for x in fresh_ids if x in ever_computed
+            )
+            ever_computed.update(fresh_ids)
+        if filter_mask is not None:
+            cand_dists[~filter_mask[cand_ids.astype(np.int64)]] = np.inf
+        report.skipped_distance_computations += int((~fresh).sum())
+
+        if isinstance(table, ForgettableHashTable):
+            table.maybe_reset(topm_ids & INDEX_MASK)
+
+    report.iterations += iteration
+    return topm_ids, topm_dists
+
+
+def _collect_hash_counters(report: CostReport, table: StandardHashTable) -> None:
+    report.hash_lookups += table.lookups
+    report.hash_probes += table.probes
+    report.hash_insertions += table.insertions
+    report.hash_resets += table.resets
+
+
+def search_single_query(
+    data: np.ndarray,
+    graph: FixedDegreeGraph,
+    query: np.ndarray,
+    k: int,
+    config: SearchConfig,
+    algo: str,
+    rng: np.random.Generator,
+    metric: str = "sqeuclidean",
+    filter_mask: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, CostReport]:
+    """Search one query with an explicitly chosen implementation."""
+    if algo == "single_cta":
+        return _search_query_single_cta(
+            data, graph, query, k, config, rng, metric, filter_mask
+        )
+    return _search_query_multi_cta(
+        data, graph, query, k, config, rng, metric, filter_mask
+    )
+
+
+def _search_query_single_cta(
+    data: np.ndarray,
+    graph: FixedDegreeGraph,
+    query: np.ndarray,
+    k: int,
+    config: SearchConfig,
+    rng: np.random.Generator,
+    metric: str,
+    filter_mask: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, CostReport]:
+    itopk = max(config.itopk, k)
+    max_iter = config.resolved_max_iterations()
+    hash_config = _default_hash_config("single_cta", config)
+    table = _make_hash_table(hash_config, max_iter, config.search_width, graph.degree)
+
+    report = CostReport(
+        algo="single_cta",
+        cta_count=1,
+        hash_in_shared=hash_config.kind == "forgettable",
+        hash_log2_size=table.log2_size,
+    )
+    topm_ids, topm_dists = _greedy_core(
+        data,
+        graph,
+        query,
+        itopk,
+        config.search_width,
+        max_iter,
+        config.min_iterations,
+        table,
+        rng,
+        metric,
+        report,
+        filter_mask=filter_mask,
+    )
+    _collect_hash_counters(report, table)
+    ids = (topm_ids[:k] & INDEX_MASK).astype(np.uint32)
+    return ids, topm_dists[:k].copy(), report
+
+
+def _resolve_cta_per_query(config: SearchConfig) -> int:
+    """Number of worker CTAs per query in multi-CTA mode.
+
+    cuVS launches enough 32-wide workers to cover the requested internal
+    top-M; we use the same rule with a floor of 2 (a single worker would
+    just be a narrow single-CTA search).
+    """
+    if config.cta_per_query:
+        return config.cta_per_query
+    return max(2, (max(config.itopk, 32) + 31) // 32)
+
+
+def _search_query_multi_cta(
+    data: np.ndarray,
+    graph: FixedDegreeGraph,
+    query: np.ndarray,
+    k: int,
+    config: SearchConfig,
+    rng: np.random.Generator,
+    metric: str,
+    filter_mask: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, CostReport]:
+    num_cta = _resolve_cta_per_query(config)
+    worker_itopk = 32  # per-CTA internal list (Sec. IV-C2: p = 1, narrow list)
+    max_iter = config.resolved_max_iterations()
+    hash_config = config.hash_table or HashTableConfig(kind="standard", log2_size=13)
+    if hash_config.kind != "standard":
+        raise ValueError("multi-CTA requires the standard (device-memory) hash table")
+    table = _make_hash_table(hash_config, max_iter, num_cta, graph.degree)
+
+    report = CostReport(
+        algo="multi_cta",
+        cta_count=num_cta,
+        hash_in_shared=False,
+        hash_log2_size=table.log2_size,
+    )
+    all_ids: list[np.ndarray] = []
+    all_dists: list[np.ndarray] = []
+    for _ in range(num_cta):
+        topm_ids, topm_dists = _greedy_core(
+            data,
+            graph,
+            query,
+            worker_itopk,
+            1,
+            max_iter,
+            config.min_iterations,
+            table,
+            rng,
+            metric,
+            report,
+            filter_mask=filter_mask,
+        )
+        all_ids.append(topm_ids)
+        all_dists.append(topm_dists)
+    _collect_hash_counters(report, table)
+
+    merged_ids, merged_dists = merge_topm(
+        np.concatenate(all_ids),
+        np.concatenate(all_dists),
+        np.empty(0, dtype=np.uint32),
+        np.empty(0),
+        max(config.itopk, k),
+    )
+    ids = (merged_ids[:k] & INDEX_MASK).astype(np.uint32)
+    return ids, merged_dists[:k].copy(), report
+
+
+def search_batch(
+    data: np.ndarray,
+    graph: FixedDegreeGraph,
+    queries: np.ndarray,
+    k: int,
+    config: SearchConfig | None = None,
+    metric: str = "sqeuclidean",
+    num_sms: int = 108,
+    filter_mask: np.ndarray | None = None,
+) -> SearchResult:
+    """Search a batch of queries.
+
+    The implementation (single- vs multi-CTA) follows the Fig. 7 rule
+    unless ``config.algo`` pins one explicitly.  Counters are accumulated
+    batch-wide in the returned :class:`CostReport`.
+
+    ``filter_mask`` (length-N bool) enables filtered search: nodes whose
+    entry is False are excluded from results (their computed distances
+    are forced to +inf, like the production kernels do); use a larger
+    ``itopk`` when the mask is very selective.
+    """
+    config = config or SearchConfig()
+    queries = np.atleast_2d(queries)
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if k > max(config.itopk, 1):
+        raise ValueError(f"k={k} exceeds itopk={config.itopk}")
+    if filter_mask is not None:
+        filter_mask = np.asarray(filter_mask, dtype=bool)
+        if filter_mask.shape != (graph.num_nodes,):
+            raise ValueError("filter_mask must have one entry per dataset row")
+        if not filter_mask.any():
+            raise ValueError("filter_mask excludes every node")
+    batch = queries.shape[0]
+    algo = choose_algo(config, batch, num_sms=num_sms)
+
+    indices = np.empty((batch, k), dtype=np.uint32)
+    distances = np.empty((batch, k), dtype=np.float64)
+    total = CostReport(algo=algo, batch_size=batch, kernel_launches=1)
+    hash_in_shared = None
+    for i in range(batch):
+        # Per-query RNG stream: a query's result does not depend on its
+        # position in the batch (the CUDA kernels likewise derive their
+        # Philox streams from the query index).
+        rng = np.random.default_rng([config.seed, i])
+        ids, dists, report = search_single_query(
+            data, graph, queries[i], k, config, algo, rng, metric,
+            filter_mask=filter_mask,
+        )
+        indices[i] = ids
+        distances[i] = dists
+        total.merge_from(report)
+        hash_in_shared = report.hash_in_shared
+        total.hash_log2_size = report.hash_log2_size
+    if hash_in_shared is not None:
+        total.hash_in_shared = hash_in_shared
+    return SearchResult(indices=indices, distances=distances, report=total)

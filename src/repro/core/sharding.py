@@ -1,0 +1,183 @@
+"""Multi-GPU sharding (Sec. IV-C2 / V-E).
+
+For datasets beyond one device's memory the paper recommends "a simple
+multi-GPU sharding technique ... where each GPU is assigned to process
+one sub-graph independently".  :class:`ShardedCagraIndex` implements it:
+
+* the dataset is split round-robin into ``num_shards`` sub-datasets;
+* each shard builds an independent CAGRA index (exactly GGNN's
+  construction trick, which the paper cites for this);
+* a search runs on every shard (in parallel, one GPU each) and the
+  per-shard top-k lists are merged by distance.
+
+Because every shard search is a full CAGRA search over a subset, recall
+is at least that of a single index of the same total size searched with
+the same per-shard budget; wall time is the slowest shard plus a merge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import GraphBuildConfig, SearchConfig
+from repro.core.index import CagraIndex
+from repro.core.search import CostReport, SearchResult
+
+__all__ = ["ShardedCagraIndex", "ShardedSearchResult"]
+
+
+@dataclass
+class ShardedSearchResult:
+    """Merged result of a sharded search.
+
+    Attributes:
+        indices: ``(batch, k)`` *global* dataset ids.
+        distances: matching distances.
+        shard_reports: one :class:`CostReport` per shard — the cost model
+            prices each on its own GPU; wall time is their max.
+    """
+
+    indices: np.ndarray
+    distances: np.ndarray
+    shard_reports: list[CostReport]
+
+
+class ShardedCagraIndex:
+    """CAGRA index sharded across simulated GPUs."""
+
+    def __init__(self, shards: list[CagraIndex], assignments: list[np.ndarray]):
+        if not shards:
+            raise ValueError("need at least one shard")
+        if len(shards) != len(assignments):
+            raise ValueError("one assignment array per shard required")
+        self.shards = shards
+        #: assignments[s][i] = global id of shard s's local row i.
+        self.assignments = [np.asarray(a, dtype=np.int64) for a in assignments]
+        for shard, ids in zip(self.shards, self.assignments):
+            if shard.size != len(ids):
+                raise ValueError("assignment length must match shard size")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        dataset: np.ndarray,
+        num_shards: int,
+        config: GraphBuildConfig | None = None,
+        dataset_dtype: str = "float32",
+    ) -> "ShardedCagraIndex":
+        """Split ``dataset`` round-robin and build one index per shard."""
+        dataset = np.asarray(dataset)
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        n = dataset.shape[0]
+        if n < 2 * num_shards:
+            raise ValueError("each shard needs at least 2 vectors")
+        config = config or GraphBuildConfig()
+        shards = []
+        assignments = []
+        for s in range(num_shards):
+            ids = np.arange(s, n, num_shards, dtype=np.int64)
+            # Shard degree cannot exceed the shard population.
+            degree = min(config.graph_degree, max(2, (len(ids) - 1) // 2 * 2))
+            shard_config = GraphBuildConfig(
+                graph_degree=degree,
+                intermediate_degree=0,
+                reordering=config.reordering,
+                add_reverse_edges=config.add_reverse_edges,
+                nn_descent_iterations=config.nn_descent_iterations,
+                nn_descent_sample_rate=config.nn_descent_sample_rate,
+                nn_descent_termination_delta=config.nn_descent_termination_delta,
+                metric=config.metric,
+                seed=config.seed + s,
+            )
+            shards.append(
+                CagraIndex.build(dataset[ids], shard_config, dataset_dtype=dataset_dtype)
+            )
+            assignments.append(ids)
+        return cls(shards, assignments)
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        config: SearchConfig | None = None,
+        num_sms: int = 108,
+    ) -> ShardedSearchResult:
+        """Search every shard and merge per-query top-k by distance."""
+        queries = np.atleast_2d(queries)
+        batch = queries.shape[0]
+        per_shard: list[SearchResult] = [
+            shard.search(queries, k, config=config, num_sms=num_sms)
+            for shard in self.shards
+        ]
+
+        all_ids = np.concatenate(
+            [self.assignments[s][result.indices.astype(np.int64)]
+             for s, result in enumerate(per_shard)],
+            axis=1,
+        )
+        all_dists = np.concatenate([r.distances for r in per_shard], axis=1)
+        order = np.argsort(all_dists, axis=1, kind="stable")[:, :k]
+        return ShardedSearchResult(
+            indices=np.take_along_axis(all_ids, order, axis=1).astype(np.uint32),
+            distances=np.take_along_axis(all_dists, order, axis=1),
+            shard_reports=[r.report for r in per_shard],
+        )
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Serialize all shards + assignments to one ``.npz`` file."""
+        payload: dict[str, np.ndarray] = {
+            "num_shards": np.array(self.num_shards),
+            "metric": np.array(self.shards[0].metric),
+        }
+        for s, (shard, ids) in enumerate(zip(self.shards, self.assignments)):
+            payload[f"dataset_{s}"] = shard.dataset
+            payload[f"neighbors_{s}"] = shard.graph.neighbors
+            payload[f"assignment_{s}"] = ids
+        np.savez_compressed(path, **payload)
+
+    @classmethod
+    def load(cls, path: str) -> "ShardedCagraIndex":
+        """Load an index written by :meth:`save`."""
+        from repro.core.graph import FixedDegreeGraph
+
+        with np.load(path, allow_pickle=False) as archive:
+            num_shards = int(archive["num_shards"])
+            metric = str(archive["metric"])
+            shards = []
+            assignments = []
+            for s in range(num_shards):
+                shards.append(
+                    CagraIndex(
+                        archive[f"dataset_{s}"],
+                        FixedDegreeGraph(archive[f"neighbors_{s}"]),
+                        metric=metric,
+                    )
+                )
+                assignments.append(archive[f"assignment_{s}"])
+        return cls(shards, assignments)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def size(self) -> int:
+        return sum(shard.size for shard in self.shards)
+
+    def max_shard_memory_bytes(self) -> int:
+        """Per-GPU memory requirement (the quantity sharding bounds)."""
+        return max(shard.memory_bytes() for shard in self.shards)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedCagraIndex(num_shards={self.num_shards}, size={self.size})"
+        )

@@ -1,0 +1,115 @@
+"""Index integrity validation.
+
+``validate_index`` audits a :class:`~repro.core.index.CagraIndex` the way
+an operator would before shipping it to serving: structural invariants
+(shape agreement, id ranges, fixed degree, duplicates, self-loops) plus
+the reachability statistics the paper optimizes (strong CC count, 2-hop
+node counts).  Returns a :class:`ValidationReport`; nothing raises, so it
+can run on intentionally degraded indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.index import CagraIndex
+from repro.core.metrics import average_two_hop_count, strong_connected_components
+
+__all__ = ["ValidationReport", "validate_index"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_index`.
+
+    ``ok`` aggregates the structural checks; reachability statistics are
+    informational (a valid index can still have poor reachability).
+    """
+
+    ok: bool
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    num_nodes: int = 0
+    degree: int = 0
+    self_loops: int = 0
+    duplicate_edges: int = 0
+    min_in_degree: int = 0
+    strong_components: int = 0
+    avg_two_hop: float = 0.0
+    two_hop_fraction_of_max: float = 0.0
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary."""
+        status = "OK" if self.ok else "INVALID"
+        lines = [
+            f"index {status}: {self.num_nodes} nodes, degree {self.degree}",
+            f"  self-loops: {self.self_loops}, duplicate edges: "
+            f"{self.duplicate_edges}, min in-degree: {self.min_in_degree}",
+            f"  strong CC: {self.strong_components}, avg 2-hop: "
+            f"{self.avg_two_hop:.1f} ({self.two_hop_fraction_of_max:.0%} of max)",
+        ]
+        lines.extend(f"  ERROR: {e}" for e in self.errors)
+        lines.extend(f"  warning: {w}" for w in self.warnings)
+        return "\n".join(lines)
+
+
+def validate_index(
+    index: CagraIndex, sample: int = 1000, seed: int = 0
+) -> ValidationReport:
+    """Audit an index's structural invariants and reachability stats.
+
+    Args:
+        index: the index to audit.
+        sample: node sample size for the 2-hop statistic (0 = all nodes).
+        seed: sampling seed.
+    """
+    report = ValidationReport(ok=True)
+    neighbors = index.graph.neighbors
+    n, d = neighbors.shape
+    report.num_nodes = n
+    report.degree = d
+
+    if index.dataset.shape[0] != n:
+        report.errors.append(
+            f"dataset rows ({index.dataset.shape[0]}) != graph nodes ({n})"
+        )
+    if not np.isfinite(index.dataset.astype(np.float64)).all():
+        report.errors.append("dataset contains non-finite values")
+    if neighbors.size and neighbors.max() >= n:
+        report.errors.append("neighbor id out of range")
+
+    node_ids = np.arange(n, dtype=np.uint32)[:, None]
+    report.self_loops = int((neighbors == node_ids).sum())
+    if report.self_loops:
+        report.warnings.append(f"{report.self_loops} self-loop edges")
+
+    sorted_rows = np.sort(neighbors, axis=1)
+    report.duplicate_edges = int(
+        (sorted_rows[:, 1:] == sorted_rows[:, :-1]).sum()
+    )
+    if report.duplicate_edges:
+        report.warnings.append(
+            f"{report.duplicate_edges} duplicate edges across rows"
+        )
+
+    in_degrees = index.graph.in_degrees()
+    report.min_in_degree = int(in_degrees.min()) if n else 0
+    if report.min_in_degree == 0:
+        unreachable = int((in_degrees == 0).sum())
+        report.warnings.append(
+            f"{unreachable} nodes have no incoming edges (unreachable "
+            "except by random initialization)"
+        )
+
+    report.strong_components = strong_connected_components(index.graph)
+    if report.strong_components > max(1, n // 100):
+        report.warnings.append(
+            f"{report.strong_components} strong components — poor reachability"
+        )
+    report.avg_two_hop = average_two_hop_count(index.graph, sample=sample, seed=seed)
+    report.two_hop_fraction_of_max = report.avg_two_hop / (d + d * d)
+
+    report.ok = not report.errors
+    return report

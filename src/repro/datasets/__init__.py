@@ -1,0 +1,34 @@
+"""Datasets: synthetic analogues of the paper's Table I plus texmex IO.
+
+The paper evaluates on SIFT-1M, GIST-1M, GloVe-200, NYTimes, and
+DEEP-1M/10M/100M — none of which can be downloaded in an offline
+reproduction — so :mod:`repro.datasets.synthetic` generates scaled-down
+synthetic datasets that match each original's *dimension*, *metric*, and
+*hardness* (cluster structure / local intrinsic dimensionality), and
+:mod:`repro.datasets.registry` registers them under the paper's names with
+the per-dataset graph degrees of Table I.  Users with the real files can
+load them through :mod:`repro.datasets.io` (fvecs/ivecs/bvecs).
+"""
+
+from repro.datasets.registry import DATASETS, DatasetBundle, DatasetSpec, load_dataset
+from repro.datasets.synthetic import (
+    clustered_gaussian,
+    hard_heavy_tailed,
+    make_queries,
+)
+from repro.datasets.io import read_fvecs, read_ivecs, read_bvecs, write_fvecs, write_ivecs
+
+__all__ = [
+    "DATASETS",
+    "DatasetBundle",
+    "DatasetSpec",
+    "load_dataset",
+    "clustered_gaussian",
+    "hard_heavy_tailed",
+    "make_queries",
+    "read_fvecs",
+    "read_ivecs",
+    "read_bvecs",
+    "write_fvecs",
+    "write_ivecs",
+]

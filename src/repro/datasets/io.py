@@ -1,0 +1,77 @@
+"""texmex vector-file IO: fvecs / ivecs / bvecs.
+
+The paper's datasets ship in the `corpus-texmex.irisa.fr` formats: each
+vector is a little-endian ``int32`` dimension header followed by ``dim``
+elements (``float32`` for fvecs, ``int32`` for ivecs, ``uint8`` for
+bvecs).  These readers let users run the benches on the real SIFT/GIST/
+DEEP files when they have them.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["read_fvecs", "read_ivecs", "read_bvecs", "write_fvecs", "write_ivecs"]
+
+
+def _read_vecs(path: str, element_dtype: np.dtype, element_size: int, limit: int) -> np.ndarray:
+    with open(path, "rb") as handle:
+        header = np.fromfile(handle, dtype="<i4", count=1)
+        if len(header) == 0:
+            raise ValueError(f"{path}: empty file")
+        dim = int(header[0])
+        if dim <= 0:
+            raise ValueError(f"{path}: invalid dimension header {dim}")
+    record_bytes = 4 + dim * element_size
+    file_bytes = os.path.getsize(path)
+    if file_bytes % record_bytes != 0:
+        raise ValueError(
+            f"{path}: size {file_bytes} is not a multiple of the record size "
+            f"{record_bytes} (dim={dim})"
+        )
+    count = file_bytes // record_bytes
+    if limit:
+        count = min(count, limit)
+    raw = np.fromfile(path, dtype=np.uint8, count=count * record_bytes)
+    raw = raw.reshape(count, record_bytes)
+    body = raw[:, 4:].copy()
+    return body.view(element_dtype).reshape(count, dim)
+
+
+def read_fvecs(path: str, limit: int = 0) -> np.ndarray:
+    """Read an ``.fvecs`` file into a float32 ``(N, dim)`` array."""
+    return _read_vecs(path, np.dtype("<f4"), 4, limit)
+
+
+def read_ivecs(path: str, limit: int = 0) -> np.ndarray:
+    """Read an ``.ivecs`` file (ground-truth ids) into an int32 array."""
+    return _read_vecs(path, np.dtype("<i4"), 4, limit)
+
+
+def read_bvecs(path: str, limit: int = 0) -> np.ndarray:
+    """Read a ``.bvecs`` file into a uint8 ``(N, dim)`` array."""
+    return _read_vecs(path, np.dtype("u1"), 1, limit)
+
+
+def write_fvecs(path: str, data: np.ndarray) -> None:
+    """Write a float32 array as ``.fvecs``."""
+    data = np.ascontiguousarray(data, dtype="<f4")
+    _write_vecs(path, data)
+
+
+def write_ivecs(path: str, data: np.ndarray) -> None:
+    """Write an int32 array as ``.ivecs``."""
+    data = np.ascontiguousarray(data, dtype="<i4")
+    _write_vecs(path, data)
+
+
+def _write_vecs(path: str, data: np.ndarray) -> None:
+    if data.ndim != 2:
+        raise ValueError("data must be 2-D")
+    n, dim = data.shape
+    header = np.full((n, 1), dim, dtype="<i4")
+    with open(path, "wb") as handle:
+        interleaved = np.hstack([header.view(data.dtype), data])
+        interleaved.tofile(handle)

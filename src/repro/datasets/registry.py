@@ -1,0 +1,110 @@
+"""Named dataset registry mirroring the paper's Table I.
+
+Every entry records the *original* dimension, size, metric and CAGRA graph
+degree from Table I, plus the synthetic generator and the scaled-down
+default size this pure-Python reproduction runs at.  Benches print both
+sizes so the scale substitution is always visible.
+
+>>> from repro.datasets import load_dataset
+>>> bundle = load_dataset("deep-1m", scale=4000)
+>>> bundle.data.shape
+(4000, 96)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.synthetic import clustered_gaussian, hard_heavy_tailed, make_queries
+
+__all__ = ["DatasetSpec", "DatasetBundle", "DATASETS", "load_dataset"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One Table I row plus its synthetic substitution.
+
+    Attributes:
+        name: registry key.
+        dim: original dimensionality (kept exactly).
+        original_size: the paper's N.
+        metric: distance metric the paper uses on it.
+        graph_degree: CAGRA degree ``d`` from Table I.
+        default_scale: default synthetic N for this reproduction.
+        hardness: ``"easy"`` (descriptor-like) or ``"hard"``
+            (embedding-like); selects the generator.
+        generator: callable ``(n, dim, seed) -> (n, dim) float32``.
+    """
+
+    name: str
+    dim: int
+    original_size: int
+    metric: str
+    graph_degree: int
+    default_scale: int
+    hardness: str
+    generator: Callable[[int, int, int], np.ndarray]
+
+
+@dataclass
+class DatasetBundle:
+    """A generated dataset with its queries and spec."""
+
+    spec: DatasetSpec
+    data: np.ndarray
+    queries: np.ndarray
+
+    @property
+    def scale_factor(self) -> float:
+        """original_size / generated size (printed by every bench)."""
+        return self.spec.original_size / self.data.shape[0]
+
+
+def _easy(n: int, dim: int, seed: int) -> np.ndarray:
+    return clustered_gaussian(n, dim, seed=seed)
+
+
+def _hard(n: int, dim: int, seed: int) -> np.ndarray:
+    return hard_heavy_tailed(n, dim, seed=seed)
+
+
+#: Table I of the paper, with scaled-down synthetic defaults.
+DATASETS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        DatasetSpec("sift-1m", 128, 1_000_000, "sqeuclidean", 32, 8000, "easy", _easy),
+        DatasetSpec("gist-1m", 960, 1_000_000, "sqeuclidean", 48, 4000, "easy", _easy),
+        DatasetSpec("glove-200", 200, 1_183_514, "inner_product", 80, 8000, "hard", _hard),
+        DatasetSpec("nytimes", 256, 290_000, "inner_product", 64, 6000, "hard", _hard),
+        DatasetSpec("deep-1m", 96, 1_000_000, "sqeuclidean", 32, 8000, "easy", _easy),
+        DatasetSpec("deep-10m", 96, 10_000_000, "sqeuclidean", 32, 16000, "easy", _easy),
+        DatasetSpec("deep-100m", 96, 100_000_000, "sqeuclidean", 32, 32000, "easy", _easy),
+    ]
+}
+
+
+def load_dataset(
+    name: str,
+    scale: int = 0,
+    num_queries: int = 100,
+    seed: int = 0,
+) -> DatasetBundle:
+    """Generate a named dataset at a given scale.
+
+    Args:
+        name: a key of :data:`DATASETS` (case-insensitive).
+        scale: number of vectors (0 = the spec's ``default_scale``).
+        num_queries: query-set size.
+        seed: RNG seed (queries derive a distinct stream).
+    """
+    key = name.lower()
+    if key not in DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; known: {sorted(DATASETS)}")
+    spec = DATASETS[key]
+    n = scale or spec.default_scale
+    data = spec.generator(n, spec.dim, seed)
+    queries = make_queries(data, num_queries, seed=seed + 1)
+    return DatasetBundle(spec=spec, data=data, queries=queries)

@@ -1,0 +1,38 @@
+"""Analytical GPU/CPU performance model — the testbed substitute.
+
+The paper evaluates on an NVIDIA A100 (80 GB) and a 64-core AMD EPYC 7742.
+Neither is available to a pure-Python reproduction, so this package prices
+the *operation counters* that every search/build implementation in
+:mod:`repro` emits (:class:`repro.core.search.CostReport`) into simulated
+wall time, using the same first-order hardware reasoning the paper itself
+uses to motivate its design choices:
+
+* 128-bit vectorized loads and warp *teams* (Sec. IV-B1) —
+  :func:`repro.gpusim.kernels.distance_cost` reproduces the
+  team-size/dimension trade-off including the register-pressure penalty.
+* shared- vs device-memory hash tables (Sec. IV-B3) — per-probe latencies
+  differ by an order of magnitude.
+* warp bitonic vs CTA radix sorting (Sec. IV-B2).
+* CTA wave scheduling over a fixed number of SMs with occupancy limits —
+  :mod:`repro.gpusim.executor`; this is what makes single- vs multi-CTA
+  and batch-size effects (Figs. 7, 10, 13, 14) emerge.
+* a bandwidth roofline — large-batch, high-dimension searches become
+  memory-bound, which is why FP16 storage helps (Figs. 13, 14).
+
+The models never influence algorithmic results; they only convert counters
+into seconds.
+"""
+
+from repro.gpusim.device import A100_80GB, EPYC_7742, H100_80GB, CpuSpec, GpuSpec
+from repro.gpusim.costmodel import GpuCostModel, CpuCostModel, SimulatedTiming
+
+__all__ = [
+    "A100_80GB",
+    "H100_80GB",
+    "EPYC_7742",
+    "CpuSpec",
+    "GpuSpec",
+    "GpuCostModel",
+    "CpuCostModel",
+    "SimulatedTiming",
+]

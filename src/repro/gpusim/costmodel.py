@@ -1,0 +1,334 @@
+"""Counter → simulated-time conversion for searches and index builds.
+
+:class:`GpuCostModel` prices a :class:`repro.core.search.CostReport`
+against a :class:`repro.gpusim.device.GpuSpec` using the per-operation
+formulas of :mod:`repro.gpusim.kernels` and the CTA wave scheduling of
+:mod:`repro.gpusim.executor`, then applies a bandwidth roofline.
+
+:class:`CpuCostModel` does the same for the CPU baselines (HNSW, NSSG):
+graph traversal on a CPU is dominated by one cache-missing vector fetch
+per candidate plus SIMD distance arithmetic, parallelized over up to
+``cores`` threads for batched queries.
+
+Neither model ever changes algorithmic results — they only interpret the
+operation counters the real (NumPy) implementations produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.search import CostReport
+from repro.gpusim.device import A100_80GB, EPYC_7742, CpuSpec, GpuSpec
+from repro.gpusim.executor import KernelShape, schedule_waves
+from repro.gpusim import kernels
+
+__all__ = ["SimulatedTiming", "GpuCostModel", "CpuCostModel"]
+
+
+@dataclass
+class SimulatedTiming:
+    """Simulated wall time with its roofline breakdown.
+
+    Attributes:
+        seconds: final simulated time (``max(compute, bandwidth) + launch``).
+        compute_seconds: CTA-wave compute time.
+        bandwidth_seconds: device-memory roofline time.
+        launch_seconds: kernel launch overhead.
+        breakdown: per-operation-class warp-cycle totals (diagnostics).
+        waves: CTA waves executed.
+        concurrency: CTAs resident at once.
+    """
+
+    seconds: float
+    compute_seconds: float
+    bandwidth_seconds: float
+    launch_seconds: float
+    breakdown: dict[str, float] = field(default_factory=dict)
+    waves: int = 1
+    concurrency: int = 1
+
+    def qps(self, batch_size: int) -> float:
+        """Queries per second for a batch processed in this time."""
+        return batch_size / self.seconds if self.seconds > 0 else float("inf")
+
+
+class GpuCostModel:
+    """Prices CAGRA search and build counters on a GPU spec."""
+
+    #: threads per CTA by implementation (single-CTA kernels are wider).
+    _BLOCK_THREADS = {"single_cta": 128, "multi_cta": 64}
+
+    def __init__(self, spec: GpuSpec = A100_80GB):
+        self.spec = spec
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def search_time(
+        self,
+        report: CostReport,
+        dim: int,
+        dtype_bytes: int = 4,
+        team_size: int = 0,
+        itopk: int = 64,
+        search_width: int = 1,
+        mem_efficiency: float = 0.9,
+    ) -> SimulatedTiming:
+        """Simulated time of one search kernel launch over a whole batch.
+
+        ``mem_efficiency`` is the fraction of peak device bandwidth the
+        kernel's vector loads sustain.  CAGRA's team-based 128-bit loads
+        are near-perfectly coalesced (default 0.9); pre-CAGRA kernels that
+        load vectors with plain word accesses sustain far less — the beam
+        baselines are priced at 0.3 (see :func:`repro.bench.harness.run_beam_sweep_gpu`).
+        """
+        spec = self.spec
+        team = team_size or kernels.auto_team_size(dim, dtype_bytes, spec)
+        dcost = kernels.distance_cost(dim, dtype_bytes, team)
+        threads_per_cta = self._BLOCK_THREADS.get(report.algo, 128)
+        warps_per_cta = max(1, threads_per_cta // spec.warp_size)
+
+        probe_cost = kernels.hash_probe_cycles(report.hash_in_shared, spec)
+        # SIMT lockstep: a hash-hit candidate still occupies its team's
+        # pipeline slot in the distance step (only the memory traffic is
+        # saved), so compute is charged per candidate *slot*.
+        distance_slots = (
+            report.distance_computations + report.skipped_distance_computations
+        )
+        distance_cycles = distance_slots * dcost.warp_cycles / warps_per_cta
+        hash_cycles = report.hash_probes * probe_cost / warps_per_cta
+        # Forgettable resets wipe + re-register in shared memory.
+        reset_cycles = report.hash_resets * (1 << report.hash_log2_size) / (
+            threads_per_cta * 4
+        )
+        sort = kernels.sort_cycles(report.sort_comparator_ops, report.radix_sorted_elements)
+        queue = report.serial_queue_ops * 4.0  # serialized shared-mem heap updates
+        gather = kernels.gather_cycles(report.candidate_gathers, spec)
+        total_cycles = distance_cycles + hash_cycles + reset_cycles + sort + queue + gather
+        cta_count = max(1, report.cta_count)
+        per_cta_cycles = total_cycles / cta_count
+
+        shared_bytes = self._shared_bytes_per_cta(report, itopk, search_width)
+        shape = KernelShape(
+            threads_per_cta=threads_per_cta,
+            shared_bytes_per_cta=shared_bytes,
+            registers_per_thread=dcost.registers,
+        )
+        waves, concurrency = schedule_waves(cta_count, shape, spec)
+        compute_seconds = spec.cycles_to_seconds(waves * per_cta_cycles)
+
+        # Latency roofline: each iteration's dependent chain (neighbor
+        # gather -> per-vector load train) cannot be hidden inside one
+        # CTA; small teams lengthen the chain, register spills multiply it.
+        iterations_per_cta = report.iterations / cta_count
+        chain = kernels.iteration_latency_cycles(dim, dtype_bytes, team, spec)
+        latency_seconds = spec.cycles_to_seconds(
+            waves * iterations_per_cta * chain
+        )
+
+        # DRAM traffic: first-time vector loads pay full price; vectors
+        # recomputed after a forgettable reset were read moments earlier
+        # and hit the 40 MB L2 (multiple times the HBM bandwidth, and the
+        # reloads overlap with other warps' DRAM traffic — priced at 10%);
+        # device-memory hash probes are uncoalesced 4-byte accesses that
+        # each pull a 32-byte DRAM sector.
+        first_time = report.distance_computations - report.recomputed_distances
+        # Team-size load waste inflates vector traffic (tail loads carry
+        # idle lanes when the vector is not a multiple of team*16 bytes).
+        waste = kernels.load_waste(dim, dtype_bytes, team)
+        vector_scale = 1.0 / max(1e-6, 1.0 - waste)
+        bytes_moved = (
+            first_time * dim * dtype_bytes * vector_scale
+            + report.recomputed_distances * dim * dtype_bytes * 0.1 * vector_scale
+            + report.candidate_gathers * 4
+            + (0 if report.hash_in_shared else report.hash_probes * 32)
+        )
+        bandwidth_seconds = bytes_moved / (
+            spec.mem_bandwidth_gbps * 1e9 * max(0.05, min(1.0, mem_efficiency))
+        )
+        launch = report.kernel_launches * spec.kernel_launch_seconds
+        return SimulatedTiming(
+            seconds=max(compute_seconds, latency_seconds, bandwidth_seconds) + launch,
+            compute_seconds=compute_seconds,
+            bandwidth_seconds=bandwidth_seconds,
+            launch_seconds=launch,
+            breakdown={
+                "distance": distance_cycles,
+                "hash": hash_cycles,
+                "hash_reset": reset_cycles,
+                "sort": sort,
+                "queue": queue,
+                "gather": gather,
+                "team_size": team,
+                "registers": dcost.registers,
+                "latency_seconds": latency_seconds,
+            },
+            waves=waves,
+            concurrency=concurrency,
+        )
+
+    def _shared_bytes_per_cta(
+        self, report: CostReport, itopk: int, search_width: int
+    ) -> int:
+        buffer_bytes = (itopk + search_width * 64) * 8  # id+distance pairs
+        hash_bytes = (1 << report.hash_log2_size) * 4 if report.hash_in_shared else 0
+        return buffer_bytes + hash_bytes
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    #: Amortized cost of one adjacency-list entry update per NN-descent
+    #: round: scattered reads, compare-exchange, and atomic flag traffic —
+    #: the irregular part that dominates real GPU NN-descent wall time.
+    _NND_UPDATE_SECONDS_PER_ENTRY = 6e-9
+
+    def knn_build_time(
+        self,
+        distance_computations: int,
+        dim: int,
+        dtype_bytes: int = 4,
+        num_nodes: int = 0,
+        k: int = 0,
+        iterations: int = 0,
+        efficiency: float = 0.5,
+        update_seconds_per_entry: float = 0.0,
+    ) -> float:
+        """Simulated NN-descent build time on the GPU.
+
+        Two components: batched candidate-distance arithmetic (compute/
+        bandwidth roofline at ~half of peak) and the per-round adjacency
+        list updates, which are scattered and latency-bound and dominate
+        measured GPU NN-descent times.  The update term is charged when
+        the caller provides the graph shape (``num_nodes``, ``k``,
+        ``iterations``).
+
+        ``efficiency`` is the fraction of peak arithmetic the distance
+        kernels sustain (CAGRA's fused NN-descent ~0.5; pre-CAGRA
+        builders with separate, uncoalesced kernels much less) and
+        ``update_seconds_per_entry`` overrides the per-entry update cost
+        (multi-pass hierarchical restructuring pays several times the
+        fused update's price).
+        """
+        flops = distance_computations * dim * 2.0
+        compute = flops / (self.spec.fp32_tflops * 1e12 * max(0.01, efficiency))
+        bytes_moved = distance_computations * dim * dtype_bytes
+        # Inefficient (uncoalesced, multi-pass) kernels also waste
+        # bandwidth; full bandwidth is reached at efficiency >= 0.5.
+        bandwidth = bytes_moved / (
+            self.spec.mem_bandwidth_gbps * 1e9 * min(1.0, 2.0 * max(0.01, efficiency))
+        )
+        updates = 0.0
+        if num_nodes and k and iterations:
+            per_entry = update_seconds_per_entry or self._NND_UPDATE_SECONDS_PER_ENTRY
+            updates = iterations * num_nodes * k * per_entry
+        return max(compute, bandwidth) + updates
+
+    #: Cycles per detour check: neighbor-row binary search + atomic count
+    #: increment.  The rank-based variant compares integer ranks it already
+    #: has; the distance-based variant additionally fetches three table
+    #: distances (w_XZ, w_ZY, w_XY) — the paper measures the resulting
+    #: end-to-end gap at up to 1.9x.
+    _CHECK_CYCLES_RANK = 8.0
+    _CHECK_CYCLES_DISTANCE = 14.0
+
+    def optimize_time(
+        self, detour_checks: int, num_nodes: int, degree: int,
+        distance_computations: int = 0, dim: int = 0,
+        distance_based: bool = False,
+    ) -> float:
+        """Simulated graph-optimization time (reorder + reverse merge).
+
+        The detour-counting kernel is latency/atomic-bound, one check per
+        lane across the whole GPU.  ``distance_based=True`` (or legacy: a
+        nonzero ``distance_computations``) prices the table variant —
+        extra distance fetches per check plus the table build pass.
+        """
+        spec = self.spec
+        distance_based = distance_based or bool(distance_computations)
+        lanes = spec.num_sms * 128  # resident lanes doing checks
+        per_check = (
+            self._CHECK_CYCLES_DISTANCE if distance_based else self._CHECK_CYCLES_RANK
+        )
+        reorder = detour_checks * per_check / lanes / (spec.clock_ghz * 1e9)
+        reverse = (num_nodes * degree * 16.0) / (spec.mem_bandwidth_gbps * 1e9)
+        table_build = 0.0
+        if distance_based and dim:
+            # One write+read pass over the N x d_init float table.
+            table_bytes = 2.0 * detour_checks / max(1, degree) * 4.0
+            table_build = table_bytes / (spec.mem_bandwidth_gbps * 1e9)
+        return reorder + reverse + table_build
+
+    def fits_in_memory(self, bytes_needed: int) -> bool:
+        """Device-memory capacity check (the Fig. 4 OOM reproduction)."""
+        return bytes_needed <= self.spec.device_mem_bytes
+
+
+class CpuCostModel:
+    """Prices CPU-baseline search/build counters (HNSW, NSSG)."""
+
+    def __init__(self, spec: CpuSpec = EPYC_7742):
+        self.spec = spec
+
+    def search_time(
+        self,
+        distance_computations: int,
+        hops: int,
+        dim: int,
+        batch_size: int,
+        threads: int = 0,
+        dtype_bytes: int = 4,
+    ) -> SimulatedTiming:
+        """Simulated batched-search time on the CPU.
+
+        Per candidate: scalar bookkeeping (priority-queue push/pop,
+        visited-set lookup, branching — what actually dominates hnswlib),
+        one cache-missing vector fetch, and SIMD distance arithmetic; per
+        hop: one dependent pointer chase.  Queries parallelize over
+        ``threads`` (default: min(batch, cores), matching the paper's
+        "best thread count up to 64" methodology) at the spec's scaling
+        efficiency, under a socket-bandwidth roofline for vector traffic.
+        """
+        spec = self.spec
+        threads = threads or min(batch_size, spec.cores)
+        threads = max(1, min(threads, spec.cores))
+        flops = distance_computations * dim * 2.0
+        arithmetic = flops / spec.flops_per_second(threads)
+        overhead = distance_computations * spec.candidate_overhead_seconds
+        misses = (distance_computations + hops) * spec.cache_miss_seconds
+        effective_threads = max(1.0, threads * spec.thread_efficiency)
+        serial = (overhead + misses) / effective_threads
+        bandwidth = (
+            distance_computations * dim * dtype_bytes
+        ) / (spec.mem_bandwidth_gbps * 1e9)
+        sync = batch_size * spec.thread_sync_seconds / threads if threads > 1 else 0.0
+        seconds = max(arithmetic + serial, bandwidth) + sync
+        return SimulatedTiming(
+            seconds=seconds,
+            compute_seconds=arithmetic + serial,
+            bandwidth_seconds=bandwidth,
+            launch_seconds=sync,
+            breakdown={"threads": threads},
+        )
+
+    def build_time(
+        self,
+        distance_computations: int,
+        hops: int,
+        dim: int,
+        threads: int = 0,
+    ) -> float:
+        """Simulated index-construction time on the CPU.
+
+        HNSW insertions parallelize well (hnswlib builds multi-threaded);
+        the traversal component is latency-bound just like search.
+        """
+        spec = self.spec
+        threads = threads or spec.cores
+        threads = max(1, min(threads, spec.cores))
+        flops = distance_computations * dim * 2.0
+        arithmetic = flops / spec.flops_per_second(threads)
+        overhead = distance_computations * spec.candidate_overhead_seconds
+        misses = (distance_computations + hops) * spec.cache_miss_seconds
+        effective_threads = max(1.0, threads * spec.thread_efficiency)
+        return arithmetic + (overhead + misses) / effective_threads

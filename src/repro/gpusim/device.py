@@ -1,0 +1,115 @@
+"""Hardware specifications for the analytical performance models.
+
+Defaults mirror the paper's testbed (Sec. III-C): an NVIDIA A100 80 GB GPU
+and a 64-core AMD EPYC 7742 CPU.  Only first-order quantities appear here —
+the cost formulas in :mod:`repro.gpusim.kernels` consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GpuSpec", "CpuSpec", "A100_80GB", "H100_80GB", "EPYC_7742"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """First-order GPU model.
+
+    Attributes:
+        name: marketing name, for reports.
+        num_sms: streaming multiprocessors (CTAs run on SMs).
+        clock_ghz: SM clock.
+        mem_bandwidth_gbps: device (HBM) bandwidth in GB/s.
+        device_mem_bytes: device memory capacity (the Fig. 4 distance-table
+            OOM check uses this).
+        shared_mem_per_sm: shared memory per SM in bytes.
+        registers_per_sm: 32-bit registers per SM.
+        max_threads_per_sm: resident-thread occupancy limit.
+        max_ctas_per_sm: resident-CTA occupancy limit.
+        warp_size: threads per warp (32 on every NVIDIA GPU).
+        shared_mem_latency: shared-memory access latency in cycles.
+        device_mem_latency: device-memory access latency in cycles.
+        memory_parallelism: outstanding requests that overlap, i.e. how much
+            of the raw latency pipelining hides.
+        kernel_launch_seconds: host-side launch overhead per kernel.
+    """
+
+    name: str = "NVIDIA A100 80GB"
+    num_sms: int = 108
+    clock_ghz: float = 1.41
+    mem_bandwidth_gbps: float = 2039.0
+    device_mem_bytes: int = 80 * 1024**3
+    shared_mem_per_sm: int = 164 * 1024
+    registers_per_sm: int = 65536
+    max_threads_per_sm: int = 2048
+    max_ctas_per_sm: int = 32
+    warp_size: int = 32
+    shared_mem_latency: float = 25.0
+    device_mem_latency: float = 400.0
+    memory_parallelism: float = 16.0
+    kernel_launch_seconds: float = 5e-6
+    fp32_tflops: float = 19.5
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / (self.clock_ghz * 1e9)
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """First-order CPU model for the HNSW/NSSG baselines.
+
+    Attributes:
+        cores: physical cores available to OpenMP (the paper sweeps thread
+            counts up to 64 and keeps the fastest).
+        clock_ghz: sustained clock.
+        simd_lanes_fp32: FP32 lanes per FMA (AVX2 = 8).
+        fma_per_cycle: FMA issue ports.
+        cache_miss_seconds: cost of the random node fetch each graph hop
+            makes (graph traversal on CPUs is latency-bound).
+        candidate_overhead_seconds: scalar bookkeeping per candidate —
+            priority-queue push/pop, visited-set lookup, branching.  This
+            dominates CPU graph search in practice (hnswlib spends
+            ~0.3–0.5 µs per candidate single-threaded).
+        thread_efficiency: multi-thread scaling factor (NUMA effects,
+            allocator contention; perfect scaling never happens).
+        mem_bandwidth_gbps: socket memory bandwidth — the roofline for
+            batched vector fetches.
+        thread_sync_seconds: per-query scheduling/synchronization overhead
+            when multi-threaded batches fan out.
+    """
+
+    name: str = "AMD EPYC 7742"
+    cores: int = 64
+    clock_ghz: float = 2.25
+    simd_lanes_fp32: int = 8
+    fma_per_cycle: int = 2
+    cache_miss_seconds: float = 90e-9
+    candidate_overhead_seconds: float = 250e-9
+    thread_efficiency: float = 0.7
+    mem_bandwidth_gbps: float = 140.0
+    thread_sync_seconds: float = 2e-6
+
+    def flops_per_second(self, threads: int) -> float:
+        """Peak useful FLOP/s for distance arithmetic at a thread count."""
+        threads = min(threads, self.cores)
+        return threads * self.clock_ghz * 1e9 * self.simd_lanes_fp32 * self.fma_per_cycle
+
+
+#: The paper's GPU testbed.
+A100_80GB = GpuSpec()
+
+#: A newer-generation data-center GPU, for cross-hardware what-if benches
+#: (the paper notes its thresholds "depend on the hardware").
+H100_80GB = GpuSpec(
+    name="NVIDIA H100 80GB SXM",
+    num_sms=132,
+    clock_ghz=1.83,
+    mem_bandwidth_gbps=3350.0,
+    device_mem_bytes=80 * 1024**3,
+    shared_mem_per_sm=228 * 1024,
+    fp32_tflops=66.9,
+)
+
+#: The paper's CPU testbed.
+EPYC_7742 = CpuSpec()

@@ -1,0 +1,60 @@
+"""CTA wave scheduling over the simulated GPU.
+
+A kernel launch creates one CTA per query (single-CTA) or several per
+query (multi-CTA).  CTAs are resident on SMs subject to occupancy limits —
+threads, shared memory, registers, and a hard CTA cap — and execute in
+*waves*: with room for ``C`` concurrent CTAs, ``n`` CTAs take
+``ceil(n / C)`` sequential waves.
+
+This is the piece of the model that produces the batch-size effects of the
+paper: a single query in single-CTA mode occupies one SM and leaves the
+rest idle (hence multi-CTA, Sec. IV-C2), while a 10K batch fills every SM
+for many waves and throughput approaches the compute/bandwidth roofline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.gpusim.device import GpuSpec
+
+__all__ = ["KernelShape", "ctas_per_sm", "schedule_waves"]
+
+
+@dataclass(frozen=True)
+class KernelShape:
+    """Resources one CTA of a kernel consumes."""
+
+    threads_per_cta: int = 128
+    shared_bytes_per_cta: int = 16 * 1024
+    registers_per_thread: int = 64
+
+
+def ctas_per_sm(shape: KernelShape, spec: GpuSpec) -> int:
+    """Resident CTAs per SM under all four occupancy limits."""
+    by_threads = spec.max_threads_per_sm // max(1, shape.threads_per_cta)
+    by_shared = (
+        spec.shared_mem_per_sm // shape.shared_bytes_per_cta
+        if shape.shared_bytes_per_cta
+        else spec.max_ctas_per_sm
+    )
+    by_registers = spec.registers_per_sm // max(
+        1, shape.registers_per_thread * shape.threads_per_cta
+    )
+    return max(1, min(spec.max_ctas_per_sm, by_threads, by_shared, by_registers))
+
+
+def schedule_waves(
+    total_ctas: int, shape: KernelShape, spec: GpuSpec
+) -> tuple[int, int]:
+    """Waves needed for ``total_ctas`` and the CTA concurrency used.
+
+    Returns ``(waves, concurrency)``; ``waves = ceil(total / concurrency)``
+    with ``concurrency = num_sms * ctas_per_sm``.
+    """
+    if total_ctas < 1:
+        raise ValueError("total_ctas must be >= 1")
+    concurrency = spec.num_sms * ctas_per_sm(shape, spec)
+    waves = math.ceil(total_ctas / concurrency)
+    return waves, concurrency

@@ -1,0 +1,196 @@
+"""Per-operation cost formulas for the CAGRA search kernels.
+
+Each formula prices one operation class in *warp cycles per operation*,
+following the reasoning in Sec. IV-B of the paper:
+
+* **Distance computation with warp teams** (Sec. IV-B1): a team of ``t``
+  threads loads a vector with 128-bit loads — ``t * 16`` bytes per load
+  instruction — so a ``dim``-dimensional vector of ``b``-byte elements
+  takes ``ceil(dim*b / (16*t))`` load instructions, ``ceil(dim/t)`` FMAs
+  and ``log2(t)`` warp-shuffle reduction steps.  A warp holds ``32/t``
+  teams computing distances concurrently, so per-candidate cost divides by
+  the team count.  Small teams need more registers per thread
+  (``~ dim*b / (4*t)`` accumulator/staging registers), which lowers
+  occupancy and eventually spills — the Fig. 8 penalty for ``t=2``.
+* **Hash probes** (Sec. IV-B3): shared-memory probes cost ~latency/warp
+  cycles; device-memory probes an order of magnitude more.
+* **Top-M sorting** (Sec. IV-B2): bitonic comparators in registers below
+  512 candidates, CTA radix above.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.gpusim.device import GpuSpec
+
+__all__ = [
+    "DistanceCost",
+    "distance_cost",
+    "auto_team_size",
+    "hash_probe_cycles",
+    "sort_cycles",
+    "gather_cycles",
+    "registers_per_thread",
+]
+
+_ISSUE_CYCLES_LOAD = 4.0  # issue+address cycles per 128-bit load instruction
+_CYCLES_FMA = 1.0
+_CYCLES_SHUFFLE = 2.0
+_BASE_REGISTERS = 40  # loop counters, pointers, buffer bookkeeping
+_MAX_REGISTERS = 255  # per-thread architectural limit; beyond this, spills
+_SPILL_PENALTY = 4.0  # local-memory spill slowdown factor
+_BYTES_PER_LOAD_LANE = 16  # 128-bit vectorized load per thread
+
+
+def registers_per_thread(dim: int, dtype_bytes: int, team_size: int) -> int:
+    """Estimated register footprint of the distance pipeline per thread.
+
+    Each thread stages ``dim/t`` elements of the query (kept in registers
+    across all candidates) plus accumulators; 4 bytes per register.
+    """
+    staging = math.ceil(dim * dtype_bytes / (4 * team_size))
+    return _BASE_REGISTERS + staging
+
+
+@dataclass(frozen=True)
+class DistanceCost:
+    """Cost of one candidate-distance computation.
+
+    Attributes:
+        warp_cycles: warp-cycles per distance (already divided by the
+            number of teams working concurrently in the warp).
+        registers: per-thread register estimate.
+        spilled: whether the register estimate exceeds the architectural
+            limit (cost already includes the spill penalty).
+        load_instructions: 128-bit loads issued per team.
+    """
+
+    warp_cycles: float
+    registers: int
+    spilled: bool
+    load_instructions: int
+
+
+def distance_cost(dim: int, dtype_bytes: int, team_size: int) -> DistanceCost:
+    """Warp-cycles for one query↔candidate distance at a given team size."""
+    if team_size not in (2, 4, 8, 16, 32):
+        raise ValueError("team_size must be a power of two in [2, 32]")
+    vector_bytes = dim * dtype_bytes
+    loads = max(1, math.ceil(vector_bytes / (_BYTES_PER_LOAD_LANE * team_size)))
+    fmas = math.ceil(dim / team_size)
+    shuffles = int(math.log2(team_size))
+    team_cycles = (
+        loads * _ISSUE_CYCLES_LOAD + fmas * _CYCLES_FMA + shuffles * _CYCLES_SHUFFLE
+    )
+    teams_per_warp = 32 // team_size
+    regs = registers_per_thread(dim, dtype_bytes, team_size)
+    spilled = regs > _MAX_REGISTERS
+    cycles = team_cycles / teams_per_warp
+    if spilled:
+        cycles *= _SPILL_PENALTY
+    return DistanceCost(
+        warp_cycles=cycles,
+        registers=min(regs, _MAX_REGISTERS),
+        spilled=spilled,
+        load_instructions=loads,
+    )
+
+
+def auto_team_size(dim: int, dtype_bytes: int = 4, spec: GpuSpec | None = None) -> int:
+    """Pick the cheapest team size for a dataset shape.
+
+    This searches the same cost formula the simulator charges, including
+    the occupancy effect of register pressure, so the choice matches what
+    Fig. 8 measures (4–8 for 96-dim FP32, 32 for 960-dim).
+    """
+    spec = spec or GpuSpec()
+    best, best_score = 8, float("inf")
+    for team in (2, 4, 8, 16, 32):
+        cost = distance_cost(dim, dtype_bytes, team)
+        occupancy = occupancy_factor(cost.registers, spec)
+        score = cost.warp_cycles / occupancy
+        if score < best_score:
+            best, best_score = team, score
+    return best
+
+
+def occupancy_factor(registers: int, spec: GpuSpec) -> float:
+    """Fraction of peak resident warps achievable at a register footprint.
+
+    ``registers_per_sm / (regs * warp_size)`` warps fit; normalized by the
+    thread-count occupancy limit and clamped to (0, 1].
+    """
+    max_warps = spec.max_threads_per_sm // spec.warp_size
+    fit_warps = spec.registers_per_sm // max(1, registers * spec.warp_size)
+    return max(1.0 / max_warps, min(1.0, fit_warps / max_warps))
+
+
+#: Long-latency device accesses additionally overlap across the CTA's other
+#: warps and co-resident CTAs (the SM switches warps while a probe is in
+#: flight), so only a fraction of the raw latency is exposed.
+_DEVICE_LATENCY_HIDING = 4.0
+
+
+def hash_probe_cycles(in_shared: bool, spec: GpuSpec) -> float:
+    """Warp-cycles per hash-table probe.
+
+    Latency is divided by the memory-level parallelism the warp sustains —
+    32 lanes probe independent slots concurrently — and, for device
+    memory, by the extra warp-switching overlap the SM provides.  Shared
+    memory still wins (the paper's motivation for the forgettable table),
+    but by the ~4x a real kernel sees rather than the raw latency ratio.
+    """
+    if in_shared:
+        return spec.shared_mem_latency / spec.memory_parallelism
+    return spec.device_mem_latency / (spec.memory_parallelism * _DEVICE_LATENCY_HIDING)
+
+
+def sort_cycles(comparator_ops: int, radix_elements: int) -> float:
+    """Warp-cycles for step ①'s sorting work.
+
+    Bitonic comparators run 32 to a warp-cycle in registers; the CTA radix
+    sort streams elements through shared memory at ~8 cycles each over 4
+    warps (Sec. IV-B2's >512 path).
+    """
+    bitonic = comparator_ops * 1.5 / 32.0
+    radix = radix_elements * 8.0 / 4.0 / 32.0 * 4.0  # 4 passes of 8-bit digits
+    return bitonic + radix
+
+
+def gather_cycles(indices: int, spec: GpuSpec) -> float:
+    """Warp-cycles to gather neighbor-list indices from device memory."""
+    return indices * spec.device_mem_latency / spec.memory_parallelism / 32.0
+
+
+def load_waste(dim: int, dtype_bytes: int, team_size: int) -> float:
+    """Fraction of loaded bytes that are padding.
+
+    A team of ``t`` threads loads ``t * 16`` bytes per 128-bit load
+    instruction; when the vector length is not a multiple of that
+    granularity the tail load carries idle lanes — the inefficiency the
+    paper's warp splitting removes (Sec. IV-B1's dim-96 example).
+    """
+    vector_bytes = dim * dtype_bytes
+    granularity = team_size * _BYTES_PER_LOAD_LANE
+    loaded = math.ceil(vector_bytes / granularity) * granularity
+    return 1.0 - vector_bytes / loaded
+
+
+def iteration_latency_cycles(
+    dim: int, dtype_bytes: int, team_size: int, spec: GpuSpec
+) -> float:
+    """Exposed-latency cycles of one search iteration's critical path.
+
+    Within an iteration the steps are dependent: gather the parent's
+    neighbor list, then stream each candidate vector through the team in
+    ``loads`` back-to-back 128-bit transactions.  More loads per vector
+    (small teams) means a longer dependent chain, and register spills
+    multiply it (spilled chunks round-trip local memory).
+    """
+    cost = distance_cost(dim, dtype_bytes, team_size)
+    chain = (cost.load_instructions + 1) * spec.device_mem_latency
+    if cost.spilled:
+        chain *= _SPILL_PENALTY
+    return chain

@@ -1,0 +1,58 @@
+"""Shared fixtures: small datasets and prebuilt indexes.
+
+Builds are session-scoped — NN-descent on even a 1.5k-point set takes a
+couple of seconds in pure Python, so every test module reuses the same
+indexes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CagraIndex, GraphBuildConfig
+from repro.baselines import exact_search
+from repro.core.nn_descent import build_knn_graph
+from repro.datasets.synthetic import clustered_gaussian, hard_heavy_tailed, make_queries
+
+
+@pytest.fixture(scope="session")
+def small_data() -> np.ndarray:
+    """1.2k easy descriptor-like vectors, dim 32."""
+    return clustered_gaussian(1200, 32, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_queries(small_data) -> np.ndarray:
+    return make_queries(small_data, 25, seed=8)
+
+
+@pytest.fixture(scope="session")
+def small_truth(small_data, small_queries) -> np.ndarray:
+    ids, _ = exact_search(small_data, small_queries, 10)
+    return ids
+
+
+@pytest.fixture(scope="session")
+def hard_data() -> np.ndarray:
+    """800 hard embedding-like vectors, dim 48, unit-normalized."""
+    return hard_heavy_tailed(800, 48, seed=9)
+
+
+@pytest.fixture(scope="session")
+def small_knn(small_data):
+    """Initial NN-descent graph (d_init=32) for the small dataset."""
+    return build_knn_graph(small_data, 32, GraphBuildConfig(graph_degree=16, seed=3))
+
+
+@pytest.fixture(scope="session")
+def small_index(small_data) -> CagraIndex:
+    """A fully optimized degree-16 CAGRA index on the small dataset."""
+    return CagraIndex.build(small_data, GraphBuildConfig(graph_degree=16, seed=3))
+
+
+@pytest.fixture(scope="session")
+def tiny_data() -> np.ndarray:
+    """120 vectors for brute-force-comparable unit tests."""
+    rng = np.random.default_rng(4)
+    return rng.standard_normal((120, 16)).astype(np.float32)

@@ -1,0 +1,267 @@
+"""Unit tests for repro.baselines — brute force, beam, HNSW, NSSG, GGNN, GANNS."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BeamCounters,
+    GannsIndex,
+    GgnnIndex,
+    HnswIndex,
+    NssgIndex,
+    beam_search,
+    exact_search,
+    nssg_search,
+)
+from repro.core.config import GraphBuildConfig
+from repro.core.metrics import recall
+from repro.core.nn_descent import brute_force_knn_graph, build_knn_graph
+
+
+class TestExactSearch:
+    def test_matches_manual(self, tiny_data):
+        ids, dists = exact_search(tiny_data, tiny_data[:3], 5)
+        d = ((tiny_data[:3, None].astype(np.float64) - tiny_data[None]) ** 2).sum(-1)
+        for i in range(3):
+            assert set(ids[i].tolist()) == set(np.argsort(d[i])[:5].tolist())
+
+    def test_sorted_output(self, tiny_data):
+        _, dists = exact_search(tiny_data, tiny_data[:5], 8)
+        assert (np.diff(dists, axis=1) >= 0).all()
+
+    def test_query_is_own_nearest(self, tiny_data):
+        ids, dists = exact_search(tiny_data, tiny_data[7], 1)
+        assert ids[0, 0] == 7
+        assert dists[0, 0] == pytest.approx(0.0, abs=1e-3)
+
+    def test_k_bounds(self, tiny_data):
+        with pytest.raises(ValueError):
+            exact_search(tiny_data, tiny_data[:1], 0)
+        with pytest.raises(ValueError):
+            exact_search(tiny_data, tiny_data[:1], len(tiny_data) + 1)
+
+    def test_blocking_invariance(self, tiny_data):
+        a, _ = exact_search(tiny_data, tiny_data[:50], 5, block=7)
+        b, _ = exact_search(tiny_data, tiny_data[:50], 5, block=256)
+        np.testing.assert_array_equal(a, b)
+
+    def test_inner_product(self, tiny_data):
+        ids, _ = exact_search(tiny_data, tiny_data[:3], 4, metric="inner_product")
+        sims = tiny_data[:3].astype(np.float64) @ tiny_data.T.astype(np.float64)
+        for i in range(3):
+            assert set(ids[i].tolist()) == set(np.argsort(-sims[i])[:4].tolist())
+
+
+class TestBeamSearch:
+    def test_finds_true_neighbors_on_exact_graph(self, tiny_data):
+        knn = brute_force_knn_graph(tiny_data, 10)
+        truth, _ = exact_search(tiny_data, tiny_data[:5], 5)
+        counters = BeamCounters()
+        hits = []
+        for i in range(5):
+            ids, _ = beam_search(
+                tiny_data, knn.graph.neighbors, tiny_data[i], 5, 32,
+                np.arange(0, 120, 10), counters=counters,
+            )
+            hits.append(len(np.intersect1d(ids, truth[i])) / 5)
+        assert np.mean(hits) > 0.9
+        assert counters.queries == 5
+        assert counters.distance_computations > 0
+
+    def test_k_exceeding_beam_raises(self, tiny_data):
+        knn = brute_force_knn_graph(tiny_data, 5)
+        with pytest.raises(ValueError, match="exceeds"):
+            beam_search(tiny_data, knn.graph.neighbors, tiny_data[0], 10, 5,
+                        np.array([0]))
+
+    def test_max_hops_caps_work(self, tiny_data):
+        knn = brute_force_knn_graph(tiny_data, 8)
+        counters = BeamCounters()
+        beam_search(tiny_data, knn.graph.neighbors, tiny_data[0], 3, 64,
+                    np.array([50]), counters=counters, max_hops=2)
+        assert counters.hops <= 3
+
+    def test_results_sorted(self, tiny_data):
+        knn = brute_force_knn_graph(tiny_data, 8)
+        _, dists = beam_search(tiny_data, knn.graph.neighbors, tiny_data[0], 5, 16,
+                               np.array([3, 40, 80]))
+        assert (np.diff(dists) >= 0).all()
+
+    def test_counters_merge(self):
+        a = BeamCounters(distance_computations=3, hops=2, queries=1)
+        b = BeamCounters(distance_computations=4, hops=5, queries=2)
+        a.merge_from(b)
+        assert (a.distance_computations, a.hops, a.queries) == (7, 7, 3)
+
+
+class TestHnsw:
+    @pytest.fixture(scope="class")
+    def hnsw(self, small_data):
+        return HnswIndex(small_data, m=12, ef_construction=60, seed=0).build()
+
+    def test_recall(self, hnsw, small_queries, small_truth):
+        ids, _, _ = hnsw.search(small_queries, 10, ef=64)
+        assert recall(ids, small_truth) > 0.95
+
+    def test_recall_improves_with_ef(self, hnsw, small_queries, small_truth):
+        low, _, _ = hnsw.search(small_queries, 10, ef=10)
+        high, _, _ = hnsw.search(small_queries, 10, ef=128)
+        assert recall(high, small_truth) >= recall(low, small_truth)
+
+    def test_hierarchy_exists(self, hnsw):
+        assert hnsw.max_level >= 1
+        # Layer population shrinks exponentially-ish going up.
+        sizes = hnsw.build_stats.level_sizes
+        assert sizes[0] > sizes[-1]
+
+    def test_base_layer_has_everyone(self, hnsw, small_data):
+        assert len(hnsw.layers[0]) == len(small_data)
+
+    def test_degree_bounds(self, hnsw):
+        for node, neighbors in hnsw.layers[0].items():
+            assert len(neighbors) <= hnsw.m0
+        if hnsw.max_level >= 1:
+            for node, neighbors in hnsw.layers[1].items():
+                assert len(neighbors) <= hnsw.m0
+
+    def test_search_before_build_raises(self, small_data):
+        fresh = HnswIndex(small_data[:50], m=4)
+        with pytest.raises(RuntimeError):
+            fresh.search(small_data[:1], 1)
+
+    def test_counters_populate(self, hnsw, small_queries):
+        _, _, counters = hnsw.search(small_queries[:5], 5, ef=32)
+        assert counters.queries == 5
+        assert counters.distance_computations > 0
+        assert counters.hops > 0
+
+    def test_build_stats(self, hnsw):
+        assert hnsw.build_stats.distance_computations > 0
+
+    def test_bad_m_rejected(self, small_data):
+        with pytest.raises(ValueError):
+            HnswIndex(small_data, m=1)
+
+    def test_mean_base_degree(self, hnsw):
+        assert 1 <= hnsw.base_degree_mean <= hnsw.m0
+
+
+class TestNssg:
+    @pytest.fixture(scope="class")
+    def nssg(self, small_data, small_knn):
+        return NssgIndex(small_data, small_knn, degree_bound=24, pool_size=64, seed=0).build()
+
+    def test_recall(self, nssg, small_queries, small_truth):
+        ids, _, _ = nssg.search(small_queries, 10, beam_width=64, num_seeds=16)
+        assert recall(ids, small_truth) > 0.85
+
+    def test_degree_bound_respected(self, nssg):
+        for row in nssg.adjacency:
+            assert len(row) <= 24
+
+    def test_angular_spread(self, nssg, small_data):
+        """Kept edges at a node must respect the 60-degree criterion
+        among the first few (pre-reverse-merge edges may relax it)."""
+        import math
+        node = 11
+        kept = nssg.adjacency[node][:4]
+        origin = small_data[node].astype(np.float64)
+        dirs = []
+        for other in kept:
+            v = small_data[int(other)].astype(np.float64) - origin
+            n = np.linalg.norm(v)
+            if n > 0:
+                dirs.append(v / n)
+        # At least the forward-pruned prefix should not be collinear.
+        for i in range(len(dirs)):
+            for j in range(i + 1, len(dirs)):
+                assert float(dirs[i] @ dirs[j]) < 0.98
+
+    def test_search_before_build_raises(self, small_data, small_knn):
+        fresh = NssgIndex(small_data, small_knn)
+        with pytest.raises(RuntimeError):
+            fresh.search(small_data[:1], 1)
+
+    def test_nssg_search_on_cagra_graph(self, small_index, small_queries, small_truth):
+        """Fig. 12: the NSSG searcher must run on a CAGRA graph directly."""
+        ids, _, counters = nssg_search(
+            small_index.dataset, small_index.graph, small_queries, 10,
+            beam_width=64, num_seeds=16,
+        )
+        assert recall(ids, small_truth) > 0.85
+        assert counters.queries == len(small_queries)
+
+    def test_build_stats(self, nssg):
+        assert nssg.build_stats.distance_computations > 0
+        assert nssg.build_stats.pool_sizes_mean > 0
+
+
+class TestGgnn:
+    @pytest.fixture(scope="class")
+    def ggnn(self, small_data):
+        return GgnnIndex(small_data, degree=16, shard_size=256, seed=0).build()
+
+    def test_recall(self, ggnn, small_queries, small_truth):
+        ids, _, _ = ggnn.search(small_queries, 10, beam_width=64)
+        assert recall(ids, small_truth) > 0.85
+
+    def test_fixed_degree(self, ggnn):
+        assert ggnn.graph.degree == 16
+
+    def test_shards_recorded(self, ggnn):
+        assert ggnn.build_stats.num_shards == int(np.ceil(1200 / 256))
+
+    def test_coarse_layer_exists(self, ggnn):
+        assert len(ggnn.coarse_ids) >= 32
+
+    def test_search_before_build_raises(self, small_data):
+        with pytest.raises(RuntimeError):
+            GgnnIndex(small_data).search(small_data[:1], 1)
+
+    def test_no_self_loops(self, ggnn):
+        assert not ggnn.graph.has_self_loops()
+
+
+class TestGanns:
+    @pytest.fixture(scope="class")
+    def ganns(self, small_data):
+        return GannsIndex(small_data, degree=16, seed=0).build()
+
+    def test_recall(self, ganns, small_queries, small_truth):
+        ids, _, _ = ganns.search(small_queries, 10, beam_width=64, num_seeds=8)
+        assert recall(ids, small_truth) > 0.8
+
+    def test_degree_cap(self, ganns):
+        for row in ganns.adjacency:
+            assert len(row) <= 16
+
+    def test_batched_construction(self, ganns):
+        assert ganns.build_stats.num_batches >= 2
+
+    def test_average_degree(self, ganns):
+        assert 4 <= ganns.average_degree <= 16
+
+    def test_search_before_build_raises(self, small_data):
+        with pytest.raises(RuntimeError):
+            GannsIndex(small_data).search(small_data[:1], 1)
+
+
+class TestBaselineDeterminism:
+    def test_ggnn_search_deterministic(self, small_data, small_queries):
+        g = GgnnIndex(small_data[:400], degree=8, shard_size=150, seed=0).build()
+        a, _, _ = g.search(small_queries[:5], 5, beam_width=32)
+        b, _, _ = g.search(small_queries[:5], 5, beam_width=32)
+        np.testing.assert_array_equal(a, b)
+
+    def test_ganns_search_deterministic(self, small_data, small_queries):
+        g = GannsIndex(small_data[:400], degree=8, seed=0).build()
+        a, _, _ = g.search(small_queries[:5], 5, beam_width=32, seed=3)
+        b, _, _ = g.search(small_queries[:5], 5, beam_width=32, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_hnsw_build_deterministic(self, small_data):
+        a = HnswIndex(small_data[:200], m=6, ef_construction=30, seed=4).build()
+        b = HnswIndex(small_data[:200], m=6, ef_construction=30, seed=4).build()
+        assert a.max_level == b.max_level
+        for node in (0, 50, 150):
+            np.testing.assert_array_equal(a.layers[0][node], b.layers[0][node])

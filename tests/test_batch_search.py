@@ -1,0 +1,179 @@
+"""Tests for the vectorized lockstep batch search (fast path)."""
+
+import numpy as np
+import pytest
+
+from repro import SearchConfig
+from repro.core.batch_search import _merge_rows, search_batch_fast
+from repro.core.graph import INDEX_MASK, PARENT_FLAG
+from repro.core.metrics import recall
+
+
+class TestMergeRows:
+    def test_basic(self):
+        topm = np.array([[1, 2]], dtype=np.uint32)
+        topm_d = np.array([[1.0, 3.0]])
+        cand = np.array([[3]], dtype=np.uint32)
+        cand_d = np.array([[2.0]])
+        ids, dists = _merge_rows(topm, topm_d, cand, cand_d, 3)
+        np.testing.assert_array_equal(ids, [[1, 3, 2]])
+        np.testing.assert_allclose(dists, [[1.0, 2.0, 3.0]])
+
+    def test_parented_copy_wins(self):
+        flagged = np.uint32(7) | PARENT_FLAG
+        topm = np.array([[flagged]], dtype=np.uint32)
+        topm_d = np.array([[1.5]])
+        cand = np.array([[7]], dtype=np.uint32)
+        cand_d = np.array([[1.5]])
+        ids, _ = _merge_rows(topm, topm_d, cand, cand_d, 2)
+        assert ids[0, 0] == flagged
+        assert ids[0, 1] == INDEX_MASK
+
+    def test_matches_scalar_merge_topm(self):
+        from repro.core.topm import merge_topm
+
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            topm_ids = rng.choice(100, size=8, replace=False).astype(np.uint32)
+            topm_d = np.sort(rng.random(8))
+            cand_ids = rng.choice(100, size=12, replace=True).astype(np.uint32)
+            cand_d = rng.random(12)
+            ref_ids, ref_d = merge_topm(topm_ids, topm_d, cand_ids, cand_d, 8)
+            fast_ids, fast_d = _merge_rows(
+                topm_ids[None], topm_d[None], cand_ids[None], cand_d[None], 8
+            )
+            np.testing.assert_allclose(fast_d[0], ref_d)
+            finite = np.isfinite(ref_d)
+            np.testing.assert_array_equal(fast_ids[0][finite], ref_ids[finite])
+
+    def test_rows_independent(self):
+        rng = np.random.default_rng(1)
+        topm = rng.choice(50, size=(3, 4), replace=True).astype(np.uint32)
+        topm_d = np.sort(rng.random((3, 4)), axis=1)
+        cand = rng.choice(50, size=(3, 6), replace=True).astype(np.uint32)
+        cand_d = rng.random((3, 6))
+        ids_all, d_all = _merge_rows(topm, topm_d, cand, cand_d, 4)
+        for row in range(3):
+            ids_one, d_one = _merge_rows(
+                topm[row : row + 1], topm_d[row : row + 1],
+                cand[row : row + 1], cand_d[row : row + 1], 4,
+            )
+            np.testing.assert_allclose(d_all[row], d_one[0])
+
+
+class TestSearchBatchFast:
+    def test_recall_matches_reference(self, small_index, small_queries, small_truth):
+        config = SearchConfig(itopk=64, algo="single_cta")
+        ref = small_index.search(small_queries, 10, config)
+        fast = small_index.search_fast(small_queries, 10, config)
+        ref_recall = recall(ref.indices, small_truth)
+        fast_recall = recall(fast.indices, small_truth)
+        assert fast_recall >= ref_recall - 0.05
+
+    def test_contract_properties(self, small_index, small_queries):
+        result = small_index.search_fast(small_queries, 10, SearchConfig(itopk=32))
+        assert result.indices.shape == (len(small_queries), 10)
+        assert (result.indices <= INDEX_MASK).all()
+        finite = np.isfinite(result.distances)
+        for row, mask in zip(result.distances, finite):
+            assert (np.diff(row[mask]) >= 0).all()
+        for row in result.indices:
+            assert len(set(row.tolist())) == len(row)
+
+    def test_distances_are_true(self, small_index, small_queries):
+        from repro.core.distances import distances_to_query
+
+        result = small_index.search_fast(small_queries[:5], 5, SearchConfig(itopk=32))
+        for i in range(5):
+            ref = distances_to_query(
+                small_index.dataset, small_queries[i], result.indices[i]
+            )
+            np.testing.assert_allclose(result.distances[i], ref, rtol=1e-3, atol=1e-3)
+
+    def test_deterministic(self, small_index, small_queries):
+        config = SearchConfig(itopk=32, seed=7)
+        a = small_index.search_fast(small_queries, 5, config)
+        b = small_index.search_fast(small_queries, 5, config)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_same_init_as_reference(self, small_index, small_queries):
+        """Fast and reference paths draw identical per-query seed nodes."""
+        config = SearchConfig(itopk=16, max_iterations=1, seed=5)
+        fast = small_index.search_fast(small_queries[:3], 5, config)
+        ref = small_index.search(
+            small_queries[:3], 5, config.with_overrides(algo="single_cta")
+        )
+        # After one iteration both have merged exactly the init candidates.
+        np.testing.assert_array_equal(fast.indices[:, 0], ref.indices[:, 0])
+
+    def test_counters_populate(self, small_index, small_queries):
+        result = small_index.search_fast(small_queries, 10, SearchConfig(itopk=32))
+        report = result.report
+        assert report.distance_computations > 0
+        assert report.candidate_gathers > 0
+        assert report.iterations > 0
+        assert report.batch_size == len(small_queries)
+
+    def test_filter_mask(self, small_index, small_queries):
+        mask = np.zeros(small_index.size, dtype=bool)
+        mask[::2] = True
+        result = small_index.search_fast(
+            small_queries, 5, SearchConfig(itopk=64), filter_mask=mask
+        )
+        assert (result.indices % 2 == 0).all()
+
+    def test_filter_validation(self, small_index, small_queries):
+        with pytest.raises(ValueError, match="one entry per dataset row"):
+            small_index.search_fast(
+                small_queries, 5, filter_mask=np.ones(3, dtype=bool)
+            )
+
+    def test_search_width_supported(self, small_index, small_queries, small_truth):
+        result = small_index.search_fast(
+            small_queries, 10, SearchConfig(itopk=64, search_width=2)
+        )
+        assert recall(result.indices, small_truth) > 0.9
+
+    def test_faster_than_reference(self, small_index, small_queries):
+        import time
+
+        config = SearchConfig(itopk=64, algo="single_cta")
+        started = time.perf_counter()
+        small_index.search(small_queries, 10, config)
+        ref_time = time.perf_counter() - started
+        started = time.perf_counter()
+        small_index.search_fast(small_queries, 10, config)
+        fast_time = time.perf_counter() - started
+        assert fast_time < ref_time
+
+    def test_k_validation(self, small_index, small_queries):
+        with pytest.raises(ValueError, match="k must be"):
+            small_index.search_fast(small_queries, 0)
+
+
+class TestChunking:
+    def test_chunked_equals_unchunked(self, small_index, small_queries, monkeypatch):
+        """Forcing a tiny visited-table budget must not change results:
+        per-query RNG streams are offset by chunk position."""
+        from repro.core import batch_search
+
+        config = SearchConfig(itopk=32, seed=3)
+        whole = small_index.search_fast(small_queries, 5, config)
+        monkeypatch.setattr(
+            batch_search, "_VISITED_BUDGET_BYTES", small_index.size * 7
+        )
+        chunked = small_index.search_fast(small_queries, 5, config)
+        np.testing.assert_array_equal(whole.indices, chunked.indices)
+        np.testing.assert_allclose(whole.distances, chunked.distances)
+
+    def test_chunked_counters_aggregate(self, small_index, small_queries, monkeypatch):
+        from repro.core import batch_search
+
+        config = SearchConfig(itopk=32, seed=3)
+        whole = small_index.search_fast(small_queries, 5, config)
+        monkeypatch.setattr(
+            batch_search, "_VISITED_BUDGET_BYTES", small_index.size * 7
+        )
+        chunked = small_index.search_fast(small_queries, 5, config)
+        assert chunked.report.batch_size == len(small_queries)
+        assert chunked.report.distance_computations == whole.report.distance_computations

@@ -1,0 +1,224 @@
+"""Unit tests for repro.bench — harness and reporting."""
+
+import numpy as np
+import pytest
+
+from repro import SearchConfig
+from repro.baselines import BeamCounters, HnswIndex
+from repro.bench import (
+    MethodCurve,
+    SweepPoint,
+    beam_to_report,
+    format_curve_table,
+    format_table,
+    run_beam_sweep_cpu,
+    run_beam_sweep_gpu,
+    run_cagra_sweep,
+    run_hnsw_sweep,
+    scale_report,
+    speedup_at_recall,
+)
+from repro.core.search import CostReport
+
+
+def _curve(name, pairs):
+    return MethodCurve(
+        method=name,
+        points=[SweepPoint(param=i, recall=r, qps=q, seconds=1 / q,
+                           distance_computations_per_query=100)
+                for i, (r, q) in enumerate(pairs)],
+    )
+
+
+class TestMethodCurve:
+    def test_qps_at_recall_picks_best_eligible(self):
+        curve = _curve("x", [(0.90, 100.0), (0.95, 60.0), (0.99, 20.0)])
+        assert curve.qps_at_recall(0.95) == 60.0
+        assert curve.qps_at_recall(0.91) == 60.0
+        assert curve.qps_at_recall(0.999) is None
+
+    def test_max_recall(self):
+        assert _curve("x", [(0.5, 1.0), (0.8, 0.5)]).max_recall() == 0.8
+        assert MethodCurve("empty", []).max_recall() == 0.0
+
+
+class TestScaleReport:
+    def test_counters_scale_linearly(self):
+        report = CostReport(
+            batch_size=10, cta_count=10, iterations=100,
+            distance_computations=1000, hash_probes=2000,
+            hash_in_shared=True, hash_log2_size=11,
+        )
+        scaled = scale_report(report, 100.0)
+        assert scaled.batch_size == 1000
+        assert scaled.cta_count == 1000
+        assert scaled.distance_computations == 100_000
+        assert scaled.hash_probes == 200_000
+        assert scaled.hash_in_shared
+        assert scaled.hash_log2_size == 11
+
+    def test_downscale(self):
+        report = CostReport(batch_size=100, cta_count=100, distance_computations=5000)
+        scaled = scale_report(report, 0.01)
+        assert scaled.batch_size == 1
+        assert scaled.distance_computations == 50
+
+
+class TestBeamToReport:
+    def test_translation(self):
+        counters = BeamCounters(distance_computations=400, hops=40, queries=4)
+        report = beam_to_report(counters, degree=32, beam_width=64)
+        assert report.cta_count == 4
+        assert report.distance_computations == 400
+        assert report.candidate_gathers == 40 * 32
+        assert report.serial_queue_ops == 400 * 6  # log2(64)
+        assert not report.hash_in_shared
+
+
+class TestSweepRunners:
+    def test_cagra_sweep(self, small_index, small_queries, small_truth):
+        curve = run_cagra_sweep(
+            small_index, small_queries, small_truth, 10, [16, 64], 10_000,
+            SearchConfig(algo="single_cta"),
+        )
+        assert len(curve.points) == 2
+        assert all(p.qps > 0 for p in curve.points)
+        assert curve.points[1].recall >= curve.points[0].recall - 0.02
+
+    def test_hnsw_sweep(self, small_data, small_queries, small_truth):
+        hnsw = HnswIndex(small_data, m=8, ef_construction=40).build()
+        curve = run_hnsw_sweep(hnsw, small_queries, small_truth, 10, [16, 64], 10_000)
+        assert len(curve.points) == 2
+        assert all(p.qps > 0 for p in curve.points)
+
+    def test_gpu_beam_sweep(self, small_index, small_queries, small_truth):
+        from repro.baselines import nssg_search
+
+        def fn(queries, k, beam):
+            return nssg_search(
+                small_index.dataset, small_index.graph, queries, k, beam_width=beam
+            )
+
+        curve = run_beam_sweep_gpu(
+            "X", fn, small_queries, small_truth, 10, [32], 10_000, dim=32, degree=16
+        )
+        assert curve.points[0].qps > 0
+
+    def test_cpu_beam_sweep(self, small_index, small_queries, small_truth):
+        from repro.baselines import nssg_search
+
+        def fn(queries, k, beam):
+            return nssg_search(
+                small_index.dataset, small_index.graph, queries, k, beam_width=beam
+            )
+
+        curve = run_beam_sweep_cpu(
+            "X", fn, small_queries, small_truth, 10, [32], 10_000, dim=32
+        )
+        assert curve.points[0].qps > 0
+
+    def test_gpu_baseline_priced_above_cagra_kernel(
+        self, small_index, small_queries, small_truth
+    ):
+        """At matched work, the un-teamed device-hash kernel must be slower
+        than CAGRA's (the Fig. 13 GPU-vs-GPU gap)."""
+        from repro.baselines import nssg_search
+
+        cagra = run_cagra_sweep(
+            small_index, small_queries, small_truth, 10, [64], 10_000,
+            SearchConfig(algo="single_cta"),
+        )
+
+        def fn(queries, k, beam):
+            return nssg_search(
+                small_index.dataset, small_index.graph, queries, k, beam_width=beam
+            )
+
+        baseline = run_beam_sweep_gpu(
+            "X", fn, small_queries, small_truth, 10, [64], 10_000, dim=32, degree=16
+        )
+        # Normalize per distance computation to factor out work differences.
+        c = cagra.points[0]
+        b = baseline.points[0]
+        cagra_time_per_dist = c.seconds / max(1, c.distance_computations_per_query)
+        base_time_per_dist = b.seconds / max(1, b.distance_computations_per_query)
+        assert base_time_per_dist > cagra_time_per_dist
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xx", 0.001]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_curve_table_contains_methods(self):
+        text = format_curve_table([_curve("alpha", [(0.9, 10.0)])], title="T")
+        assert "T" in text
+        assert "alpha" in text
+
+    def test_speedup_table(self):
+        curves = [
+            _curve("ref", [(0.95, 10.0)]),
+            _curve("fast", [(0.95, 40.0)]),
+        ]
+        text = speedup_at_recall(curves, "ref", [0.95])
+        assert "4.0x" in text
+
+    def test_speedup_unreachable_target(self):
+        curves = [_curve("ref", [(0.9, 10.0)]), _curve("slow", [(0.8, 1.0)])]
+        text = speedup_at_recall(curves, "ref", [0.99])
+        assert "n/a" in text
+
+    def test_speedup_missing_reference_raises(self):
+        with pytest.raises(KeyError):
+            speedup_at_recall([_curve("a", [(0.9, 1.0)])], "zzz", [0.9])
+
+
+class TestFormatting:
+    def test_fmt_large_numbers(self):
+        from repro.bench.reporting import _fmt
+
+        assert _fmt(1234567.0) == "1,234,567"
+        assert _fmt(12.345) == "12.35"
+        assert _fmt(0.01234) == "0.0123"
+        assert _fmt(0.0) == "0"
+        assert _fmt("text") == "text"
+        assert _fmt(7) == "7"
+
+    def test_table_handles_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+        assert len(text.splitlines()) == 2
+
+
+class TestIterationTrace:
+    def test_recall_monotone_in_budget(self, small_index, small_queries, small_truth):
+        from repro.bench import iteration_trace
+
+        points = iteration_trace(
+            small_index, small_queries, small_truth, 10, [1, 4, 16, 64],
+            SearchConfig(itopk=64),
+        )
+        assert len(points) == 4
+        recalls = [p.recall for p in points]
+        assert recalls[-1] >= recalls[0]
+        assert recalls[-1] > 0.9
+        # Work grows with budget.
+        dists = [p.distance_computations_per_query for p in points]
+        assert dists[-1] >= dists[0]
+
+    def test_convergence_fraction_rises(self, small_index, small_queries, small_truth):
+        from repro.bench import iteration_trace
+
+        points = iteration_trace(
+            small_index, small_queries, small_truth, 10, [2, 128],
+            SearchConfig(itopk=32),
+        )
+        assert points[-1].converged_fraction > points[0].converged_fraction
+
+    def test_budget_validation(self, small_index, small_queries, small_truth):
+        from repro.bench import iteration_trace
+
+        with pytest.raises(ValueError, match="budgets"):
+            iteration_trace(small_index, small_queries, small_truth, 10, [0])

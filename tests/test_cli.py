@@ -1,0 +1,106 @@
+"""Tests for the repro-cagra command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_info_parses(self):
+        args = build_parser().parse_args(["info"])
+        assert args.command == "info"
+
+    def test_build_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["build"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["build", "--out", "x.npz"])
+        assert args.dataset == "deep-1m"
+        assert args.reordering == "rank"
+        assert args.dtype == "float32"
+
+
+class TestCommands:
+    def test_info_lists_datasets(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        for name in ("sift-1m", "gist-1m", "glove-200", "nytimes", "deep-1m"):
+            assert name in out
+
+    def test_build_and_search(self, tmp_path, capsys):
+        index_path = str(tmp_path / "idx.npz")
+        rc = main([
+            "build", "--dataset", "deep-1m", "--scale", "400",
+            "--degree", "8", "--out", index_path, "--queries", "5",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "built CagraIndex" in out
+
+        rc = main([
+            "search", "--index", index_path, "--dataset", "deep-1m",
+            "--scale", "400", "--queries", "10", "-k", "5", "--itopk", "32",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recall@5" in out
+
+    def test_build_fp16(self, tmp_path, capsys):
+        index_path = str(tmp_path / "half.npz")
+        rc = main([
+            "build", "--dataset", "deep-1m", "--scale", "300",
+            "--degree", "8", "--out", index_path, "--dtype", "float16",
+        ])
+        assert rc == 0
+
+    def test_fvecs_input(self, tmp_path, capsys):
+        from repro.datasets import write_fvecs
+
+        data = np.random.default_rng(0).standard_normal((300, 16)).astype(np.float32)
+        fvecs = str(tmp_path / "data.fvecs")
+        write_fvecs(fvecs, data)
+        index_path = str(tmp_path / "idx.npz")
+        rc = main(["build", "--fvecs", fvecs, "--degree", "8", "--out", index_path])
+        assert rc == 0
+
+
+class TestValidateAndReport:
+    def test_validate_command(self, tmp_path, capsys):
+        index_path = str(tmp_path / "v.npz")
+        main(["build", "--dataset", "deep-1m", "--scale", "400",
+              "--degree", "8", "--out", index_path])
+        capsys.readouterr()
+        rc = main(["validate", "--index", index_path, "--sample", "100"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "OK" in out
+        assert "strong CC" in out
+
+    def test_report_command_missing_dir(self, tmp_path, capsys):
+        rc = main(["report", "--results", str(tmp_path / "nope")])
+        assert rc == 1
+
+    def test_report_command_reads_results(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig1.txt").write_text("hello table\n")
+        rc = main(["report", "--results", str(results)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fig1" in out
+        assert "hello table" in out
+
+    def test_search_fast_flag(self, tmp_path, capsys):
+        index_path = str(tmp_path / "f.npz")
+        main(["build", "--dataset", "deep-1m", "--scale", "400",
+              "--degree", "8", "--out", index_path])
+        rc = main(["search", "--index", index_path, "--dataset", "deep-1m",
+                   "--scale", "400", "--queries", "10", "-k", "5", "--fast"])
+        assert rc == 0
+        assert "recall@5" in capsys.readouterr().out

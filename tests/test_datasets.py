@@ -1,0 +1,176 @@
+"""Unit tests for repro.datasets — generators, registry, texmex IO."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    load_dataset,
+    read_fvecs,
+    read_ivecs,
+    write_fvecs,
+    write_ivecs,
+)
+from repro.datasets.io import read_bvecs
+from repro.datasets.synthetic import clustered_gaussian, hard_heavy_tailed, make_queries
+
+
+class TestGenerators:
+    def test_shapes_and_dtype(self):
+        data = clustered_gaussian(500, 96, seed=0)
+        assert data.shape == (500, 96)
+        assert data.dtype == np.float32
+
+    def test_deterministic(self):
+        a = clustered_gaussian(200, 32, seed=5)
+        b = clustered_gaussian(200, 32, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seeds_differ(self):
+        a = clustered_gaussian(200, 32, seed=5)
+        b = clustered_gaussian(200, 32, seed=6)
+        assert not np.array_equal(a, b)
+
+    def test_hard_is_normalized(self):
+        data = hard_heavy_tailed(300, 64, seed=0)
+        np.testing.assert_allclose(np.linalg.norm(data, axis=1), 1.0, rtol=1e-4)
+
+    def test_hard_unnormalized_option(self):
+        data = hard_heavy_tailed(300, 64, seed=0, normalize=False)
+        norms = np.linalg.norm(data, axis=1)
+        assert norms.std() > 0.01
+
+    def test_clustered_has_structure(self):
+        """Clustered data must have lower NN distances than iid Gaussian."""
+        rng = np.random.default_rng(0)
+        clustered = clustered_gaussian(400, 64, seed=1)
+        iid = rng.standard_normal((400, 64)).astype(np.float32)
+
+        def mean_nn(data):
+            d = ((data[:, None].astype(np.float64) - data[None]) ** 2).sum(-1)
+            np.fill_diagonal(d, np.nan)
+            return np.nanmean(np.nanmin(d, axis=1) / np.nanmean(d, axis=1))
+
+        assert mean_nn(clustered) < mean_nn(iid)
+
+    def test_knn_graph_connectivity(self):
+        """The generated manifold must give connected k-NN graphs —
+        the property that makes graph ANN meaningful (see module doc)."""
+        from repro.core.metrics import weak_connected_components
+        from repro.core.nn_descent import brute_force_knn_graph
+
+        data = clustered_gaussian(600, 48, seed=2)
+        knn = brute_force_knn_graph(data, 16)
+        assert weak_connected_components(knn.graph) == 1
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            clustered_gaussian(0, 16)
+        with pytest.raises(ValueError):
+            hard_heavy_tailed(10, 1)
+
+    def test_make_queries_shape(self):
+        data = clustered_gaussian(300, 32, seed=0)
+        queries = make_queries(data, 17, seed=1)
+        assert queries.shape == (17, 32)
+        assert queries.dtype == np.float32
+
+    def test_make_queries_not_dataset_members(self):
+        data = clustered_gaussian(300, 32, seed=0)
+        queries = make_queries(data, 10, seed=1)
+        d = ((queries[:, None].astype(np.float64) - data[None]) ** 2).sum(-1)
+        assert d.min() > 1e-6
+
+    def test_make_queries_count_validation(self):
+        with pytest.raises(ValueError):
+            make_queries(np.zeros((5, 3), dtype=np.float32), 0)
+
+
+class TestRegistry:
+    def test_table1_datasets_present(self):
+        """The registry mirrors Table I of the paper."""
+        expected = {
+            "sift-1m": (128, 1_000_000, 32),
+            "gist-1m": (960, 1_000_000, 48),
+            "glove-200": (200, 1_183_514, 80),
+            "nytimes": (256, 290_000, 64),
+            "deep-1m": (96, 1_000_000, 32),
+            "deep-10m": (96, 10_000_000, 32),
+            "deep-100m": (96, 100_000_000, 32),
+        }
+        for name, (dim, size, degree) in expected.items():
+            spec = DATASETS[name]
+            assert spec.dim == dim
+            assert spec.original_size == size
+            assert spec.graph_degree == degree
+
+    def test_load_scaled(self):
+        bundle = load_dataset("deep-1m", scale=500, num_queries=10)
+        assert bundle.data.shape == (500, 96)
+        assert bundle.queries.shape == (10, 96)
+        assert bundle.scale_factor == pytest.approx(1_000_000 / 500)
+
+    def test_load_default_scale(self):
+        bundle = load_dataset("nytimes", scale=300, num_queries=5)
+        assert bundle.spec.metric == "inner_product"
+
+    def test_case_insensitive(self):
+        assert load_dataset("DEEP-1M", scale=100, num_queries=2).spec.name == "deep-1m"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("imagenet")
+
+    def test_hard_datasets_use_hard_generator(self):
+        glove = load_dataset("glove-200", scale=300, num_queries=2)
+        np.testing.assert_allclose(np.linalg.norm(glove.data, axis=1), 1.0, rtol=1e-4)
+
+
+class TestTexmexIo:
+    def test_fvecs_roundtrip(self, tmp_path):
+        data = np.random.default_rng(0).standard_normal((20, 7)).astype(np.float32)
+        path = str(tmp_path / "x.fvecs")
+        write_fvecs(path, data)
+        loaded = read_fvecs(path)
+        np.testing.assert_array_equal(loaded, data)
+
+    def test_ivecs_roundtrip(self, tmp_path):
+        data = np.random.default_rng(0).integers(0, 1000, size=(15, 10)).astype(np.int32)
+        path = str(tmp_path / "x.ivecs")
+        write_ivecs(path, data)
+        np.testing.assert_array_equal(read_ivecs(path), data)
+
+    def test_limit(self, tmp_path):
+        data = np.arange(50, dtype=np.float32).reshape(10, 5)
+        path = str(tmp_path / "x.fvecs")
+        write_fvecs(path, data)
+        loaded = read_fvecs(path, limit=3)
+        np.testing.assert_array_equal(loaded, data[:3])
+
+    def test_bvecs(self, tmp_path):
+        # Hand-roll a bvecs file: int32 dim header + uint8 body per row.
+        path = str(tmp_path / "x.bvecs")
+        rows = np.random.default_rng(0).integers(0, 256, size=(6, 4)).astype(np.uint8)
+        with open(path, "wb") as handle:
+            for row in rows:
+                np.array([4], dtype="<i4").tofile(handle)
+                row.tofile(handle)
+        np.testing.assert_array_equal(read_bvecs(path), rows)
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.fvecs")
+        with open(path, "wb") as handle:
+            np.array([7], dtype="<i4").tofile(handle)
+            np.zeros(3, dtype="<f4").tofile(handle)  # truncated record
+        with pytest.raises(ValueError, match="not a multiple"):
+            read_fvecs(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = str(tmp_path / "empty.fvecs")
+        open(path, "wb").close()
+        with pytest.raises(ValueError, match="empty"):
+            read_fvecs(path)
+
+    def test_write_rejects_1d(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_fvecs(str(tmp_path / "x.fvecs"), np.zeros(5, dtype=np.float32))

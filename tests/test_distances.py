@@ -1,0 +1,156 @@
+"""Unit tests for repro.core.distances."""
+
+import numpy as np
+import pytest
+
+from repro.core.distances import (
+    METRICS,
+    as_storage_dtype,
+    distance_function,
+    distances_to_query,
+    gathered_distances,
+    normalize_rows,
+    pairwise_distances,
+)
+
+
+class TestPairwiseDistances:
+    def test_sqeuclidean_matches_manual(self, tiny_data):
+        d = pairwise_distances(tiny_data[:10], tiny_data[:20])
+        manual = np.array(
+            [
+                [((a.astype(np.float64) - b) ** 2).sum() for b in tiny_data[:20]]
+                for a in tiny_data[:10].astype(np.float64)
+            ]
+        )
+        np.testing.assert_allclose(d, manual, rtol=1e-4, atol=1e-3)
+
+    def test_self_distance_is_zero(self, tiny_data):
+        d = pairwise_distances(tiny_data, tiny_data)
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-2)
+
+    def test_nonnegative(self, tiny_data):
+        d = pairwise_distances(tiny_data, tiny_data)
+        assert (d >= 0).all()
+
+    def test_symmetry(self, tiny_data):
+        d = pairwise_distances(tiny_data, tiny_data)
+        np.testing.assert_allclose(d, d.T, rtol=1e-5, atol=1e-3)
+
+    def test_inner_product_is_negated(self):
+        a = np.array([[1.0, 0.0]], dtype=np.float32)
+        b = np.array([[2.0, 0.0], [-3.0, 0.0]], dtype=np.float32)
+        d = pairwise_distances(a, b, metric="inner_product")
+        np.testing.assert_allclose(d, [[-2.0, 3.0]])
+
+    def test_cosine_range(self, tiny_data):
+        d = pairwise_distances(tiny_data, tiny_data, metric="cosine")
+        assert d.min() >= -1.0 - 1e-6
+        assert d.max() <= 1.0 + 1e-6
+
+    def test_cosine_self_is_minus_one(self, tiny_data):
+        d = pairwise_distances(tiny_data, tiny_data, metric="cosine")
+        np.testing.assert_allclose(np.diag(d), -1.0, atol=1e-5)
+
+    def test_unknown_metric_raises(self, tiny_data):
+        with pytest.raises(ValueError, match="unknown metric"):
+            pairwise_distances(tiny_data, tiny_data, metric="manhattan")
+
+    def test_smaller_is_better_ordering_consistent(self, tiny_data):
+        """Top-1 under each metric must agree with the scalar reference."""
+        for metric in METRICS:
+            d = pairwise_distances(tiny_data[:5], tiny_data, metric=metric)
+            f = distance_function(metric)
+            for i in range(5):
+                ref = np.array([f(tiny_data[i], row) for row in tiny_data])
+                assert np.argmin(d[i]) == np.argmin(ref)
+
+
+class TestDistancesToQuery:
+    def test_matches_pairwise(self, tiny_data):
+        q = tiny_data[3]
+        d = distances_to_query(tiny_data, q)
+        full = pairwise_distances(q[None, :], tiny_data)[0]
+        np.testing.assert_allclose(d, full, rtol=1e-4, atol=1e-3)
+
+    def test_subset_indices(self, tiny_data):
+        idx = np.array([5, 17, 3])
+        d = distances_to_query(tiny_data, tiny_data[0], idx)
+        full = distances_to_query(tiny_data, tiny_data[0])
+        np.testing.assert_allclose(d, full[idx], rtol=1e-5)
+
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_all_metrics_shapes(self, tiny_data, metric):
+        d = distances_to_query(tiny_data, tiny_data[0], metric=metric)
+        assert d.shape == (len(tiny_data),)
+
+    def test_zero_query_cosine(self, tiny_data):
+        d = distances_to_query(tiny_data, np.zeros(16, dtype=np.float32), metric="cosine")
+        assert np.isfinite(d).all()
+
+
+class TestGatheredDistances:
+    def test_matches_per_query(self, tiny_data):
+        queries = tiny_data[:4]
+        indices = np.array([[1, 2, 3], [4, 5, 6], [7, 8, 9], [0, 10, 11]])
+        d = gathered_distances(tiny_data, queries, indices)
+        for i in range(4):
+            ref = distances_to_query(tiny_data, queries[i], indices[i])
+            np.testing.assert_allclose(d[i], ref, rtol=1e-4, atol=1e-3)
+
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_metrics_shapes(self, tiny_data, metric):
+        indices = np.tile(np.arange(5), (3, 1))
+        d = gathered_distances(tiny_data, tiny_data[:3], indices, metric=metric)
+        assert d.shape == (3, 5)
+
+    def test_inner_product_matches_reference(self, tiny_data):
+        indices = np.array([[0, 1], [2, 3]])
+        d = gathered_distances(tiny_data, tiny_data[:2], indices, metric="inner_product")
+        f = distance_function("inner_product")
+        for q in range(2):
+            for j in range(2):
+                assert d[q, j] == pytest.approx(
+                    f(tiny_data[q], tiny_data[indices[q, j]]), rel=1e-4
+                )
+
+
+class TestNormalizeRows:
+    def test_unit_norms(self, tiny_data):
+        normed = normalize_rows(tiny_data.astype(np.float64))
+        np.testing.assert_allclose(np.linalg.norm(normed, axis=1), 1.0, rtol=1e-6)
+
+    def test_zero_row_untouched(self):
+        data = np.zeros((2, 4))
+        data[1] = [3.0, 4.0, 0.0, 0.0]
+        normed = normalize_rows(data)
+        np.testing.assert_allclose(normed[0], 0.0)
+        np.testing.assert_allclose(np.linalg.norm(normed[1]), 1.0)
+
+
+class TestStorageDtype:
+    def test_float16_quantizes(self):
+        data = np.array([[1.0001]], dtype=np.float32)
+        half = as_storage_dtype(data, "float16")
+        assert half.dtype == np.float16
+        assert half[0, 0] != np.float32(1.0001) or True  # representable check below
+        assert abs(float(half[0, 0]) - 1.0001) < 1e-3
+
+    def test_float32_roundtrip(self, tiny_data):
+        out = as_storage_dtype(tiny_data, "float32")
+        assert out.dtype == np.float32
+        np.testing.assert_array_equal(out, tiny_data)
+
+    def test_invalid_dtype_raises(self, tiny_data):
+        with pytest.raises(ValueError, match="float32 or float16"):
+            as_storage_dtype(tiny_data, "int8")
+
+    def test_fp16_search_quality_preserved(self, tiny_data):
+        """FP16 storage must not reorder top-1 results materially."""
+        half = as_storage_dtype(tiny_data, "float16")
+        d32 = pairwise_distances(tiny_data[:10], tiny_data)
+        d16 = pairwise_distances(half[:10], half)
+        agree = sum(
+            np.argmin(d32[i]) == np.argmin(d16[i]) for i in range(10)
+        )
+        assert agree >= 9

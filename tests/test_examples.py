@@ -1,0 +1,48 @@
+"""Smoke tests: every example must run end-to-end at reduced scale.
+
+Examples are part of the public deliverable; these tests keep them green
+as the library evolves.  Each ``main`` accepts ``scale``/``num_queries``
+overrides so the smoke runs stay fast.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def _load_example(name):
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name,kwargs",
+    [
+        ("quickstart", dict(scale=600, num_queries=15)),
+        ("graph_quality_analysis", dict(scale=600, num_queries=15)),
+        ("online_single_query", dict(scale=500, num_queries=8)),
+        ("fp16_and_persistence", dict(scale=400, num_queries=10)),
+        ("sharded_and_filtered", dict(scale=600, num_queries=15)),
+    ],
+)
+def test_example_runs(name, kwargs, capsys):
+    module = _load_example(name)
+    module.main(**kwargs)
+    out = capsys.readouterr().out
+    assert len(out) > 50  # produced a report
+
+
+@pytest.mark.slow
+def test_batch_throughput_example_runs(capsys):
+    """The heaviest example (builds three indexes); still bounded."""
+    module = _load_example("batch_throughput")
+    module.main(scale=700, num_queries=12)
+    out = capsys.readouterr().out
+    assert "speedup vs HNSW" in out

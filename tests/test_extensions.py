@@ -1,0 +1,238 @@
+"""Tests for the extension features: filtered search, refine, extend,
+multi-GPU sharding."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CagraIndex,
+    GraphBuildConfig,
+    SearchConfig,
+    ShardedCagraIndex,
+    refine,
+)
+from repro.baselines import exact_search
+from repro.core.metrics import recall
+
+
+class TestFilteredSearch:
+    def test_results_respect_mask(self, small_index, small_queries):
+        mask = np.zeros(small_index.size, dtype=bool)
+        mask[::3] = True
+        result = small_index.search(
+            small_queries, 5, SearchConfig(itopk=64), filter_mask=mask
+        )
+        assert (result.indices % 3 == 0).all()
+
+    def test_filtered_recall_against_filtered_truth(
+        self, small_index, small_data, small_queries
+    ):
+        mask = np.zeros(small_index.size, dtype=bool)
+        mask[: small_index.size // 2] = True
+        allowed = np.nonzero(mask)[0]
+        truth_local, _ = exact_search(small_data[allowed], small_queries, 10)
+        truth = allowed[truth_local.astype(np.int64)]
+        result = small_index.search(
+            small_queries, 10, SearchConfig(itopk=128), filter_mask=mask
+        )
+        assert recall(result.indices, truth) > 0.8
+
+    def test_mask_shape_validated(self, small_index, small_queries):
+        with pytest.raises(ValueError, match="one entry per dataset row"):
+            small_index.search(
+                small_queries, 5, filter_mask=np.ones(3, dtype=bool)
+            )
+
+    def test_all_false_mask_rejected(self, small_index, small_queries):
+        with pytest.raises(ValueError, match="excludes every node"):
+            small_index.search(
+                small_queries, 5,
+                filter_mask=np.zeros(small_index.size, dtype=bool),
+            )
+
+    def test_all_true_mask_matches_unfiltered(self, small_index, small_queries):
+        config = SearchConfig(itopk=32, seed=3)
+        plain = small_index.search(small_queries[:5], 5, config)
+        masked = small_index.search(
+            small_queries[:5], 5, config,
+            filter_mask=np.ones(small_index.size, dtype=bool),
+        )
+        np.testing.assert_array_equal(plain.indices, masked.indices)
+
+    def test_multi_cta_filtering(self, small_index, small_queries):
+        mask = np.zeros(small_index.size, dtype=bool)
+        mask[::2] = True
+        result = small_index.search(
+            small_queries[:3], 5, SearchConfig(itopk=64, algo="multi_cta"),
+            filter_mask=mask,
+        )
+        assert (result.indices % 2 == 0).all()
+
+
+class TestRefine:
+    def test_refine_picks_true_best(self, small_data, small_queries):
+        truth, truth_d = exact_search(small_data, small_queries, 5)
+        # Candidates: the true top-10 shuffled — refine must recover top-5.
+        wide, _ = exact_search(small_data, small_queries, 10)
+        rng = np.random.default_rng(0)
+        shuffled = np.take_along_axis(
+            wide, rng.permuted(np.tile(np.arange(10), (len(wide), 1)), axis=1), axis=1
+        )
+        ids, dists = refine(small_data, small_queries, shuffled, 5)
+        assert recall(ids, truth) == 1.0
+        np.testing.assert_allclose(dists, truth_d, rtol=1e-4, atol=1e-3)
+
+    def test_refine_handles_duplicates(self, small_data, small_queries):
+        wide, _ = exact_search(small_data, small_queries, 5)
+        doubled = np.hstack([wide, wide])
+        ids, _ = refine(small_data, small_queries, doubled, 5)
+        for row in ids:
+            assert len(set(row.tolist())) == 5
+
+    def test_refine_fp16_index_recovers_fp32_ranking(self, small_data, small_queries):
+        """The production pattern: FP16 search + FP32 refine."""
+        fp16 = CagraIndex.build(
+            small_data, GraphBuildConfig(graph_degree=16, seed=3),
+            dataset_dtype="float16",
+        )
+        truth, _ = exact_search(small_data, small_queries, 10)
+        raw = fp16.search(small_queries, 20, SearchConfig(itopk=64))
+        ids, _ = refine(small_data, small_queries, raw.indices, 10)
+        assert recall(ids, truth) >= recall(raw.indices[:, :10], truth) - 1e-9
+
+    def test_k_validation(self, small_data, small_queries):
+        with pytest.raises(ValueError, match="exceeds candidate width"):
+            refine(small_data, small_queries, np.zeros((25, 3), dtype=np.int64), 5)
+
+    def test_metric_validation(self, small_data, small_queries):
+        with pytest.raises(ValueError, match="metric"):
+            refine(small_data, small_queries, np.zeros((25, 5), dtype=np.int64), 3,
+                   metric="hamming")
+
+
+class TestExtend:
+    @pytest.fixture(scope="class")
+    def base_and_extra(self):
+        rng = np.random.default_rng(5)
+        base = rng.standard_normal((600, 24)).astype(np.float32)
+        extra = rng.standard_normal((80, 24)).astype(np.float32)
+        index = CagraIndex.build(base, GraphBuildConfig(graph_degree=8, seed=1))
+        return base, extra, index
+
+    def test_size_and_degree(self, base_and_extra):
+        base, extra, index = base_and_extra
+        bigger = index.extend(extra)
+        assert bigger.size == 680
+        assert bigger.degree == index.degree
+        assert index.size == 600  # original untouched
+
+    def test_new_vectors_retrievable(self, base_and_extra):
+        base, extra, index = base_and_extra
+        bigger = index.extend(extra)
+        result = bigger.search(extra[:20], 1, SearchConfig(itopk=64))
+        found_self = np.mean(result.indices[:, 0] >= 600)
+        assert found_self > 0.7
+
+    def test_overall_recall_after_extend(self, base_and_extra):
+        base, extra, index = base_and_extra
+        bigger = index.extend(extra)
+        full = np.vstack([base, extra])
+        truth, _ = exact_search(full, full[:30], 5)
+        result = bigger.search(full[:30], 5, SearchConfig(itopk=64))
+        assert recall(result.indices, truth) > 0.85
+
+    def test_dim_mismatch_rejected(self, base_and_extra):
+        _, _, index = base_and_extra
+        with pytest.raises(ValueError, match="dim"):
+            index.extend(np.zeros((3, 7), dtype=np.float32))
+
+    def test_extend_preserves_dtype(self, small_data):
+        fp16 = CagraIndex.build(
+            small_data[:300], GraphBuildConfig(graph_degree=8),
+            dataset_dtype="float16",
+        )
+        bigger = fp16.extend(small_data[300:320])
+        assert bigger.dataset.dtype == np.float16
+
+
+class TestSharding:
+    @pytest.fixture(scope="class")
+    def sharded(self, small_data):
+        return ShardedCagraIndex.build(
+            small_data, 3, GraphBuildConfig(graph_degree=8, seed=2)
+        )
+
+    def test_partition_complete(self, sharded, small_data):
+        assert sharded.size == len(small_data)
+        all_ids = np.concatenate(sharded.assignments)
+        assert len(np.unique(all_ids)) == len(small_data)
+
+    def test_search_recall(self, sharded, small_queries, small_truth):
+        result = sharded.search(small_queries, 10, SearchConfig(itopk=64))
+        assert recall(result.indices, small_truth) > 0.9
+
+    def test_global_ids_returned(self, sharded, small_data, small_queries):
+        from repro.core.distances import distances_to_query
+
+        result = sharded.search(small_queries[:3], 5, SearchConfig(itopk=32))
+        for i in range(3):
+            ref = distances_to_query(small_data, small_queries[i], result.indices[i])
+            np.testing.assert_allclose(result.distances[i], ref, rtol=1e-3, atol=1e-3)
+
+    def test_one_report_per_shard(self, sharded, small_queries):
+        result = sharded.search(small_queries[:2], 5, SearchConfig(itopk=32))
+        assert len(result.shard_reports) == 3
+
+    def test_memory_bound_by_sharding(self, sharded, small_data):
+        single = CagraIndex.build(small_data, GraphBuildConfig(graph_degree=8))
+        assert sharded.max_shard_memory_bytes() < single.memory_bytes()
+
+    def test_validation(self, small_data):
+        with pytest.raises(ValueError, match="num_shards"):
+            ShardedCagraIndex.build(small_data, 0)
+        with pytest.raises(ValueError, match="at least 2 vectors"):
+            ShardedCagraIndex.build(small_data[:4], 3)
+
+
+class TestShardingPersistence:
+    def test_save_load_roundtrip(self, small_data, tmp_path):
+        from repro import SearchConfig
+
+        original = ShardedCagraIndex.build(
+            small_data[:400], 2, GraphBuildConfig(graph_degree=8, seed=1)
+        )
+        path = str(tmp_path / "sharded.npz")
+        original.save(path)
+        loaded = ShardedCagraIndex.load(path)
+        assert loaded.num_shards == 2
+        assert loaded.size == 400
+        config = SearchConfig(itopk=32, seed=4)
+        a = original.search(small_data[:5], 5, config)
+        b = loaded.search(small_data[:5], 5, config)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+
+class TestExtendPersistence:
+    def test_extend_then_save_load(self, small_data, tmp_path):
+        index = CagraIndex.build(
+            small_data[:400], GraphBuildConfig(graph_degree=8, seed=1)
+        )
+        bigger = index.extend(small_data[400:450])
+        path = str(tmp_path / "extended.npz")
+        bigger.save(path)
+        loaded = CagraIndex.load(path)
+        assert loaded.size == 450
+        config = SearchConfig(itopk=32, seed=2)
+        a = bigger.search(small_data[:5], 5, config)
+        b = loaded.search(small_data[:5], 5, config)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_repeated_extends(self, small_data):
+        index = CagraIndex.build(
+            small_data[:300], GraphBuildConfig(graph_degree=8, seed=1)
+        )
+        for start in range(300, 360, 20):
+            index = index.extend(small_data[start : start + 20])
+        assert index.size == 360
+        result = index.search(small_data[:5], 5, SearchConfig(itopk=32))
+        assert np.isfinite(result.distances[:, 0]).all()

@@ -1,0 +1,157 @@
+"""Failure-injection and adversarial-input tests.
+
+A production library must degrade predictably on hostile inputs: NaN
+rows, duplicate points, adversarial graph topologies, zero vectors under
+cosine, non-contiguous arrays, and wrong dtypes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CagraIndex, FixedDegreeGraph, GraphBuildConfig, SearchConfig
+from repro.baselines import exact_search
+from repro.core.metrics import recall
+from repro.core.search import search_batch
+
+
+class TestHostileData:
+    def test_duplicate_points(self):
+        """Many exact duplicates must not break the build or the search."""
+        rng = np.random.default_rng(0)
+        base = rng.standard_normal((100, 8)).astype(np.float32)
+        data = np.vstack([base, base, base])  # every point x3
+        index = CagraIndex.build(data, GraphBuildConfig(graph_degree=8))
+        result = index.search(base[:10], 3, SearchConfig(itopk=16))
+        assert np.isfinite(result.distances[:, 0]).all()
+        assert (result.distances[:, 0] < 1e-3).all()  # finds a duplicate
+
+    def test_zero_vectors_cosine(self):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((200, 8)).astype(np.float32)
+        data[17] = 0.0
+        data[93] = 0.0
+        index = CagraIndex.build(
+            data, GraphBuildConfig(graph_degree=8, metric="cosine")
+        )
+        result = index.search(data[:5], 3, SearchConfig(itopk=16))
+        assert result.indices.shape == (5, 3)
+
+    def test_constant_dataset(self):
+        """All-identical points: distances are all zero; search still
+        returns k distinct ids."""
+        data = np.ones((50, 6), dtype=np.float32)
+        index = CagraIndex.build(data, GraphBuildConfig(graph_degree=4))
+        result = index.search(data[:3], 4, SearchConfig(itopk=8))
+        for row in result.indices:
+            assert len(set(row.tolist())) == 4
+
+    def test_float64_input_accepted(self):
+        rng = np.random.default_rng(2)
+        data = rng.standard_normal((150, 8))  # float64
+        index = CagraIndex.build(data, GraphBuildConfig(graph_degree=8))
+        assert index.dataset.dtype == np.float32  # storage-normalized
+
+    def test_non_contiguous_input(self):
+        rng = np.random.default_rng(3)
+        wide = rng.standard_normal((200, 16)).astype(np.float32)
+        data = wide[:, ::2]  # stride-2 view
+        index = CagraIndex.build(data, GraphBuildConfig(graph_degree=8))
+        result = index.search(np.ascontiguousarray(data[:4]), 3, SearchConfig(itopk=16))
+        assert result.indices.shape == (4, 3)
+
+    def test_huge_magnitude_values(self):
+        rng = np.random.default_rng(4)
+        data = (rng.standard_normal((150, 8)) * 1e18).astype(np.float32)
+        index = CagraIndex.build(data, GraphBuildConfig(graph_degree=8))
+        result = index.search(data[:4], 3, SearchConfig(itopk=16))
+        assert result.indices.shape == (4, 3)
+
+
+class TestAdversarialGraphs:
+    def test_star_graph_search_terminates(self, small_data):
+        """Every node points at the same d hubs: the search must converge
+        quickly instead of looping."""
+        n = len(small_data)
+        hubs = np.arange(8, dtype=np.uint32)
+        neighbors = np.tile(hubs, (n, 1))
+        graph = FixedDegreeGraph(neighbors)
+        result = search_batch(
+            small_data, graph, small_data[:5], 4, SearchConfig(itopk=16, max_iterations=64)
+        )
+        assert result.indices.shape == (5, 4)
+        # Few distinct reachable nodes: iterations stay near the minimum.
+        assert result.report.iterations < 5 * 64
+
+    def test_self_referential_rows_tolerated_by_search(self, small_data):
+        """A corrupt graph whose rows contain the node itself must not
+        produce self-free guarantees, but must terminate and not crash."""
+        n = len(small_data)
+        neighbors = np.tile(np.arange(4, dtype=np.uint32), (n, 1))
+        neighbors[:, 0] = np.arange(n, dtype=np.uint32)  # self-loop column
+        graph = FixedDegreeGraph(neighbors)
+        result = search_batch(
+            small_data, graph, small_data[:3], 2, SearchConfig(itopk=8, max_iterations=32)
+        )
+        assert result.indices.shape == (3, 2)
+
+    def test_ring_graph_low_recall_but_valid(self, small_data, small_queries):
+        """A ring graph is connected but unnavigable: recall may be poor,
+        output contracts must still hold."""
+        n = len(small_data)
+        neighbors = np.stack(
+            [(np.arange(n) + 1) % n, (np.arange(n) + 2) % n], axis=1
+        ).astype(np.uint32)
+        graph = FixedDegreeGraph(neighbors)
+        result = search_batch(
+            small_data, graph, small_queries[:5], 5,
+            SearchConfig(itopk=16, max_iterations=32),
+        )
+        finite = np.isfinite(result.distances)
+        for row, mask in zip(result.distances, finite):
+            assert (np.diff(row[mask]) >= 0).all()
+
+
+class TestQueryEdgeCases:
+    def test_query_equals_dataset_row(self, small_index, small_data):
+        result = small_index.search(small_data[42], 1, SearchConfig(itopk=32))
+        assert result.indices[0, 0] == 42 or result.distances[0, 0] < 1e-4
+
+    def test_far_away_query(self, small_index):
+        query = np.full(small_index.dim, 1e6, dtype=np.float32)
+        result = small_index.search(query, 5, SearchConfig(itopk=32))
+        assert np.isfinite(result.distances).all()
+
+    def test_k_equals_itopk(self, small_index, small_queries, small_truth):
+        result = small_index.search(small_queries, 10, SearchConfig(itopk=10))
+        assert recall(result.indices, small_truth) > 0.5
+
+    def test_many_queries_shape(self, small_index, small_data):
+        result = small_index.search(small_data[:200], 1, SearchConfig(itopk=16))
+        assert result.indices.shape == (200, 1)
+
+
+class TestSerializationRobustness:
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            CagraIndex.load(str(tmp_path / "nope.npz"))
+
+    def test_load_wrong_archive(self, tmp_path):
+        path = str(tmp_path / "bad.npz")
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(KeyError):
+            CagraIndex.load(path)
+
+    def test_tampered_graph_rejected(self, small_index, tmp_path):
+        """A graph with out-of-range neighbor ids must fail validation on
+        load, not corrupt searches later."""
+        path = str(tmp_path / "tampered.npz")
+        bad = small_index.graph.neighbors.copy()
+        bad[0, 0] = 2**31 - 2  # far beyond num_nodes
+        np.savez(
+            path,
+            dataset=small_index.dataset,
+            neighbors=bad,
+            metric=np.array("sqeuclidean"),
+        )
+        with pytest.raises(ValueError, match="out of range"):
+            CagraIndex.load(path)

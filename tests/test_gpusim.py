@@ -1,0 +1,235 @@
+"""Unit tests for repro.gpusim — device specs, kernel formulas, cost models."""
+
+import numpy as np
+import pytest
+
+from repro.core.search import CostReport
+from repro.gpusim import A100_80GB, EPYC_7742, CpuCostModel, GpuCostModel
+from repro.gpusim.executor import KernelShape, ctas_per_sm, schedule_waves
+from repro.gpusim.kernels import (
+    auto_team_size,
+    distance_cost,
+    gather_cycles,
+    hash_probe_cycles,
+    occupancy_factor,
+    registers_per_thread,
+    sort_cycles,
+)
+
+
+class TestDeviceSpecs:
+    def test_a100_shape(self):
+        assert A100_80GB.num_sms == 108
+        assert A100_80GB.warp_size == 32
+        assert A100_80GB.device_mem_bytes == 80 * 1024**3
+
+    def test_cycles_to_seconds(self):
+        seconds = A100_80GB.cycles_to_seconds(1.41e9)
+        assert seconds == pytest.approx(1.0)
+
+    def test_epyc_flops_scaling(self):
+        one = EPYC_7742.flops_per_second(1)
+        all_cores = EPYC_7742.flops_per_second(64)
+        assert all_cores == pytest.approx(64 * one)
+        assert EPYC_7742.flops_per_second(1000) == all_cores  # capped
+
+
+class TestDistanceCost:
+    def test_load_instruction_count(self):
+        # dim 96 FP32 = 384 B; team 8 loads 128 B per instruction -> 3.
+        assert distance_cost(96, 4, 8).load_instructions == 3
+        # team 32 loads 512 B -> 1 instruction (with idle lanes).
+        assert distance_cost(96, 4, 32).load_instructions == 1
+
+    def test_fp16_halves_loads(self):
+        fp32 = distance_cost(960, 4, 32).load_instructions
+        fp16 = distance_cost(960, 2, 32).load_instructions
+        assert fp16 == fp32 / 2
+
+    def test_team_sweep_shape_small_dim(self):
+        """Fig. 8 (DEEP, dim 96): best at team 4-8; team 2 penalized."""
+        scores = {}
+        for team in (2, 4, 8, 16, 32):
+            cost = distance_cost(96, 4, team)
+            scores[team] = cost.warp_cycles / occupancy_factor(cost.registers, A100_80GB)
+        best = min(scores, key=scores.get)
+        assert best in (4, 8)
+        assert scores[2] > scores[best]
+
+    def test_team_sweep_shape_large_dim(self):
+        """Fig. 8 (GIST, dim 960): best at team 32; small teams degrade."""
+        scores = {}
+        for team in (2, 4, 8, 16, 32):
+            cost = distance_cost(960, 4, team)
+            scores[team] = cost.warp_cycles / occupancy_factor(cost.registers, A100_80GB)
+        assert min(scores, key=scores.get) == 32
+        assert scores[2] > 5 * scores[32]
+
+    def test_register_spill_for_tiny_teams_large_dim(self):
+        cost = distance_cost(960, 4, 2)
+        assert cost.spilled
+
+    def test_invalid_team_raises(self):
+        with pytest.raises(ValueError):
+            distance_cost(96, 4, 3)
+
+    def test_registers_monotone_in_dim(self):
+        assert registers_per_thread(960, 4, 8) > registers_per_thread(96, 4, 8)
+
+    def test_auto_team_size_tracks_dim(self):
+        assert auto_team_size(96, 4) in (4, 8)
+        assert auto_team_size(960, 4) == 32
+
+
+class TestKernelCosts:
+    def test_shared_hash_cheaper_than_device(self):
+        assert hash_probe_cycles(True, A100_80GB) < hash_probe_cycles(False, A100_80GB)
+
+    def test_sort_cycles_positive(self):
+        assert sort_cycles(1000, 0) > 0
+        assert sort_cycles(0, 1000) > 0
+        assert sort_cycles(0, 0) == 0
+
+    def test_gather_scales_linearly(self):
+        assert gather_cycles(200, A100_80GB) == pytest.approx(
+            2 * gather_cycles(100, A100_80GB)
+        )
+
+
+class TestExecutor:
+    def test_ctas_per_sm_thread_limit(self):
+        shape = KernelShape(
+            threads_per_cta=1024, shared_bytes_per_cta=0, registers_per_thread=32
+        )
+        assert ctas_per_sm(shape, A100_80GB) == 2  # 2048 threads / 1024
+
+    def test_ctas_per_sm_shared_limit(self):
+        shape = KernelShape(threads_per_cta=64, shared_bytes_per_cta=82 * 1024)
+        assert ctas_per_sm(shape, A100_80GB) == 2  # 164 KB / 82 KB
+
+    def test_ctas_per_sm_register_limit(self):
+        shape = KernelShape(threads_per_cta=256, registers_per_thread=128)
+        # 65536 / (128 * 256) = 2
+        assert ctas_per_sm(shape, A100_80GB) == 2
+
+    def test_at_least_one_cta(self):
+        shape = KernelShape(threads_per_cta=2048, shared_bytes_per_cta=10**6,
+                            registers_per_thread=255)
+        assert ctas_per_sm(shape, A100_80GB) == 1
+
+    def test_wave_count(self):
+        shape = KernelShape(threads_per_cta=128, shared_bytes_per_cta=16 * 1024)
+        waves, concurrency = schedule_waves(10000, shape, A100_80GB)
+        assert waves == int(np.ceil(10000 / concurrency))
+
+    def test_single_cta_single_wave(self):
+        shape = KernelShape()
+        waves, _ = schedule_waves(1, shape, A100_80GB)
+        assert waves == 1
+
+    def test_zero_ctas_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_waves(0, KernelShape(), A100_80GB)
+
+
+def _report(batch, dists_per_q=500, shared=True, algo="single_cta"):
+    return CostReport(
+        algo=algo,
+        batch_size=batch,
+        cta_count=batch,
+        iterations=batch * 30,
+        distance_computations=batch * dists_per_q,
+        candidate_gathers=batch * dists_per_q,
+        sort_comparator_ops=batch * 5000,
+        hash_lookups=batch * dists_per_q,
+        hash_probes=batch * dists_per_q * 2,
+        hash_insertions=batch * dists_per_q,
+        hash_resets=batch * 15 if shared else 0,
+        hash_in_shared=shared,
+        hash_log2_size=11,
+    )
+
+
+class TestGpuCostModel:
+    def test_large_batch_amortizes(self):
+        """10k queries must be far cheaper per query than 1 query."""
+        model = GpuCostModel()
+        t1 = model.search_time(_report(1), dim=96).seconds
+        t10k = model.search_time(_report(10000), dim=96).seconds
+        assert t10k / 10000 < t1 / 2
+
+    def test_fp16_faster_when_bandwidth_bound(self):
+        model = GpuCostModel()
+        report = _report(10000, dists_per_q=1000)
+        t32 = model.search_time(report, dim=960, dtype_bytes=4).seconds
+        t16 = model.search_time(report, dim=960, dtype_bytes=2).seconds
+        assert t16 < t32
+
+    def test_shared_hash_faster_than_device(self):
+        model = GpuCostModel()
+        # Compare compute components on an otherwise identical workload
+        # small enough to stay latency- (not bandwidth-) bound.
+        t_shared = model.search_time(_report(50, shared=True), dim=96)
+        t_device = model.search_time(_report(50, shared=False), dim=96)
+        assert t_shared.compute_seconds < t_device.compute_seconds
+
+    def test_mem_efficiency_scales_bandwidth(self):
+        model = GpuCostModel()
+        report = _report(10000, dists_per_q=2000)
+        good = model.search_time(report, dim=960, mem_efficiency=0.9)
+        poor = model.search_time(report, dim=960, mem_efficiency=0.3)
+        assert poor.bandwidth_seconds == pytest.approx(3 * good.bandwidth_seconds)
+
+    def test_timing_breakdown_complete(self):
+        timing = GpuCostModel().search_time(_report(100), dim=96)
+        for key in ("distance", "hash", "sort", "gather", "team_size"):
+            assert key in timing.breakdown
+
+    def test_qps(self):
+        timing = GpuCostModel().search_time(_report(1000), dim=96)
+        assert timing.qps(1000) == pytest.approx(1000 / timing.seconds)
+
+    def test_build_time_scales_with_work(self):
+        model = GpuCostModel()
+        assert model.knn_build_time(10**9, 96) > model.knn_build_time(10**8, 96)
+
+    def test_optimize_time_rank_cheaper_than_distance(self):
+        """Fig. 4: distance-based optimization pays for its extra work."""
+        model = GpuCostModel()
+        rank = model.optimize_time(10**8, 10**6, 32)
+        dist = model.optimize_time(10**8, 10**6, 32,
+                                   distance_computations=10**8, dim=96)
+        assert dist > rank
+
+    def test_fits_in_memory(self):
+        model = GpuCostModel()
+        assert model.fits_in_memory(10**9)
+        assert not model.fits_in_memory(200 * 1024**3)
+
+
+class TestCpuCostModel:
+    def test_threads_speed_up_batches(self):
+        model = CpuCostModel()
+        slow = model.search_time(10**6, 10**5, 96, batch_size=1000, threads=1)
+        fast = model.search_time(10**6, 10**5, 96, batch_size=1000, threads=64)
+        assert fast.seconds < slow.seconds / 10
+
+    def test_single_query_single_thread(self):
+        model = CpuCostModel()
+        timing = model.search_time(2000, 100, 96, batch_size=1)
+        assert timing.breakdown["threads"] == 1
+
+    def test_bandwidth_roofline_binds_eventually(self):
+        model = CpuCostModel()
+        timing = model.search_time(10**8, 10, 960, batch_size=10**5, threads=64)
+        assert timing.seconds >= timing.bandwidth_seconds
+
+    def test_build_time_positive_and_monotone(self):
+        model = CpuCostModel()
+        assert model.build_time(10**7, 10**6, 96) > model.build_time(10**6, 10**5, 96)
+
+    def test_gpu_beats_cpu_on_large_batches(self):
+        """The core premise of the paper (Fig. 13)."""
+        gpu = GpuCostModel().search_time(_report(10000, dists_per_q=500), dim=96)
+        cpu = CpuCostModel().search_time(10000 * 500, 10000 * 30, 96, batch_size=10000)
+        assert gpu.seconds < cpu.seconds / 10

@@ -1,0 +1,144 @@
+"""Extended gpusim tests: the team-load, latency-chain, and build-time
+formulas added for Figs. 8/11/15."""
+
+import pytest
+
+from repro.gpusim import A100_80GB, CpuCostModel, GpuCostModel
+from repro.gpusim.kernels import (
+    distance_cost,
+    iteration_latency_cycles,
+    load_waste,
+)
+
+
+class TestLoadWaste:
+    def test_exact_fit_has_no_waste(self):
+        # dim 96 FP32 = 384 B; team 8 -> 128 B granularity -> 3 exact loads.
+        assert load_waste(96, 4, 8) == 0.0
+
+    def test_tail_waste(self):
+        # team 32 -> 512 B granularity for a 384 B vector: 25% padding.
+        assert load_waste(96, 4, 32) == pytest.approx(0.25)
+
+    def test_fp16_changes_waste(self):
+        # 960 dims FP16 = 1920 B; team 32 loads 4 x 512 = 2048 -> 6.25%.
+        assert load_waste(960, 2, 32) == pytest.approx(1 - 1920 / 2048)
+
+    def test_waste_bounded(self):
+        for dim in (7, 96, 200, 960):
+            for team in (2, 4, 8, 16, 32):
+                w = load_waste(dim, 4, team)
+                assert 0.0 <= w < 1.0
+
+
+class TestIterationLatency:
+    def test_small_team_longer_chain(self):
+        small = iteration_latency_cycles(96, 4, 2, A100_80GB)
+        large = iteration_latency_cycles(96, 4, 32, A100_80GB)
+        assert small > large
+
+    def test_spill_multiplies_chain(self):
+        # dim 960 team 2 spills (registers > 255).
+        assert distance_cost(960, 4, 2).spilled
+        spilled = iteration_latency_cycles(960, 4, 2, A100_80GB)
+        clean = iteration_latency_cycles(960, 4, 32, A100_80GB)
+        assert spilled > 10 * clean
+
+    def test_fp16_shortens_chain(self):
+        fp32 = iteration_latency_cycles(960, 4, 32, A100_80GB)
+        fp16 = iteration_latency_cycles(960, 2, 32, A100_80GB)
+        assert fp16 < fp32
+
+
+class TestKnnBuildTime:
+    def test_update_term_needs_shape(self):
+        gpu = GpuCostModel()
+        bare = gpu.knn_build_time(10**7, 96)
+        shaped = gpu.knn_build_time(
+            10**7, 96, num_nodes=10_000, k=64, iterations=8
+        )
+        assert shaped > bare
+
+    def test_efficiency_scales_compute(self):
+        gpu = GpuCostModel()
+        fast = gpu.knn_build_time(10**10, 96, efficiency=0.5)
+        slow = gpu.knn_build_time(10**10, 96, efficiency=0.1)
+        assert slow > 4 * fast
+
+    def test_update_cost_override(self):
+        gpu = GpuCostModel()
+        cheap = gpu.knn_build_time(
+            10**6, 96, num_nodes=10_000, k=64, iterations=8,
+            update_seconds_per_entry=1e-9,
+        )
+        pricey = gpu.knn_build_time(
+            10**6, 96, num_nodes=10_000, k=64, iterations=8,
+            update_seconds_per_entry=24e-9,
+        )
+        assert pricey > cheap
+
+    def test_linear_in_nodes(self):
+        gpu = GpuCostModel()
+        t1 = gpu.knn_build_time(10**6, 96, num_nodes=10_000, k=64, iterations=8)
+        t2 = gpu.knn_build_time(2 * 10**6, 96, num_nodes=20_000, k=64, iterations=8)
+        assert t2 == pytest.approx(2 * t1, rel=0.01)
+
+
+class TestOptimizeTime:
+    def test_rank_vs_distance_gap_near_paper(self):
+        """The paper measures the end-to-end gap at up to 1.9x."""
+        gpu = GpuCostModel()
+        rank = gpu.optimize_time(10**9, 10**6, 32)
+        distance = gpu.optimize_time(10**9, 10**6, 32, dim=96, distance_based=True)
+        assert 1.3 < distance / rank < 2.5
+
+    def test_legacy_distance_computations_flag(self):
+        gpu = GpuCostModel()
+        legacy = gpu.optimize_time(10**8, 10**5, 32, distance_computations=1, dim=96)
+        explicit = gpu.optimize_time(10**8, 10**5, 32, dim=96, distance_based=True)
+        assert legacy == explicit
+
+
+class TestRooflineInteractions:
+    def test_latency_roofline_binds_for_bad_teams(self, small_index, small_queries):
+        from repro import SearchConfig
+        from repro.bench import scale_report
+
+        result = small_index.search(
+            small_queries, 10, SearchConfig(itopk=64, algo="single_cta")
+        )
+        report = scale_report(result.report, 10_000 / len(small_queries))
+        gpu = GpuCostModel()
+        good = gpu.search_time(report, 960, team_size=32, itopk=64)
+        bad = gpu.search_time(report, 960, team_size=2, itopk=64)
+        assert bad.seconds > good.seconds
+        assert bad.breakdown["latency_seconds"] > good.breakdown["latency_seconds"]
+
+    def test_cpu_overhead_dominates_arithmetic_for_small_dims(self):
+        cpu = CpuCostModel()
+        timing = cpu.search_time(10**6, 10**5, 16, batch_size=1000, threads=1)
+        # At dim 16 the scalar bookkeeping dwarfs the FLOPs.
+        assert timing.compute_seconds > 10 * (
+            10**6 * 16 * 2.0 / cpu.spec.flops_per_second(1)
+        )
+
+
+class TestH100Spec:
+    def test_h100_exists_and_differs(self):
+        from repro.gpusim import A100_80GB, H100_80GB
+
+        assert H100_80GB.num_sms > A100_80GB.num_sms
+        assert H100_80GB.mem_bandwidth_gbps > A100_80GB.mem_bandwidth_gbps
+
+    def test_same_counters_faster_on_h100(self, small_index, small_queries):
+        from repro import SearchConfig
+        from repro.bench import scale_report
+        from repro.gpusim import A100_80GB, H100_80GB, GpuCostModel
+
+        result = small_index.search(
+            small_queries, 10, SearchConfig(itopk=64, algo="single_cta")
+        )
+        report = scale_report(result.report, 10_000 / len(small_queries))
+        a100 = GpuCostModel(A100_80GB).search_time(report, small_index.dim, itopk=64)
+        h100 = GpuCostModel(H100_80GB).search_time(report, small_index.dim, itopk=64)
+        assert h100.seconds < a100.seconds

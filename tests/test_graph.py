@@ -1,0 +1,131 @@
+"""Unit tests for repro.core.graph."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import (
+    INDEX_MASK,
+    MAX_DATASET_SIZE,
+    PARENT_FLAG,
+    FixedDegreeGraph,
+)
+
+
+def ring_graph(n: int, degree: int) -> FixedDegreeGraph:
+    """Node i points at i+1 .. i+degree (mod n)."""
+    rows = [(np.arange(1, degree + 1) + i) % n for i in range(n)]
+    return FixedDegreeGraph(np.array(rows, dtype=np.uint32))
+
+
+class TestConstruction:
+    def test_shape_properties(self):
+        g = ring_graph(10, 3)
+        assert g.num_nodes == 10
+        assert g.degree == 3
+        assert len(g) == 10
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            FixedDegreeGraph(np.arange(6, dtype=np.uint32))
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            FixedDegreeGraph(np.zeros((3, 2), dtype=np.float32))
+
+    def test_rejects_out_of_range_neighbor(self):
+        bad = np.array([[1, 5], [0, 1], [0, 1]], dtype=np.uint32)
+        with pytest.raises(ValueError, match="out of range"):
+            FixedDegreeGraph(bad)
+
+    def test_accepts_int64_within_range(self):
+        g = FixedDegreeGraph(np.array([[1, 2], [0, 2], [0, 1]], dtype=np.int64))
+        assert g.neighbors.dtype == np.uint32
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="31 bits"):
+            FixedDegreeGraph(np.array([[-1, 0], [0, 1], [1, 0]], dtype=np.int64))
+
+
+class TestFlags:
+    def test_parent_flag_is_msb(self):
+        assert PARENT_FLAG == np.uint32(0x80000000)
+        assert INDEX_MASK == np.uint32(0x7FFFFFFF)
+        assert PARENT_FLAG | INDEX_MASK == np.uint32(0xFFFFFFFF)
+
+    def test_flag_roundtrip(self):
+        node = np.uint32(123456)
+        flagged = node | PARENT_FLAG
+        assert flagged & INDEX_MASK == node
+        assert flagged & PARENT_FLAG
+
+    def test_max_dataset_size_is_2_31_minus_1(self):
+        """The paper: using the MSB flag halves the addressable space."""
+        assert MAX_DATASET_SIZE == 2**31 - 1
+
+
+class TestTopology:
+    def test_out_neighbors(self):
+        g = ring_graph(6, 2)
+        np.testing.assert_array_equal(g.out_neighbors(0), [1, 2])
+        np.testing.assert_array_equal(g.out_neighbors(5), [0, 1])
+
+    def test_in_degrees_ring(self):
+        g = ring_graph(8, 3)
+        np.testing.assert_array_equal(g.in_degrees(), np.full(8, 3))
+
+    def test_in_degrees_star(self):
+        # All nodes point at node 0 (and 1 to keep degree 2).
+        rows = np.array([[1, 2]] + [[0, 1]] * 4, dtype=np.uint32)
+        g = FixedDegreeGraph(rows)
+        assert g.in_degrees()[0] == 4
+
+    def test_self_loop_detection(self):
+        g = ring_graph(5, 2)
+        assert not g.has_self_loops()
+        rows = g.neighbors.copy()
+        rows[2, 0] = 2
+        assert FixedDegreeGraph(rows).has_self_loops()
+
+
+class TestReversedEdgeLists:
+    def test_ring_reverse(self):
+        g = ring_graph(6, 2)
+        rev = g.reversed_edge_lists()
+        # Node 0 receives edges from 4 (rank 1) and 5 (rank 0):
+        # rank-ordered means 5 (its rank-0 edge) first.
+        np.testing.assert_array_equal(sorted(rev[0].tolist()), [4, 5])
+        assert rev[0][0] == 5
+
+    def test_rank_ordering(self):
+        # Node 2 is rank-0 neighbor of 0, rank-1 neighbor of 1.
+        rows = np.array([[2, 1], [0, 2], [0, 1]], dtype=np.uint32)
+        g = FixedDegreeGraph(rows)
+        rev = g.reversed_edge_lists()
+        np.testing.assert_array_equal(rev[2], [0, 1])
+
+    def test_total_edge_count_preserved(self):
+        g = ring_graph(9, 4)
+        rev = g.reversed_edge_lists()
+        assert sum(len(r) for r in rev) == 9 * 4
+
+    def test_empty_reverse_list(self):
+        # Node 3 has no incoming edges.
+        rows = np.array([[1, 2], [0, 2], [0, 1], [0, 1]], dtype=np.uint32)
+        g = FixedDegreeGraph(rows)
+        rev = g.reversed_edge_lists()
+        assert len(rev[3]) == 0
+
+
+class TestEqualityCopy:
+    def test_copy_is_deep(self):
+        g = ring_graph(5, 2)
+        h = g.copy()
+        h.neighbors[0, 0] = 3
+        assert g.neighbors[0, 0] == 1
+
+    def test_equality(self):
+        assert ring_graph(5, 2) == ring_graph(5, 2)
+        assert ring_graph(5, 2) != ring_graph(5, 3)
+
+    def test_equality_other_type(self):
+        assert ring_graph(3, 2).__eq__(42) is NotImplemented

@@ -1,0 +1,142 @@
+"""Unit tests for repro.core.hashtable."""
+
+import numpy as np
+import pytest
+
+from repro.core.hashtable import (
+    ForgettableHashTable,
+    StandardHashTable,
+    standard_table_log2_size,
+)
+
+
+class TestStandardHashTable:
+    def test_insert_then_contains(self):
+        table = StandardHashTable(6)
+        assert table.insert(42)
+        assert table.contains(42)
+        assert not table.contains(43)
+
+    def test_double_insert_reports_seen(self):
+        table = StandardHashTable(6)
+        assert table.insert(7)
+        assert not table.insert(7)
+
+    def test_insert_unique_batch(self):
+        table = StandardHashTable(8)
+        keys = np.array([1, 2, 3, 2, 1], dtype=np.uint32)
+        fresh = table.insert_unique(keys)
+        np.testing.assert_array_equal(fresh, [True, True, True, False, False])
+
+    def test_insert_unique_preserves_shape(self):
+        table = StandardHashTable(8)
+        keys = np.arange(6, dtype=np.uint32).reshape(2, 3)
+        fresh = table.insert_unique(keys)
+        assert fresh.shape == (2, 3)
+        assert fresh.all()
+
+    def test_collision_resolution(self):
+        """Keys that collide must still all be retrievable (linear probing)."""
+        table = StandardHashTable(4)  # 16 slots
+        keys = np.arange(12, dtype=np.uint32) * 16  # many same-slot hashes
+        for key in keys:
+            assert table.insert(int(key))
+        for key in keys:
+            assert table.contains(int(key))
+
+    def test_full_table_degrades_gracefully(self):
+        table = StandardHashTable(2)  # 4 slots
+        inserted = sum(table.insert(i) for i in range(10))
+        assert inserted == 4
+        # Subsequent inserts report "seen" (skipped distance computation).
+        assert not table.insert(999)
+
+    def test_occupancy(self):
+        table = StandardHashTable(4)
+        assert table.occupancy() == 0.0
+        table.insert(1)
+        table.insert(2)
+        assert table.occupancy() == pytest.approx(2 / 16)
+
+    def test_counters(self):
+        table = StandardHashTable(8)
+        table.insert(1)
+        table.insert(1)
+        table.contains(1)
+        assert table.lookups == 3
+        assert table.insertions == 1
+        assert table.probes >= 3
+
+    def test_reset_clears(self):
+        table = StandardHashTable(6)
+        table.insert(5)
+        table.reset()
+        assert not table.contains(5)
+        assert table.resets == 1
+
+    def test_size_bounds(self):
+        with pytest.raises(ValueError):
+            StandardHashTable(1)
+        with pytest.raises(ValueError):
+            StandardHashTable(29)
+
+    def test_sizing_rule(self):
+        """Paper: at least 2 * I_max * p * d entries."""
+        log2 = standard_table_log2_size(max_iterations=32, search_width=1, degree=32)
+        assert 2**log2 >= 2 * 32 * 1 * 32
+
+    def test_sizing_rule_floor(self):
+        assert standard_table_log2_size(1, 1, 1) >= 8
+
+
+class TestForgettableHashTable:
+    def test_reset_interval_one_resets_every_iteration(self):
+        table = ForgettableHashTable(8, reset_interval=1)
+        table.insert(100)
+        assert table.maybe_reset(np.array([1, 2], dtype=np.uint32))
+        assert not table.contains(100)
+        # Top-M ids re-registered after the reset.
+        assert table.contains(1)
+        assert table.contains(2)
+
+    def test_reset_interval_two(self):
+        table = ForgettableHashTable(8, reset_interval=2)
+        table.insert(100)
+        assert not table.maybe_reset(np.array([], dtype=np.uint32))
+        assert table.contains(100)
+        assert table.maybe_reset(np.array([], dtype=np.uint32))
+        assert not table.contains(100)
+
+    def test_reset_counter(self):
+        table = ForgettableHashTable(8, reset_interval=1)
+        for _ in range(5):
+            table.maybe_reset(np.array([], dtype=np.uint32))
+        assert table.resets == 5
+
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            ForgettableHashTable(8, reset_interval=0)
+
+    def test_forgetting_only_costs_recomputation(self):
+        """After a reset, a forgotten node reads as fresh again — the
+        behaviour the paper says cannot hurt correctness, only work."""
+        table = ForgettableHashTable(8, reset_interval=1)
+        assert table.insert(55)
+        table.maybe_reset(np.array([], dtype=np.uint32))
+        assert table.insert(55)  # fresh again: distance recomputed
+
+    def test_paper_size_range(self):
+        """Paper: 2^8 to 2^13 entries for the shared-memory table."""
+        for log2 in range(8, 14):
+            table = ForgettableHashTable(log2, reset_interval=2)
+            assert table.size == 2**log2
+
+
+class TestHashDistribution:
+    def test_probe_counts_reasonable(self):
+        """Multiplicative hashing should keep probe chains short at 50% load."""
+        table = StandardHashTable(10)  # 1024 slots
+        rng = np.random.default_rng(0)
+        keys = rng.choice(2**31 - 1, size=512, replace=False).astype(np.uint32)
+        table.insert_unique(keys)
+        assert table.probes / table.lookups < 3.0

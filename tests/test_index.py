@@ -1,0 +1,113 @@
+"""Unit tests for repro.core.index (CagraIndex public API)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import CagraIndex, FixedDegreeGraph, GraphBuildConfig, SearchConfig
+from repro.core.metrics import recall
+from repro.core.nn_descent import build_knn_graph
+
+
+class TestBuild:
+    def test_build_reports_breakdown(self, small_index):
+        report = small_index.build_report
+        assert report.knn_seconds > 0
+        assert report.optimize_seconds > 0
+        assert report.total_seconds == pytest.approx(
+            report.knn_seconds + report.optimize_seconds
+        )
+        assert report.knn_distance_computations > 0
+        assert report.nn_descent_iterations >= 1
+
+    def test_repr(self, small_index):
+        text = repr(small_index)
+        assert "CagraIndex" in text
+        assert "degree=16" in text
+
+    def test_properties(self, small_index, small_data):
+        assert small_index.size == len(small_data)
+        assert small_index.dim == small_data.shape[1]
+        assert small_index.degree == 16
+
+    def test_memory_bytes(self, small_index):
+        expected = small_index.dataset.nbytes + small_index.graph.neighbors.nbytes
+        assert small_index.memory_bytes() == expected
+
+    def test_rejects_1d_dataset(self):
+        with pytest.raises(ValueError):
+            CagraIndex.build(np.zeros(10, dtype=np.float32))
+
+    def test_rejects_single_row(self):
+        with pytest.raises(ValueError):
+            CagraIndex.build(np.zeros((1, 4), dtype=np.float32))
+
+    def test_fp16_storage(self, small_data):
+        index = CagraIndex.build(
+            small_data[:300], GraphBuildConfig(graph_degree=8), dataset_dtype="float16"
+        )
+        assert index.dataset.dtype == np.float16
+        result = index.search(small_data[:5], k=3, config=SearchConfig(itopk=16))
+        assert np.isfinite(result.distances).all()
+
+    def test_from_knn_result_reuses_initial_graph(self, small_data, small_knn):
+        index = CagraIndex.from_knn_result(
+            small_data, small_knn, GraphBuildConfig(graph_degree=16)
+        )
+        assert index.degree == 16
+        assert index.build_report.knn_seconds == 0.0
+
+    def test_mismatched_graph_rejected(self, small_data):
+        graph = FixedDegreeGraph(np.zeros((10, 2), dtype=np.uint32))
+        with pytest.raises(ValueError, match="rows"):
+            CagraIndex(small_data, graph)
+
+    def test_bad_metric_rejected(self, small_data, small_index):
+        with pytest.raises(ValueError, match="metric"):
+            CagraIndex(small_data, small_index.graph, metric="hamming")
+
+
+class TestSearchApi:
+    def test_end_to_end_recall(self, small_index, small_queries, small_truth):
+        result = small_index.search(small_queries, 10, SearchConfig(itopk=64))
+        assert recall(result.indices, small_truth) > 0.9
+
+    def test_default_config(self, small_index, small_queries):
+        result = small_index.search(small_queries, k=5)
+        assert result.indices.shape == (25, 5)
+
+
+class TestSerialization:
+    def test_roundtrip(self, small_index, small_queries, tmp_path):
+        path = str(tmp_path / "index.npz")
+        small_index.save(path)
+        loaded = CagraIndex.load(path)
+        assert loaded.size == small_index.size
+        assert loaded.metric == small_index.metric
+        np.testing.assert_array_equal(loaded.graph.neighbors, small_index.graph.neighbors)
+        np.testing.assert_array_equal(loaded.dataset, small_index.dataset)
+
+    def test_loaded_index_searches_identically(self, small_index, small_queries, tmp_path):
+        path = str(tmp_path / "index.npz")
+        small_index.save(path)
+        loaded = CagraIndex.load(path)
+        config = SearchConfig(itopk=32, seed=9)
+        a = small_index.search(small_queries[:5], 10, config)
+        b = loaded.search(small_queries[:5], 10, config)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_fp16_roundtrip(self, small_data, tmp_path):
+        index = CagraIndex.build(
+            small_data[:300], GraphBuildConfig(graph_degree=8), dataset_dtype="float16"
+        )
+        path = str(tmp_path / "half.npz")
+        index.save(path)
+        loaded = CagraIndex.load(path)
+        assert loaded.dataset.dtype == np.float16
+
+    def test_file_created(self, small_index, tmp_path):
+        path = str(tmp_path / "out.npz")
+        small_index.save(path)
+        assert os.path.exists(path)
+        assert os.path.getsize(path) > 0

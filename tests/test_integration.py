@@ -1,0 +1,184 @@
+"""Integration tests: cross-module behaviour matching the paper's claims."""
+
+import numpy as np
+import pytest
+
+from repro import CagraIndex, GraphBuildConfig, SearchConfig
+from repro.baselines import HnswIndex, exact_search
+from repro.core.metrics import (
+    average_two_hop_count,
+    recall,
+    strong_connected_components,
+)
+from repro.core.nn_descent import build_knn_graph
+from repro.core.optimize import prune_to_degree
+from repro.core.graph import FixedDegreeGraph
+from repro.gpusim import CpuCostModel, GpuCostModel
+
+
+class TestGraphOptimizationClaims:
+    """Fig. 3: what each optimization step contributes."""
+
+    @pytest.fixture(scope="class")
+    def variants(self, small_data, small_knn):
+        d = 16
+        knn_only = FixedDegreeGraph(prune_to_degree(small_knn.graph.neighbors, d))
+        reorder_only = CagraIndex.from_knn_result(
+            small_data, small_knn,
+            GraphBuildConfig(graph_degree=d, add_reverse_edges=False),
+        ).graph
+        reverse_only = CagraIndex.from_knn_result(
+            small_data, small_knn,
+            GraphBuildConfig(graph_degree=d, reordering="none"),
+        ).graph
+        full = CagraIndex.from_knn_result(
+            small_data, small_knn, GraphBuildConfig(graph_degree=d)
+        ).graph
+        return {"knn": knn_only, "reorder": reorder_only,
+                "reverse": reverse_only, "full": full}
+
+    def test_full_optimization_has_best_two_hop(self, variants):
+        counts = {
+            name: average_two_hop_count(g, sample=400, seed=0)
+            for name, g in variants.items()
+        }
+        assert counts["full"] > counts["knn"]
+        assert counts["reorder"] > counts["knn"]
+
+    def test_reordering_contributes_more_two_hop_than_reverse(self, variants):
+        """Paper: "the effect of the reordering is more significant"."""
+        counts = {
+            name: average_two_hop_count(g, sample=400, seed=0)
+            for name, g in variants.items()
+        }
+        assert counts["reorder"] >= counts["reverse"] * 0.95
+
+    def test_reverse_edges_fix_strong_cc(self, variants):
+        """Paper: "reverse edge addition significantly affects the strong
+        CC more than reordering"."""
+        scc = {
+            name: strong_connected_components(g) for name, g in variants.items()
+        }
+        assert scc["reverse"] <= scc["reorder"]
+        assert scc["full"] <= scc["knn"]
+
+
+class TestSearchQualityClaims:
+    def test_cagra_matches_hnsw_recall(self, small_data, small_queries, small_truth,
+                                       small_index):
+        """Same graph-quality league as the CPU state of the art."""
+        hnsw = HnswIndex(small_data, m=12, ef_construction=60).build()
+        hnsw_ids, _, _ = hnsw.search(small_queries, 10, ef=64)
+        cagra = small_index.search(small_queries, 10, SearchConfig(itopk=64))
+        assert recall(cagra.indices, small_truth) >= recall(hnsw_ids, small_truth) - 0.05
+
+    def test_multi_cta_parallelizes_extra_exploration(
+        self, small_index, small_queries
+    ):
+        """Fig. 10 (top) mechanism: as the internal top-M (exploration
+        budget) grows, single-CTA's batch-1 wall time grows with it, while
+        multi-CTA spreads the extra work over idle SMs and stays nearly
+        flat — which is why it wins single-query searches and why Fig. 7
+        routes large-itopk searches to it."""
+        gpu = GpuCostModel()
+
+        def time_at(algo, itopk):
+            seconds = 0.0
+            for q in range(6):
+                result = small_index.search(
+                    small_queries[q : q + 1],
+                    10,
+                    SearchConfig(itopk=itopk, algo=algo, seed=q),
+                )
+                seconds += gpu.search_time(
+                    result.report, small_index.dim, itopk=itopk
+                ).seconds
+            return seconds
+
+        single_growth = time_at("single_cta", 128) / time_at("single_cta", 16)
+        multi_growth = time_at("multi_cta", 64) / time_at("multi_cta", 16)
+        assert multi_growth < single_growth
+
+    def test_fp16_recall_compatible(self, small_data, small_queries):
+        """Fig. 13/14: half precision does not degrade result quality."""
+        truth, _ = exact_search(small_data, small_queries, 10)
+        fp32 = CagraIndex.build(small_data, GraphBuildConfig(graph_degree=16, seed=3))
+        fp16 = CagraIndex.build(
+            small_data, GraphBuildConfig(graph_degree=16, seed=3),
+            dataset_dtype="float16",
+        )
+        config = SearchConfig(itopk=64, algo="single_cta")
+        r32 = recall(fp32.search(small_queries, 10, config).indices, truth)
+        r16 = recall(fp16.search(small_queries, 10, config).indices, truth)
+        assert r16 >= r32 - 0.03
+
+
+class TestCostModelClaims:
+    def test_gpu_large_batch_dominates_cpu(self, small_index, small_queries,
+                                           small_data):
+        """Fig. 13's headline: CAGRA-on-GPU ≫ HNSW-on-CPU at batch 10k."""
+        hnsw = HnswIndex(small_data, m=12, ef_construction=60).build()
+        _, _, hnsw_counters = hnsw.search(small_queries, 10, ef=64)
+        cagra = small_index.search(
+            small_queries, 10, SearchConfig(itopk=64, algo="single_cta")
+        )
+        factor = 10_000 / len(small_queries)
+        from repro.bench import scale_report
+
+        gpu_time = GpuCostModel().search_time(
+            scale_report(cagra.report, factor), small_index.dim, itopk=64
+        ).seconds
+        cpu_time = CpuCostModel().search_time(
+            int(hnsw_counters.distance_computations * factor),
+            int(hnsw_counters.hops * factor),
+            small_index.dim,
+            batch_size=10_000,
+        ).seconds
+        assert cpu_time / gpu_time > 10
+
+    def test_single_query_gpu_advantage_needs_multi_cta(
+        self, small_index, small_queries, small_data
+    ):
+        """Fig. 14: at batch 1, single-CTA leaves the GPU idle; multi-CTA
+        restores the advantage over the CPU."""
+        hnsw = HnswIndex(small_data, m=12, ef_construction=60).build()
+        _, _, hnsw_counters = hnsw.search(small_queries[:1], 10, ef=64)
+        cpu_time = CpuCostModel().search_time(
+            hnsw_counters.distance_computations,
+            hnsw_counters.hops,
+            small_index.dim,
+            batch_size=1,
+        ).seconds
+        multi = small_index.search(
+            small_queries[:1], 10, SearchConfig(itopk=64, algo="multi_cta")
+        )
+        gpu_time = GpuCostModel().search_time(
+            multi.report, small_index.dim, itopk=64
+        ).seconds
+        assert gpu_time < cpu_time
+
+
+class TestEndToEndPipelines:
+    def test_build_search_save_load_search(self, tmp_path):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((400, 24)).astype(np.float32)
+        index = CagraIndex.build(data, GraphBuildConfig(graph_degree=8))
+        truth, _ = exact_search(data, data[:10], 5)
+        before = index.search(data[:10], 5, SearchConfig(itopk=32, seed=1))
+        path = str(tmp_path / "x.npz")
+        index.save(path)
+        after = CagraIndex.load(path).search(data[:10], 5, SearchConfig(itopk=32, seed=1))
+        np.testing.assert_array_equal(before.indices, after.indices)
+        assert recall(after.indices, truth) > 0.8
+
+    def test_metrics_all_metrics_pipeline(self):
+        """Build + search under every supported metric."""
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((300, 16)).astype(np.float32)
+        for metric in ("sqeuclidean", "inner_product", "cosine"):
+            index = CagraIndex.build(
+                data, GraphBuildConfig(graph_degree=8, metric=metric)
+            )
+            truth, _ = exact_search(data, data[:8], 5, metric=metric)
+            result = index.search(data[:8], 5, SearchConfig(itopk=32))
+            assert recall(result.indices, truth) > 0.7, metric

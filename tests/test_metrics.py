@@ -1,0 +1,143 @@
+"""Unit tests for repro.core.metrics (recall, strong CC, 2-hop counts)."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import FixedDegreeGraph
+from repro.core.metrics import (
+    average_two_hop_count,
+    recall,
+    recall_per_query,
+    strong_connected_components,
+    two_hop_counts,
+    weak_connected_components,
+)
+
+
+def graph_from_rows(rows) -> FixedDegreeGraph:
+    return FixedDegreeGraph(np.array(rows, dtype=np.uint32))
+
+
+class TestRecall:
+    def test_perfect(self):
+        found = np.array([[1, 2, 3], [4, 5, 6]])
+        assert recall(found, found) == 1.0
+
+    def test_order_independent(self):
+        found = np.array([[3, 2, 1]])
+        truth = np.array([[1, 2, 3]])
+        assert recall(found, truth) == 1.0
+
+    def test_partial(self):
+        found = np.array([[1, 2, 9]])
+        truth = np.array([[1, 2, 3]])
+        assert recall(found, truth) == pytest.approx(2 / 3)
+
+    def test_zero(self):
+        assert recall(np.array([[7, 8]]), np.array([[1, 2]])) == 0.0
+
+    def test_per_query_vector(self):
+        found = np.array([[1, 2], [3, 9]])
+        truth = np.array([[1, 2], [3, 4]])
+        np.testing.assert_allclose(recall_per_query(found, truth), [1.0, 0.5])
+
+    def test_mismatched_counts_raise(self):
+        with pytest.raises(ValueError):
+            recall_per_query(np.array([[1]]), np.array([[1], [2]]))
+
+    def test_recall_at_k_less_than_truth(self):
+        """recall@k with a wider truth set divides by |truth| (Eq. 2)."""
+        found = np.array([[1, 2]])
+        truth = np.array([[1, 2, 3, 4]])
+        assert recall(found, truth) == 0.5
+
+
+class TestStrongCC:
+    def test_cycle_is_one_scc(self):
+        g = graph_from_rows([[1], [2], [0]])
+        assert strong_connected_components(g) == 1
+
+    def test_chain_is_n_sccs(self):
+        # 0 -> 1 -> 2 -> 2 (sink with self-loop-ish edge to itself is
+        # disallowed; use 2 -> 1 which merges {1, 2}).
+        g = graph_from_rows([[1], [2], [1]])
+        assert strong_connected_components(g) == 2
+
+    def test_two_disjoint_cycles(self):
+        g = graph_from_rows([[1], [0], [3], [2]])
+        assert strong_connected_components(g) == 2
+
+    def test_matches_scipy(self, small_index):
+        from scipy.sparse import csr_matrix
+        from scipy.sparse.csgraph import connected_components
+
+        g = small_index.graph
+        n, d = g.neighbors.shape
+        indptr = np.arange(0, n * d + 1, d)
+        matrix = csr_matrix(
+            (np.ones(n * d), g.neighbors.ravel().astype(np.int64), indptr),
+            shape=(n, n),
+        )
+        expected, _ = connected_components(matrix, directed=True, connection="strong")
+        assert strong_connected_components(g) == expected
+
+    def test_matches_networkx_random(self):
+        import networkx as nx
+
+        rng = np.random.default_rng(0)
+        rows = rng.integers(0, 40, size=(40, 3))
+        g = graph_from_rows(rows)
+        nxg = nx.DiGraph(
+            (i, int(j)) for i in range(40) for j in rows[i]
+        )
+        nxg.add_nodes_from(range(40))
+        assert strong_connected_components(g) == nx.number_strongly_connected_components(nxg)
+
+
+class TestWeakCC:
+    def test_connected_ring(self):
+        g = graph_from_rows([[1], [2], [0]])
+        assert weak_connected_components(g) == 1
+
+    def test_two_islands(self):
+        g = graph_from_rows([[1], [0], [3], [2]])
+        assert weak_connected_components(g) == 2
+
+    def test_weak_leq_strong(self, small_index):
+        weak = weak_connected_components(small_index.graph)
+        strong = strong_connected_components(small_index.graph)
+        assert weak <= strong
+
+
+class TestTwoHop:
+    def test_complete_graph_maximal(self):
+        # K4 as fixed-degree-3: every node reaches the other 3 in one hop.
+        rows = [[j for j in range(4) if j != i] for i in range(4)]
+        g = graph_from_rows(rows)
+        counts = two_hop_counts(g)
+        np.testing.assert_array_equal(counts, [3, 3, 3, 3])
+
+    def test_ring_two_hop(self):
+        # Directed ring 0->1->2->3->4->0: each node reaches 2 others.
+        g = graph_from_rows([[1], [2], [3], [4], [0]])
+        np.testing.assert_array_equal(two_hop_counts(g), [2, 2, 2, 2, 2])
+
+    def test_upper_bound_d_plus_d_squared(self, small_index):
+        d = small_index.graph.degree
+        counts = two_hop_counts(small_index.graph, sample=100, seed=0)
+        assert counts.max() <= d + d * d
+
+    def test_excludes_self(self):
+        # 0 <-> 1: from 0 reach 1 (1 hop) and 0 (2 hops, excluded).
+        g = graph_from_rows([[1], [0]])
+        np.testing.assert_array_equal(two_hop_counts(g), [1, 1])
+
+    def test_sampling_reproducible(self, small_index):
+        a = average_two_hop_count(small_index.graph, sample=50, seed=5)
+        b = average_two_hop_count(small_index.graph, sample=50, seed=5)
+        assert a == b
+
+    def test_sample_larger_than_n_means_full(self, small_index):
+        full = average_two_hop_count(small_index.graph)
+        capped = average_two_hop_count(small_index.graph, sample=10**9)
+        assert full == capped

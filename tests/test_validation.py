@@ -1,0 +1,83 @@
+"""Tests for repro.core.validation."""
+
+import numpy as np
+import pytest
+
+from repro import CagraIndex, FixedDegreeGraph, validate_index
+from repro.core.validation import ValidationReport
+
+
+class TestValidateGoodIndex:
+    def test_built_index_is_ok(self, small_index):
+        report = validate_index(small_index, sample=200)
+        assert report.ok
+        assert not report.errors
+        assert report.num_nodes == small_index.size
+        assert report.degree == small_index.degree
+        assert report.self_loops == 0
+        assert report.duplicate_edges == 0
+
+    def test_reachability_stats_populated(self, small_index):
+        report = validate_index(small_index, sample=200)
+        assert report.strong_components >= 1
+        assert 0 < report.avg_two_hop <= small_index.degree * (small_index.degree + 1)
+        assert 0 < report.two_hop_fraction_of_max <= 1
+
+    def test_summary_readable(self, small_index):
+        report = validate_index(small_index, sample=100)
+        text = report.summary()
+        assert "OK" in text
+        assert "strong CC" in text
+
+
+class TestValidateDegradedIndex:
+    def _index_with_graph(self, data, neighbors):
+        return CagraIndex(data, FixedDegreeGraph(neighbors))
+
+    def test_self_loops_warned(self, tiny_data):
+        n = len(tiny_data)
+        neighbors = np.tile(np.arange(4, dtype=np.uint32), (n, 1))
+        neighbors[:, 0] = np.arange(n, dtype=np.uint32)
+        report = validate_index(self._index_with_graph(tiny_data, neighbors))
+        assert report.ok  # warnings, not errors
+        assert report.self_loops >= n  # the whole diagonal column
+        assert any("self-loop" in w for w in report.warnings)
+
+    def test_duplicates_warned(self, tiny_data):
+        n = len(tiny_data)
+        neighbors = np.full((n, 4), 7, dtype=np.uint32)
+        report = validate_index(self._index_with_graph(tiny_data, neighbors))
+        assert report.duplicate_edges == n * 3
+        assert any("duplicate" in w for w in report.warnings)
+
+    def test_unreachable_nodes_warned(self, tiny_data):
+        n = len(tiny_data)
+        neighbors = np.tile(np.array([0, 1], dtype=np.uint32), (n, 1))
+        report = validate_index(self._index_with_graph(tiny_data, neighbors))
+        assert report.min_in_degree == 0
+        assert any("incoming" in w for w in report.warnings)
+
+    def test_fragmented_graph_warned(self, tiny_data):
+        n = len(tiny_data)
+        # Tiny disjoint 2-cycles: n/2 strong components.
+        partner = np.arange(n, dtype=np.uint32) ^ 1
+        neighbors = np.stack([partner, partner], axis=1)
+        report = validate_index(self._index_with_graph(tiny_data, neighbors))
+        assert report.strong_components == n // 2
+        assert any("strong components" in w for w in report.warnings)
+
+    def test_nonfinite_dataset_is_error(self, tiny_data):
+        data = tiny_data.copy()
+        data[3, 2] = np.nan
+        neighbors = np.tile(np.array([0, 1], dtype=np.uint32), (len(data), 1))
+        report = validate_index(self._index_with_graph(data, neighbors))
+        assert not report.ok
+        assert any("non-finite" in e for e in report.errors)
+        assert "INVALID" in report.summary()
+
+
+class TestReportDataclass:
+    def test_default_ok(self):
+        report = ValidationReport(ok=True)
+        assert report.errors == []
+        assert report.warnings == []
