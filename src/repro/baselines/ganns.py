@@ -24,7 +24,7 @@ import numpy as np
 from repro.baselines.beam import BeamCounters, beam_search
 from repro.core.distances import pairwise_distances
 
-__all__ = ["GannsIndex"]
+__all__ = ["GannsBuildStats", "GannsIndex"]
 
 
 @dataclass

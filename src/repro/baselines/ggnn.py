@@ -21,10 +21,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.baselines.beam import BeamCounters, beam_search
-from repro.core.distances import pairwise_distances
+from repro.core.distances import gathered_distances, pairwise_distances
 from repro.core.graph import FixedDegreeGraph
 
-__all__ = ["GgnnIndex"]
+__all__ = ["GgnnBuildStats", "GgnnIndex"]
 
 
 @dataclass
@@ -172,13 +172,7 @@ class GgnnIndex:
             pool[self_mask] = np.broadcast_to(
                 neighbors[start:stop, :1], pool.shape
             )[self_mask]
-            diffs = self.data[pool].astype(np.float64) - self.data[rows][:, None, :]
-            if self.metric in ("inner_product", "cosine"):
-                dists = -np.einsum(
-                    "bpd,bd->bp", self.data[pool].astype(np.float64), self.data[rows]
-                )
-            else:
-                dists = np.einsum("bpd,bpd->bp", diffs, diffs)
+            dists = gathered_distances(self.data, self.data[rows], pool, self.metric)
             stats.distance_computations += pool.size
             # Deduplicate ids per row: worse copies get +inf.
             order = np.lexsort((dists, pool), axis=1)

@@ -26,7 +26,7 @@ import numpy as np
 from repro.baselines.beam import BeamCounters
 from repro.core.distances import distances_to_query
 
-__all__ = ["HnswIndex"]
+__all__ = ["HnswBuildStats", "HnswIndex"]
 
 
 @dataclass

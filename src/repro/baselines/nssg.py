@@ -27,7 +27,7 @@ from repro.core.distances import distances_to_query
 from repro.core.graph import FixedDegreeGraph
 from repro.core.nn_descent import KnnGraphResult
 
-__all__ = ["NssgIndex", "nssg_search"]
+__all__ = ["NssgBuildStats", "NssgIndex", "nssg_search"]
 
 
 @dataclass
@@ -139,6 +139,9 @@ class NssgIndex:
             if len(kept) >= self.degree_bound:
                 break
             direction = self.data[int(cand)].astype(np.float64) - origin
+            # Geometric normalization of an edge direction, not a query
+            # distance — no CostReport charge applies.
+            # repro-lint: disable=RL004 — uncounted geometric norm
             norm = np.linalg.norm(direction)
             if norm == 0.0:
                 continue
@@ -146,6 +149,8 @@ class NssgIndex:
             ok = True
             for kd in kept_dirs:
                 stats.distance_computations += 1
+                # Unit-vector angle test, explicitly counted one line up.
+                # repro-lint: disable=RL004 — counted via stats above
                 if float(direction @ kd) > self.cos_threshold:
                     ok = False
                     break

@@ -7,6 +7,7 @@ Subcommands::
     repro-cagra search --index idx.npz --dataset deep-1m --scale 4000 -k 10
     repro-cagra bench  --dataset deep-1m --scale 3000 --batch 10000
     repro-cagra validate --index idx.npz      # integrity + reachability audit
+    repro-cagra lint --strict                 # repo invariant linter (RL001-RL005)
     repro-cagra report                        # aggregate benchmarks/results/
 
 ``build``/``search`` work on the synthetic registry datasets or on real
@@ -26,7 +27,7 @@ from repro.baselines import exact_search
 from repro.core.metrics import recall as recall_of
 from repro.datasets import DATASETS, load_dataset, read_fvecs
 
-__all__ = ["main"]
+__all__ = ["build_parser", "main"]
 
 
 def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
@@ -125,10 +126,33 @@ def _cmd_bench(args) -> int:
 def _cmd_validate(args) -> int:
     from repro import validate_index
 
-    index = CagraIndex.load(args.index)
+    # FixedDegreeGraph refuses to construct from ids that are out of
+    # range, so a corrupt file fails at load time — report it as an
+    # audit failure rather than a traceback.
+    try:
+        index = CagraIndex.load(args.index)
+    except (ValueError, OSError, KeyError) as exc:
+        print(f"index INVALID: failed to load {args.index!r}: {exc}",
+              file=sys.stderr)
+        return 1
     report = validate_index(index, sample=args.sample)
     print(report.summary())
     return 0 if report.ok else 1
+
+
+def _cmd_lint(args) -> int:
+    from repro.lint import format_json, format_text, lint_paths
+
+    result = lint_paths(args.paths or None)
+    formatter = format_json if args.format == "json" else format_text
+    print(formatter(result.violations, result.files_checked))
+    for error in result.parse_errors:
+        print(f"parse error: {error}", file=sys.stderr)
+    if result.parse_errors:
+        return 2
+    if args.strict and result.violations:
+        return 1
+    return 0
 
 
 def _cmd_report(args) -> int:
@@ -184,6 +208,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_validate.add_argument("--sample", type=int, default=1000,
                             help="node sample for 2-hop statistics")
 
+    p_lint = sub.add_parser("lint", help="run the repro invariant linter (RL001-RL005)")
+    p_lint.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files/directories to lint (default: the repro source tree)")
+    p_lint.add_argument("--format", choices=("text", "json"), default="text")
+    p_lint.add_argument("--strict", action="store_true",
+                        help="exit non-zero if any violation is found")
+
     p_report = sub.add_parser("report", help="print all regenerated bench tables")
     p_report.add_argument("--results", default="benchmarks/results",
                           help="results directory")
@@ -198,6 +229,7 @@ def main(argv: list[str] | None = None) -> int:
         "search": _cmd_search,
         "bench": _cmd_bench,
         "validate": _cmd_validate,
+        "lint": _cmd_lint,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.distances import METRICS
 
-__all__ = ["GraphBuildConfig", "SearchConfig", "HashTableConfig"]
+__all__ = ["GraphBuildConfig", "SearchConfig", "HashTableConfig", "choose_algo"]
 
 
 def _require(condition: bool, message: str) -> None:

@@ -24,6 +24,7 @@ __all__ = [
     "gathered_distances",
     "normalize_rows",
     "as_storage_dtype",
+    "distance_function",
 ]
 
 #: Metric names accepted by the public API.

@@ -24,14 +24,27 @@ import numpy as np
 __all__ = ["StandardHashTable", "ForgettableHashTable", "standard_table_log2_size"]
 
 _EMPTY = np.uint32(0xFFFFFFFF)
-#: Knuth multiplicative hashing constant (2^32 / phi).
-_HASH_MULT = np.uint64(0x9E3779B9)
+#: Knuth multiplicative hashing constant (2^32 / phi), kept as a Python int:
+#: the hash mixes in arbitrary-precision integer arithmetic and masks back
+#: to 32 bits, so it can never trip numpy overflow warnings under
+#: ``-W error`` (numpy scalar multiplies would).
+_HASH_MULT = 0x9E3779B9
+_KEY_MASK = 0xFFFFFFFF
+
+#: Hard bound on table size (2^28 slots = 1 GiB of uint32), mirroring the
+#: constructor's ``log2_size`` range check.
+_MAX_LOG2_SIZE = 28
 
 
 def standard_table_log2_size(max_iterations: int, search_width: int, degree: int) -> int:
-    """Paper sizing rule: at least ``2 * I_max * p * d`` entries."""
+    """Paper sizing rule: at least ``2 * I_max * p * d`` entries.
+
+    Pure integer arithmetic (``bit_length`` instead of ``np.log2``) so the
+    result is exact for any parameter magnitude; clamped to the
+    constructor's ``[8, 28]`` supported range.
+    """
     needed = 2 * max_iterations * search_width * degree + 1
-    return max(8, int(np.ceil(np.log2(needed))))
+    return min(_MAX_LOG2_SIZE, max(8, (needed - 1).bit_length()))
 
 
 class StandardHashTable:
@@ -43,11 +56,11 @@ class StandardHashTable:
     """
 
     def __init__(self, log2_size: int):
-        if not 2 <= log2_size <= 28:
-            raise ValueError("log2_size out of range [2, 28]")
+        if not 2 <= log2_size <= _MAX_LOG2_SIZE:
+            raise ValueError(f"log2_size out of range [2, {_MAX_LOG2_SIZE}]")
         self.log2_size = log2_size
         self.size = 1 << log2_size
-        self._mask = np.uint64(self.size - 1)
+        self._mask = self.size - 1
         self._slots = np.full(self.size, _EMPTY, dtype=np.uint32)
         self.lookups = 0  # probe sequences started
         self.probes = 0  # individual slot inspections
@@ -55,12 +68,13 @@ class StandardHashTable:
         self.resets = 0
 
     def _first_slot(self, key: int) -> int:
-        # Knuth multiplicative hashing: multiply mod 2^32, keep the *top*
-        # log2_size bits — the high bits of the truncated product are the
-        # well-mixed ones (taking high bits of the full 64-bit product
-        # would cluster small keys into the first slots).
-        product = (np.uint64(key) * _HASH_MULT) & np.uint64(0xFFFFFFFF)
-        return int(product >> np.uint64(32 - self.log2_size))
+        # Knuth multiplicative hashing: mask the key to 32 bits *before*
+        # the multiply-widen, multiply mod 2^32, keep the *top* log2_size
+        # bits — the high bits of the truncated product are the well-mixed
+        # ones (taking high bits of the full 64-bit product would cluster
+        # small keys into the first slots).
+        product = ((int(key) & _KEY_MASK) * _HASH_MULT) & _KEY_MASK
+        return product >> (32 - self.log2_size)
 
     def contains(self, key: int) -> bool:
         """Membership test (probe sequence ends at the first empty slot)."""
@@ -73,7 +87,7 @@ class StandardHashTable:
                 return True
             if value == _EMPTY:
                 return False
-            slot = (slot + 1) & int(self._mask)
+            slot = (slot + 1) & self._mask
         return False
 
     def insert(self, key: int) -> bool:
@@ -94,7 +108,7 @@ class StandardHashTable:
                 self._slots[slot] = np.uint32(key)
                 self.insertions += 1
                 return True
-            slot = (slot + 1) & int(self._mask)
+            slot = (slot + 1) & self._mask
         return False
 
     def insert_unique(self, keys: np.ndarray) -> np.ndarray:

@@ -137,7 +137,7 @@ def two_hop_counts(graph: FixedDegreeGraph, sample: int = 0, seed: int = 0) -> n
         rng = np.random.default_rng(seed)
         nodes = rng.choice(n, size=sample, replace=False)
     else:
-        nodes = np.arange(n)
+        nodes = np.arange(n, dtype=np.int64)
     counts = np.empty(len(nodes), dtype=np.int64)
     for out, v in enumerate(nodes):
         one_hop = adjacency[v]

@@ -48,7 +48,7 @@ def bitonic_sort(keys: np.ndarray, values: np.ndarray) -> tuple[np.ndarray, np.n
     while stage <= size:
         step = stage // 2
         while step >= 1:
-            idx = np.arange(size)
+            idx = np.arange(size, dtype=np.int64)
             partner = idx ^ step
             active = partner > idx
             i = idx[active]
@@ -148,7 +148,7 @@ def bitonic_merge(
 
     step = size // 2
     while step >= 1:
-        idx = np.arange(size)
+        idx = np.arange(size, dtype=np.int64)
         partner = idx ^ step
         active = partner > idx
         i = idx[active]

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.graph import INDEX_MASK, PARENT_FLAG
 from repro.core.index import CagraIndex
 from repro.core.metrics import average_two_hop_count, strong_connected_components
 
@@ -33,6 +34,7 @@ class ValidationReport:
     warnings: list[str] = field(default_factory=list)
     num_nodes: int = 0
     degree: int = 0
+    parent_flag_bits: int = 0
     self_loops: int = 0
     duplicate_edges: int = 0
     min_in_degree: int = 0
@@ -56,7 +58,10 @@ class ValidationReport:
 
 
 def validate_index(
-    index: CagraIndex, sample: int = 1000, seed: int = 0
+    index: CagraIndex,
+    sample: int = 1000,
+    seed: int = 0,
+    expected_degree: int | None = None,
 ) -> ValidationReport:
     """Audit an index's structural invariants and reachability stats.
 
@@ -64,6 +69,8 @@ def validate_index(
         index: the index to audit.
         sample: node sample size for the 2-hop statistic (0 = all nodes).
         seed: sampling seed.
+        expected_degree: required out-degree; defaults to the build
+            config's ``graph_degree`` when the index carries one.
     """
     report = ValidationReport(ok=True)
     neighbors = index.graph.neighbors
@@ -71,13 +78,32 @@ def validate_index(
     report.num_nodes = n
     report.degree = d
 
+    if expected_degree is None and index.build_config is not None:
+        expected_degree = index.build_config.graph_degree
+    if expected_degree is not None and d != expected_degree:
+        report.errors.append(
+            f"graph degree ({d}) != expected degree ({expected_degree})"
+        )
+
     if index.dataset.shape[0] != n:
         report.errors.append(
             f"dataset rows ({index.dataset.shape[0]}) != graph nodes ({n})"
         )
     if not np.isfinite(index.dataset.astype(np.float64)).all():
         report.errors.append("dataset contains non-finite values")
-    if neighbors.size and neighbors.max() >= n:
+
+    # The parented MSB is transient search state (Sec. IV-B4): a stored
+    # graph must hold bare node ids only.  A stray flag bit would both
+    # corrupt traversal (id >= 2^31 reads the wrong row) and make the
+    # range check below fire, so report it as its own distinct finding.
+    report.parent_flag_bits = int(((neighbors & PARENT_FLAG) != 0).sum())
+    if report.parent_flag_bits:
+        report.errors.append(
+            f"{report.parent_flag_bits} stored neighbor id(s) carry the "
+            f"PARENT_FLAG bit — stored graphs must hold bare node ids"
+        )
+    bare = neighbors & INDEX_MASK
+    if neighbors.size and bare.max() >= n:
         report.errors.append("neighbor id out of range")
 
     node_ids = np.arange(n, dtype=np.uint32)[:, None]
@@ -94,22 +120,36 @@ def validate_index(
             f"{report.duplicate_edges} duplicate edges across rows"
         )
 
-    in_degrees = index.graph.in_degrees()
-    report.min_in_degree = int(in_degrees.min()) if n else 0
-    if report.min_in_degree == 0:
-        unreachable = int((in_degrees == 0).sum())
-        report.warnings.append(
-            f"{unreachable} nodes have no incoming edges (unreachable "
-            "except by random initialization)"
-        )
+    # Reachability statistics traverse the graph, so they are only safe
+    # when every stored id is a bare in-range node id; skip them (instead
+    # of crashing) on a corrupt graph — the errors above already tell the
+    # operator why.
+    ids_traversable = report.parent_flag_bits == 0 and (
+        not neighbors.size or int(neighbors.max()) < n
+    )
+    if ids_traversable:
+        in_degrees = index.graph.in_degrees()
+        report.min_in_degree = int(in_degrees.min()) if n else 0
+        if report.min_in_degree == 0:
+            unreachable = int((in_degrees == 0).sum())
+            report.warnings.append(
+                f"{unreachable} nodes have no incoming edges (unreachable "
+                "except by random initialization)"
+            )
 
-    report.strong_components = strong_connected_components(index.graph)
-    if report.strong_components > max(1, n // 100):
-        report.warnings.append(
-            f"{report.strong_components} strong components — poor reachability"
+        report.strong_components = strong_connected_components(index.graph)
+        if report.strong_components > max(1, n // 100):
+            report.warnings.append(
+                f"{report.strong_components} strong components — poor reachability"
+            )
+        report.avg_two_hop = average_two_hop_count(
+            index.graph, sample=sample, seed=seed
         )
-    report.avg_two_hop = average_two_hop_count(index.graph, sample=sample, seed=seed)
-    report.two_hop_fraction_of_max = report.avg_two_hop / (d + d * d)
+        report.two_hop_fraction_of_max = report.avg_two_hop / (d + d * d)
+    else:
+        report.warnings.append(
+            "reachability statistics skipped: graph contains invalid ids"
+        )
 
     report.ok = not report.errors
     return report

@@ -33,6 +33,9 @@ __all__ = [
     "sort_cycles",
     "gather_cycles",
     "registers_per_thread",
+    "occupancy_factor",
+    "load_waste",
+    "iteration_latency_cycles",
 ]
 
 _ISSUE_CYCLES_LOAD = 4.0  # issue+address cycles per 128-bit load instruction

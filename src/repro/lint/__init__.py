@@ -1,0 +1,31 @@
+"""repro.lint — AST-based invariant linter for the CAGRA reproduction.
+
+Enforces the repo-specific contracts that generic linters cannot know
+about (see ``docs/static_analysis.md`` for the full catalogue):
+
+* **RL001** ``PARENT_FLAG``-carrying ids must be ``& INDEX_MASK``-ed
+  before being used as indexes;
+* **RL002** node-id arrays need explicit integer dtypes;
+* **RL003** stochastic code takes an explicit ``numpy.random.Generator``;
+* **RL004** distance math in ``core/`` / ``baselines/`` flows through the
+  counted :mod:`repro.core.distances` wrappers;
+* **RL005** no exact float equality on distances, no ``__all__`` drift.
+
+Run it via ``repro-cagra lint [--format json] [--strict]`` or
+programmatically through :func:`lint_paths` / :func:`lint_source`.
+"""
+
+from repro.lint.engine import LintResult, default_root, lint_paths, lint_source
+from repro.lint.report import Violation, format_json, format_text
+from repro.lint.rules import RULES
+
+__all__ = [
+    "LintResult",
+    "RULES",
+    "Violation",
+    "default_root",
+    "format_json",
+    "format_text",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,56 @@
+"""Violation record and output formatting for the repro linter.
+
+Two output formats: ``text`` (one ``path:line:col: RULE message`` line per
+violation, sorted) for humans and CI logs, and ``json`` for tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+__all__ = ["Violation", "format_text", "format_json"]
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule hit at a specific source location.
+
+    Attributes:
+        path: file the violation was found in (as given to the engine).
+        line: 1-based source line.
+        col: 0-based column of the offending node.
+        rule: rule id (``RL001`` ... ``RL005``).
+        message: human-readable description of the broken invariant.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def format_text(violations: list[Violation], files_checked: int) -> str:
+    """Sorted one-line-per-violation report plus a summary line."""
+    lines = [v.render() for v in sorted(violations)]
+    noun = "violation" if len(violations) == 1 else "violations"
+    lines.append(
+        f"{len(violations)} {noun} in {files_checked} file(s) checked"
+        if violations
+        else f"clean: 0 violations in {files_checked} file(s) checked"
+    )
+    return "\n".join(lines)
+
+
+def format_json(violations: list[Violation], files_checked: int) -> str:
+    """Machine-readable report: violation dicts plus counts."""
+    payload = {
+        "violations": [asdict(v) for v in sorted(violations)],
+        "count": len(violations),
+        "files_checked": files_checked,
+    }
+    return json.dumps(payload, indent=2)

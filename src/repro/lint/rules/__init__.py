@@ -1,0 +1,38 @@
+"""Rule registry for the repro invariant linter.
+
+Each rule module exposes ``RULE_ID``, ``TITLE`` and
+``check(ctx: FileContext) -> list[Violation]``; this package collects them
+into the ``RULES`` mapping the engine iterates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.lint.report import Violation
+from repro.lint.rules import accounting, api, determinism, dtypes, flags
+
+__all__ = ["RULES", "RuleChecker"]
+
+
+@dataclass(frozen=True)
+class RuleChecker:
+    """One registered rule: id, short title, and its check function."""
+
+    rule_id: str
+    title: str
+    check: Callable[..., list[Violation]]
+
+
+def _register(module) -> RuleChecker:
+    return RuleChecker(
+        rule_id=module.RULE_ID, title=module.TITLE, check=module.check
+    )
+
+
+#: Rule id → checker, in rule-id order.
+RULES: dict[str, RuleChecker] = {
+    module.RULE_ID: _register(module)
+    for module in (flags, dtypes, determinism, accounting, api)
+}

@@ -1,0 +1,146 @@
+"""RL005 — float distance equality and public-API (``__all__``) drift.
+
+Two hygiene contracts share this rule id:
+
+* **Float equality on distances.**  Distance arrays are floats; ``==`` /
+  ``!=`` against float literals (or other distance arrays) is
+  representation-dependent and breaks silently under FP16 storage or a
+  different reduction order.  Compare with tolerances (``np.isclose``) or
+  use ``np.isinf`` / ``np.isfinite`` for sentinel checks.
+* **``__all__`` drift.**  Every module in the library declares ``__all__``;
+  a listed name that is not defined breaks ``import *`` and documentation
+  tooling, and a public top-level function/class missing from ``__all__``
+  silently forks the de-facto API from the declared one.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import FileContext
+from repro.lint.report import Violation
+
+__all__ = ["RULE_ID", "TITLE", "check"]
+
+RULE_ID = "RL005"
+TITLE = "float distance equality or __all__ / public API drift"
+
+_DIST_FRAGMENT = "dist"
+
+
+def _violation(ctx: FileContext, node: ast.AST, message: str) -> Violation:
+    return Violation(
+        path=ctx.path,
+        line=node.lineno,
+        col=node.col_offset,
+        rule=RULE_ID,
+        message=message,
+    )
+
+
+def _dist_name(node: ast.expr) -> str | None:
+    """The identifier if ``node`` names something distance-like."""
+    if isinstance(node, ast.Name) and _DIST_FRAGMENT in node.id.lower():
+        return node.id
+    if isinstance(node, ast.Attribute) and _DIST_FRAGMENT in node.attr.lower():
+        return node.attr
+    return None
+
+
+def _is_float_like(node: ast.expr) -> bool:
+    """Float literal or an ``inf`` constant reference."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return _is_float_like(node.operand)
+    if isinstance(node, ast.Attribute) and node.attr in ("inf", "nan"):
+        return True
+    return False
+
+
+def _check_float_equality(ctx: FileContext) -> list[Violation]:
+    violations: list[Violation] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            continue
+        sides = [node.left, *node.comparators]
+        named = [s for s in sides if _dist_name(s) is not None]
+        if not named:
+            continue
+        # Hazardous when the counterpart is a float literal / inf, or when
+        # two distance arrays are compared exactly.
+        hazard = len(named) >= 2 or any(_is_float_like(s) for s in sides)
+        if hazard:
+            violations.append(
+                _violation(
+                    ctx,
+                    node,
+                    f"exact float comparison on distance value "
+                    f"'{_dist_name(named[0])}'; use np.isclose / np.isinf "
+                    f"instead of == or !=",
+                )
+            )
+    return violations
+
+
+def _check_all_drift(ctx: FileContext) -> list[Violation]:
+    violations: list[Violation] = []
+    tree = ctx.tree
+    declared: list[str] | None = None
+    declared_node: ast.AST | None = None
+    defined: set[str] = set()
+    public_defs: list[tuple[str, ast.AST]] = []
+
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            defined.add(node.name)
+            if not node.name.startswith("_"):
+                public_defs.append((node.name, node))
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id == "__all__":
+                    declared_node = node
+                    try:
+                        value = ast.literal_eval(node.value)
+                        declared = [str(v) for v in value]
+                    except (ValueError, TypeError):
+                        declared = None
+                else:
+                    defined.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            defined.add(node.target.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                defined.add((alias.asname or alias.name).split(".")[0])
+
+    if declared is None:
+        return violations
+    for name in declared:
+        if name not in defined and name != "*":
+            violations.append(
+                _violation(
+                    ctx,
+                    declared_node,
+                    f"__all__ lists '{name}' but the module never defines it",
+                )
+            )
+    for name, node in public_defs:
+        if name not in declared:
+            violations.append(
+                _violation(
+                    ctx,
+                    node,
+                    f"public {type(node).__name__.replace('Def', '').lower()} "
+                    f"'{name}' is missing from __all__ (add it or prefix "
+                    f"with '_')",
+                )
+            )
+    return violations
+
+
+def check(ctx: FileContext) -> list[Violation]:
+    return [*_check_float_equality(ctx), *_check_all_drift(ctx)]

@@ -1,0 +1,137 @@
+"""RL003 — stochastic code must take an explicit ``numpy.random.Generator``.
+
+Reproducible benches (DESIGN.md §6) require every stochastic component to
+thread an explicit ``Generator`` (or integer seed) parameter: global RNG
+state (``np.random.seed`` + legacy ``np.random.<dist>`` calls, the stdlib
+``random`` module) makes results depend on call order across the whole
+process, and time-based seeding makes them irreproducible outright.
+
+The rule flags:
+
+* any legacy ``np.random.<name>(...)`` call except the explicit
+  construction APIs (``default_rng``, ``Generator``, ``SeedSequence`` and
+  the bit generators);
+* any use of the stdlib ``random`` module (both ``import random`` usage
+  and ``from random import ...``);
+* seeding from wall-clock time: ``time.time()`` / ``time.time_ns()`` /
+  ``datetime.now()`` appearing inside the arguments of an RNG
+  constructor or ``seed(...)`` call.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import FileContext, dotted_name
+from repro.lint.report import Violation
+
+__all__ = ["RULE_ID", "TITLE", "check"]
+
+RULE_ID = "RL003"
+TITLE = "global or time-seeded randomness instead of an explicit Generator"
+
+_ALLOWED_NP_RANDOM = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+_TIME_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.monotonic",
+    "datetime.now",
+    "datetime.datetime.now",
+    "datetime.utcnow",
+}
+_SEEDING_CALLS = {"default_rng", "seed", "RandomState", "SeedSequence"}
+
+
+def _stdlib_random_imported(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(alias.name == "random" for alias in node.names):
+                return True
+    return False
+
+
+def _violation(ctx: FileContext, node: ast.AST, message: str) -> Violation:
+    return Violation(
+        path=ctx.path,
+        line=node.lineno,
+        col=node.col_offset,
+        rule=RULE_ID,
+        message=message,
+    )
+
+
+def check(ctx: FileContext) -> list[Violation]:
+    violations: list[Violation] = []
+    has_stdlib_random = _stdlib_random_imported(ctx.tree)
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "random":
+            violations.append(
+                _violation(
+                    ctx,
+                    node,
+                    "stdlib 'random' import; use an explicit "
+                    "numpy.random.Generator parameter instead",
+                )
+            )
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = dotted_name(node.func)
+        parts = dotted.split(".") if dotted else []
+
+        # Legacy global-state numpy RNG: np.random.<dist>(...).
+        if (
+            len(parts) >= 3
+            and parts[0] in ("np", "numpy")
+            and parts[1] == "random"
+            and parts[2] not in _ALLOWED_NP_RANDOM
+        ):
+            violations.append(
+                _violation(
+                    ctx,
+                    node,
+                    f"legacy global-state call {dotted}(); pass an explicit "
+                    f"numpy.random.Generator (np.random.default_rng) instead",
+                )
+            )
+            continue
+
+        # stdlib random module usage: random.<fn>(...).
+        if has_stdlib_random and parts[:1] == ["random"] and len(parts) >= 2:
+            violations.append(
+                _violation(
+                    ctx,
+                    node,
+                    f"stdlib {dotted}() uses hidden global state; pass an "
+                    f"explicit numpy.random.Generator instead",
+                )
+            )
+            continue
+
+        # Time-based seeding: default_rng(time.time()), seed(time.time_ns())...
+        if parts and parts[-1] in _SEEDING_CALLS:
+            args = [*node.args, *(kw.value for kw in node.keywords)]
+            for arg in (sub for a in args for sub in ast.walk(a)):
+                if isinstance(arg, ast.Call) and dotted_name(arg.func) in _TIME_CALLS:
+                    violations.append(
+                        _violation(
+                            ctx,
+                            node,
+                            f"time-based seeding ({dotted_name(arg.func)}()) makes "
+                            f"runs irreproducible; accept a seed/Generator "
+                            f"parameter instead",
+                        )
+                    )
+                    break
+    return violations

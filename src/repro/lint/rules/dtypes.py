@@ -1,0 +1,121 @@
+"""RL002 — node-id arrays need explicit integer dtypes.
+
+Node ids are ``uint32`` on the wire (graph rows, search buffers) and
+``int64`` when used as numpy fancy indexes.  An id array constructed
+without an explicit ``dtype=`` inherits platform-dependent defaults
+(``np.arange`` is ``int32`` on Windows) and float promotion hazards.  The
+rule fires when:
+
+* a name matching an id-ish pattern (``ids``, ``indices``, ``nodes``,
+  ``neighbors``, ...) is assigned from ``np.arange`` / ``np.zeros`` /
+  ``np.empty`` / ``np.full`` / ``np.array`` / ``np.ones`` without a
+  ``dtype=`` keyword;
+* an id-named array is compared against a negative or float Python
+  literal (``ids == -1`` is always-false/undefined under ``uint32``;
+  float comparison promotes the whole array).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.lint.engine import FileContext, dotted_name
+from repro.lint.report import Violation
+
+__all__ = ["RULE_ID", "TITLE", "check"]
+
+RULE_ID = "RL002"
+TITLE = "node-id array construction without an explicit dtype"
+
+_ID_NAME_RE = re.compile(
+    r"(^|_)(id|ids|idx|index|indices|node|nodes|neighbor|neighbors|parents?)(_|$)",
+    re.IGNORECASE,
+)
+_CONSTRUCTORS = {"arange", "zeros", "empty", "full", "array", "ones"}
+
+
+def _is_id_name(name: str) -> bool:
+    return bool(_ID_NAME_RE.search(name))
+
+
+def _is_np_constructor_without_dtype(node: ast.expr) -> str | None:
+    """Constructor name if ``node`` is ``np.<ctor>(...)`` with no dtype."""
+    if not isinstance(node, ast.Call):
+        return None
+    dotted = dotted_name(node.func)
+    if not dotted:
+        return None
+    parts = dotted.split(".")
+    if parts[0] not in ("np", "numpy") or parts[-1] not in _CONSTRUCTORS:
+        return None
+    if any(kw.arg == "dtype" for kw in node.keywords):
+        return None
+    return parts[-1]
+
+
+def _bad_literal(node: ast.expr) -> str | None:
+    """'negative int' / 'float' if ``node`` is a hazardous literal."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        if isinstance(node.operand, ast.Constant) and isinstance(
+            node.operand.value, (int, float)
+        ):
+            return "negative literal"
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return "float literal"
+    return None
+
+
+def check(ctx: FileContext) -> list[Violation]:
+    violations: list[Violation] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if not any(_is_id_name(t) for t in targets):
+                continue
+            ctor = _is_np_constructor_without_dtype(node.value)
+            if ctor is not None:
+                name = next(t for t in targets if _is_id_name(t))
+                violations.append(
+                    Violation(
+                        path=ctx.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule=RULE_ID,
+                        message=(
+                            f"id array '{name}' built with np.{ctor}() without an "
+                            f"explicit dtype (use np.uint32 for stored ids, "
+                            f"np.int64 for fancy indexes)"
+                        ),
+                    )
+                )
+        elif isinstance(node, ast.Compare):
+            sides = [node.left, *node.comparators]
+            id_side = next(
+                (
+                    s
+                    for s in sides
+                    if isinstance(s, ast.Name) and _is_id_name(s.id)
+                ),
+                None,
+            )
+            if id_side is None:
+                continue
+            for other in sides:
+                kind = _bad_literal(other)
+                if kind is not None:
+                    violations.append(
+                        Violation(
+                            path=ctx.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            rule=RULE_ID,
+                            message=(
+                                f"id array '{id_side.id}' compared against a "
+                                f"{kind}; uint32 ids make this comparison "
+                                f"wrong or promote it to float/object"
+                            ),
+                        )
+                    )
+                    break
+    return violations

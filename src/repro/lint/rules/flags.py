@@ -1,0 +1,135 @@
+"""RL001 — flagged node ids must be masked before indexing.
+
+The search stores the 1-bit "has been a parent" flag in the MSB of a
+``uint32`` node id (``PARENT_FLAG``, Sec. IV-B4 of the paper).  An id that
+carries the flag is *not* a valid row index: ``data[flagged_id]`` silently
+reads the wrong row (or raises) because the MSB turns the id into a number
+``>= 2**31``.  Every use of a flag-carrying array as an index or gather
+argument must therefore be dominated by ``& INDEX_MASK``.
+
+This rule performs a per-scope taint analysis in statement order:
+
+* a name becomes *tainted* when it is assigned an expression that ORs in
+  ``PARENT_FLAG`` (``x = y | PARENT_FLAG``, ``x |= PARENT_FLAG``,
+  including a subscript target ``x[i] |= PARENT_FLAG``), or when it is
+  assigned from an already-tainted name (aliases, ``.copy()``,
+  ``.astype(...)`` chains);
+* a name is *cleansed* when reassigned from an expression containing
+  ``& INDEX_MASK``;
+* a violation is reported when a tainted name appears inside the index of
+  a subscript (``a[tainted]``) or as the index argument of ``np.take`` /
+  ``np.take_along_axis`` / ``np.put_along_axis`` without ``& INDEX_MASK``
+  inside that index expression.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import FileContext, iter_scopes, mentions_symbol, scope_statements
+from repro.lint.report import Violation
+
+__all__ = ["RULE_ID", "TITLE", "check"]
+
+RULE_ID = "RL001"
+TITLE = "PARENT_FLAG-carrying array used as an index without & INDEX_MASK"
+
+_FLAG = "PARENT_FLAG"
+_MASK = "INDEX_MASK"
+#: numpy gather/scatter helpers whose second positional argument is an
+#: index array.
+_INDEX_ARG_FUNCS = {"take", "take_along_axis", "put_along_axis"}
+
+
+def _contains_mask(node: ast.AST) -> bool:
+    """True if the expression applies ``& INDEX_MASK`` anywhere inside."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.BitAnd):
+            if mentions_symbol(sub.left, _MASK) or mentions_symbol(sub.right, _MASK):
+                return True
+    return False
+
+
+def _ors_in_flag(node: ast.AST) -> bool:
+    """True if the expression ORs ``PARENT_FLAG`` into something."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.BitOr):
+            if mentions_symbol(sub.left, _FLAG) or mentions_symbol(sub.right, _FLAG):
+                return True
+    return False
+
+
+def _references_tainted(node: ast.AST, tainted: set[str]) -> str | None:
+    """Name of the first tainted identifier referenced in ``node``, if any."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id in tainted:
+            return sub.id
+    return None
+
+
+def _check_usages(stmt: ast.stmt, tainted: set[str], ctx: FileContext) -> list[Violation]:
+    """Flag tainted names used in index position anywhere in ``stmt``."""
+    violations: list[Violation] = []
+    for node in ast.walk(stmt):
+        index_exprs: list[ast.expr] = []
+        if isinstance(node, ast.Subscript):
+            index_exprs.append(node.slice)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _INDEX_ARG_FUNCS
+                and len(node.args) >= 2
+            ):
+                index_exprs.append(node.args[1])
+        for expr in index_exprs:
+            name = _references_tainted(expr, tainted)
+            if name is not None and not _contains_mask(expr):
+                violations.append(
+                    Violation(
+                        path=ctx.path,
+                        line=expr.lineno,
+                        col=expr.col_offset,
+                        rule=RULE_ID,
+                        message=(
+                            f"'{name}' may carry PARENT_FLAG but is used as an "
+                            f"index/gather argument without '& INDEX_MASK'"
+                        ),
+                    )
+                )
+    return violations
+
+
+def check(ctx: FileContext) -> list[Violation]:
+    violations: list[Violation] = []
+    if not mentions_symbol(ctx.tree, _FLAG):
+        return violations
+    for _scope, body in iter_scopes(ctx.tree):
+        tainted: set[str] = set()
+        for stmt in scope_statements(body):
+            # Usages are checked against the taint state *before* this
+            # statement's own assignment takes effect.
+            violations.extend(_check_usages(stmt, tainted, ctx))
+            if isinstance(stmt, ast.Assign):
+                targets = [t for t in stmt.targets if isinstance(t, ast.Name)]
+                if not targets:
+                    continue
+                if _contains_mask(stmt.value):
+                    for target in targets:
+                        tainted.discard(target.id)
+                elif _ors_in_flag(stmt.value) or _references_tainted(
+                    stmt.value, tainted
+                ):
+                    for target in targets:
+                        tainted.add(target.id)
+                else:
+                    for target in targets:
+                        tainted.discard(target.id)
+            elif isinstance(stmt, ast.AugAssign) and isinstance(stmt.op, ast.BitOr):
+                if mentions_symbol(stmt.value, _FLAG):
+                    target = stmt.target
+                    if isinstance(target, ast.Subscript):
+                        target = target.value
+                    if isinstance(target, ast.Name):
+                        tainted.add(target.id)
+    return violations

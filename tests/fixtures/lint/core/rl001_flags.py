@@ -1,0 +1,17 @@
+"""RL001 fixture: flagged id array indexed without & INDEX_MASK."""
+
+import numpy as np
+
+from repro.core.graph import INDEX_MASK, PARENT_FLAG
+
+__all__ = ["bad_gather", "good_gather"]
+
+
+def bad_gather(data: np.ndarray, ids: np.ndarray) -> np.ndarray:
+    flagged = ids | PARENT_FLAG
+    return data[flagged]  # RL001: flag bit still set
+
+
+def good_gather(data: np.ndarray, ids: np.ndarray) -> np.ndarray:
+    flagged = ids | PARENT_FLAG
+    return data[flagged & INDEX_MASK]

@@ -1,0 +1,14 @@
+"""RL002 fixture: id arrays without explicit dtypes, hazardous comparisons."""
+
+import numpy as np
+
+__all__ = ["make_ids", "has_sentinel"]
+
+
+def make_ids(n: int) -> np.ndarray:
+    node_ids = np.arange(n)  # RL002: platform-dependent default dtype
+    return node_ids
+
+
+def has_sentinel(ids: np.ndarray) -> np.ndarray:
+    return ids == -1  # RL002: always-false under uint32

@@ -1,0 +1,16 @@
+"""RL003 fixture: global-state and time-seeded randomness."""
+
+import time
+
+import numpy as np
+
+__all__ = ["bad_seeds", "bad_time_seed"]
+
+
+def bad_seeds(n: int) -> np.ndarray:
+    np.random.seed(0)  # RL003: global RNG state
+    return np.random.randint(0, n, size=8)  # RL003: legacy global-state call
+
+
+def bad_time_seed() -> np.random.Generator:
+    return np.random.default_rng(int(time.time()))  # RL003: time-based seed

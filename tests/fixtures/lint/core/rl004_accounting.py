@@ -1,0 +1,20 @@
+"""RL004 fixture: inline distance math bypassing the counted wrappers.
+
+Lives under a ``core/`` path component so the accounting rule applies.
+"""
+
+import numpy as np
+
+__all__ = ["inline_norm", "inline_sq", "inline_matmul"]
+
+
+def inline_norm(a: np.ndarray, b: np.ndarray) -> float:
+    return float(np.linalg.norm(a - b))  # RL004: uncounted distance
+
+
+def inline_sq(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return ((a - b) ** 2).sum(axis=1)  # RL004: uncounted squared distance
+
+
+def inline_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return -(a @ b.T)  # RL004: uncounted inner product

@@ -1,0 +1,13 @@
+"""RL005 fixture: float distance equality and __all__ drift."""
+
+import numpy as np
+
+__all__ = ["exact_match", "not_defined_anywhere"]  # RL005: phantom export
+
+
+def exact_match(dists: np.ndarray) -> np.ndarray:
+    return dists == 0.0  # RL005: exact float equality on distances
+
+
+def forgotten_public_helper() -> int:  # RL005: missing from __all__
+    return int(np.uint32(1))

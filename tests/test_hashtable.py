@@ -140,3 +140,41 @@ class TestHashDistribution:
         keys = rng.choice(2**31 - 1, size=512, replace=False).astype(np.uint32)
         table.insert_unique(keys)
         assert table.probes / table.lookups < 3.0
+
+
+class TestOverflowSafety:
+    """The 32-bit multiplicative hash must be exact and warning-free for
+    every representable uint32 key (including flagged ids near 2^32)."""
+
+    def test_extreme_keys_never_warn(self):
+        import warnings
+
+        table = StandardHashTable(12)
+        extreme = [0, 1, 2**31 - 1, 2**31, 0x9E3779B9, 2**32 - 2]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any RuntimeWarning fails the test
+            for key in extreme:
+                assert table.insert(key)
+            for key in extreme:
+                assert table.contains(key)
+                assert not table.insert(key)
+
+    def test_key_masked_to_32_bits_before_mixing(self):
+        table = StandardHashTable(10)
+        # Keys equal mod 2^32 must land in the same slot.
+        assert table._first_slot(5) == table._first_slot(5 + 2**32)
+
+    def test_first_slot_in_range(self):
+        for log2 in (2, 8, 12):
+            table = StandardHashTable(log2)
+            slots = {table._first_slot(k) for k in range(0, 2**32, 2**27)}
+            assert all(0 <= s < table.size for s in slots)
+            assert len(slots) > 1  # the hash actually mixes
+
+    def test_sizing_rule_is_clamped_and_exact(self):
+        # Exact powers of two must not round up a level.
+        assert standard_table_log2_size(2, 1, 32) == max(8, (129 - 1).bit_length())
+        # Gigantic parameters clamp to the constructor's supported range.
+        log2 = standard_table_log2_size(10**6, 64, 64)
+        assert log2 == 28
+        StandardHashTable(log2)  # constructible without raising

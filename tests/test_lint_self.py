@@ -1,0 +1,30 @@
+"""Self-lint: the whole repro source tree must satisfy its own invariants.
+
+Any new violation must be either fixed or carry an in-line
+``# repro-lint: disable=RLxxx — reason`` waiver; this test is the CI gate
+that keeps the dtype/flag/determinism/accounting contracts from drifting.
+"""
+
+from __future__ import annotations
+
+from repro.cli import main
+from repro.lint import default_root, format_text, lint_paths
+
+
+def test_source_tree_is_lint_clean():
+    result = lint_paths()
+    assert result.files_checked > 30, "linter walked suspiciously few files"
+    assert not result.parse_errors, result.parse_errors
+    assert not result.violations, "\n" + format_text(
+        result.violations, result.files_checked
+    )
+
+
+def test_default_root_is_the_src_tree():
+    root = default_root()
+    assert (root / "repro" / "core" / "search.py").exists()
+
+
+def test_cli_strict_lint_exits_zero(capsys):
+    assert main(["lint", "--strict"]) == 0
+    assert "clean" in capsys.readouterr().out

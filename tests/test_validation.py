@@ -81,3 +81,70 @@ class TestReportDataclass:
         report = ValidationReport(ok=True)
         assert report.errors == []
         assert report.warnings == []
+
+
+class TestCorruptGraphFixtures:
+    """Each corruption mode must produce its own specific finding.
+
+    The fixtures mutate a valid index's graph in place (bypassing the
+    ``FixedDegreeGraph`` constructor checks) exactly the way on-disk
+    corruption or a buggy refactor would.
+    """
+
+    def _corruptible_index(self, tiny_data):
+        n = len(tiny_data)
+        rng = np.random.default_rng(11)
+        neighbors = np.empty((n, 4), dtype=np.uint32)
+        for i in range(n):
+            choices = rng.choice(n - 1, size=4, replace=False)
+            neighbors[i] = np.where(choices >= i, choices + 1, choices)
+        return CagraIndex(tiny_data, FixedDegreeGraph(neighbors))
+
+    def test_out_of_range_neighbor_id(self, tiny_data):
+        index = self._corruptible_index(tiny_data)
+        index.graph.neighbors[3, 1] = len(tiny_data) + 5  # in-place corruption
+        report = validate_index(index)
+        assert not report.ok
+        assert any("out of range" in e for e in report.errors)
+        assert any("skipped" in w for w in report.warnings)
+
+    def test_stray_parent_flag_bit(self, tiny_data):
+        from repro.core.graph import PARENT_FLAG
+
+        index = self._corruptible_index(tiny_data)
+        index.graph.neighbors[5, 0] |= PARENT_FLAG
+        report = validate_index(index)
+        assert not report.ok
+        assert report.parent_flag_bits == 1
+        assert any("PARENT_FLAG" in e for e in report.errors)
+        # The flag bit also pushes the id out of the uint32 range check's
+        # bare-id view only if the bare id were invalid; the specific
+        # finding is the flag one.
+        assert not any("out of range" in e for e in report.errors)
+
+    def test_self_loop_fixture(self, tiny_data):
+        index = self._corruptible_index(tiny_data)
+        index.graph.neighbors[7, 2] = 7
+        report = validate_index(index)
+        assert report.self_loops == 1
+        assert any("self-loop" in w for w in report.warnings)
+
+    def test_wrong_degree_against_build_config(self, tiny_data):
+        from repro import GraphBuildConfig
+
+        index = self._corruptible_index(tiny_data)
+        index.build_config = GraphBuildConfig(graph_degree=8)
+        report = validate_index(index)
+        assert not report.ok
+        assert any("degree" in e and "expected" in e for e in report.errors)
+
+    def test_wrong_degree_explicit_parameter(self, tiny_data):
+        index = self._corruptible_index(tiny_data)
+        report = validate_index(index, expected_degree=16)
+        assert not report.ok
+        assert any("expected degree (16)" in e for e in report.errors)
+
+    def test_uncorrupted_fixture_is_clean(self, tiny_data):
+        report = validate_index(self._corruptible_index(tiny_data), expected_degree=4)
+        assert report.ok
+        assert report.parent_flag_bits == 0
