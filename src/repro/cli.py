@@ -6,17 +6,21 @@ Subcommands::
     repro-cagra build  --dataset deep-1m --scale 4000 --out idx.npz
     repro-cagra search --index idx.npz --dataset deep-1m --scale 4000 -k 10
     repro-cagra bench  --dataset deep-1m --scale 3000 --batch 10000
+    repro-cagra serve  --dataset deep-1m --scale 2000 --rate 500 --duration 2
     repro-cagra validate --index idx.npz      # integrity + reachability audit
     repro-cagra lint --strict                 # repo invariant linter (RL001-RL005)
     repro-cagra report                        # aggregate benchmarks/results/
 
 ``build``/``search`` work on the synthetic registry datasets or on real
-``.fvecs`` files (``--fvecs path``).
+``.fvecs`` files (``--fvecs path``).  ``search``, ``bench`` and ``serve``
+accept ``--format json`` for machine-readable output (consistent with
+``lint --format json``); text stays the default.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -89,10 +93,23 @@ def _cmd_search(args) -> int:
         result = index.search(queries, args.k, config=config)
     elapsed = time.perf_counter() - started
     truth, _ = exact_search(index.dataset, queries, args.k, metric=index.metric)
+    measured_recall = recall_of(result.indices, truth)
+    per_query = result.report.distance_computations / queries.shape[0]
+    if args.format == "json":
+        print(json.dumps({
+            "queries": int(queries.shape[0]),
+            "k": args.k,
+            "itopk": args.itopk,
+            "algo": result.report.algo,
+            "fast_path": bool(args.fast),
+            "elapsed_seconds": elapsed,
+            "recall": measured_recall,
+            "distance_computations_per_query": per_query,
+        }, indent=2))
+        return 0
     print(f"searched {queries.shape[0]} queries in {elapsed:.3f}s (python wall time)")
-    print(f"recall@{args.k}: {recall_of(result.indices, truth):.4f}")
-    print(f"distance computations/query: "
-          f"{result.report.distance_computations / queries.shape[0]:.0f}")
+    print(f"recall@{args.k}: {measured_recall:.4f}")
+    print(f"distance computations/query: {per_query:.0f}")
     return 0
 
 
@@ -107,20 +124,124 @@ def _cmd_bench(args) -> int:
 
     data, queries, metric, degree = _load(args)
     truth, _ = exact_search(data, queries, args.k, metric=metric)
-    print(f"dataset: {args.dataset} n={data.shape[0]} dim={data.shape[1]} metric={metric}")
+    if args.format == "text":
+        print(f"dataset: {args.dataset} n={data.shape[0]} dim={data.shape[1]} metric={metric}")
     index = CagraIndex.build(
         data, GraphBuildConfig(graph_degree=args.degree or degree, metric=metric)
     )
-    hnsw = HnswIndex(data, m=16, ef_construction=100, metric=metric).build()
+    hnsw = HnswIndex(
+        data, m=args.hnsw_m, ef_construction=args.hnsw_efc, metric=metric
+    ).build()
     sweep = [max(args.k, v) for v in (10, 16, 32, 64, 128)]
     curves = [
         run_cagra_sweep(index, queries, truth, args.k, sweep, args.batch),
         run_hnsw_sweep(hnsw, queries, truth, args.k, sweep, args.batch),
     ]
+    if args.format == "json":
+        from dataclasses import asdict
+
+        cagra_curve = curves[0]
+        speedups = {}
+        for target in (0.90, 0.95):
+            ours, theirs = cagra_curve.qps_at_recall(target), curves[1].qps_at_recall(target)
+            speedups[f"{target:.2f}"] = (
+                ours / theirs if ours is not None and theirs is not None else None
+            )
+        print(json.dumps({
+            "dataset": args.dataset,
+            "n": int(data.shape[0]),
+            "dim": int(data.shape[1]),
+            "metric": metric,
+            "batch": args.batch,
+            "k": args.k,
+            "hnsw": {"m": args.hnsw_m, "ef_construction": args.hnsw_efc},
+            "curves": [asdict(curve) for curve in curves],
+            "speedup_vs_hnsw_at_recall": speedups,
+        }, indent=2))
+        return 0
     print(format_curve_table(curves, f"batch={args.batch} recall@{args.k}"))
     print()
     print(speedup_at_recall(curves, "HNSW", [0.90, 0.95]))
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import (
+        CagraServer,
+        ServeConfig,
+        run_closed_loop,
+        run_open_loop,
+    )
+
+    data, queries, metric, degree = _load(args)
+    if args.index:
+        index = CagraIndex.load(args.index)
+    else:
+        index = CagraIndex.build(
+            data, GraphBuildConfig(graph_degree=args.degree or degree, metric=metric)
+        )
+    config = ServeConfig(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_capacity=args.queue_capacity,
+        default_timeout_ms=args.timeout_ms,
+        cache_capacity=args.cache_capacity,
+        default_k=args.k,
+    )
+    num_requests = args.requests or max(1, int(args.rate * args.duration))
+    server = CagraServer(index, config, search_config=SearchConfig(itopk=args.itopk, seed=args.seed))
+    with server:
+        if args.mode == "open":
+            report = run_open_loop(
+                server, queries, rate_qps=args.rate,
+                num_requests=num_requests, seed=args.seed,
+            )
+        else:
+            per_client = max(1, num_requests // args.clients)
+            report = run_closed_loop(
+                server, queries, num_clients=args.clients,
+                requests_per_client=per_client,
+            )
+    stats = server.stats()
+
+    truth, _ = exact_search(index.dataset, queries, args.k, metric=index.metric)
+    if report.results:
+        rows = np.array([row for row, _ in report.results], dtype=np.int64)
+        found = np.stack([found_ids for _, found_ids in report.results])
+        served_recall = recall_of(found, truth[rows])
+    else:
+        served_recall = 0.0
+
+    if args.format == "json":
+        payload = {
+            "mode": report.mode,
+            "offered_rate_qps": args.rate if args.mode == "open" else None,
+            "requests": num_requests,
+            "submitted": report.submitted,
+            "completed": report.completed,
+            "rejected": report.rejected,
+            "timed_out": report.timed_out,
+            "failed": report.failed,
+            "duration_seconds": report.duration_seconds,
+            "achieved_qps": report.achieved_qps,
+            "latency_ms": {
+                "p50": report.latency_percentile_ms(50),
+                "p95": report.latency_percentile_ms(95),
+                "p99": report.latency_percentile_ms(99),
+            },
+            "recall": served_recall,
+            "stats": stats.to_dict(),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"serving {index!r}")
+        print(f"  scheduler: max_batch={config.max_batch} "
+              f"max_wait={config.max_wait_ms}ms queue={config.queue_capacity} "
+              f"timeout={config.default_timeout_ms}ms cache={config.cache_capacity}")
+        print(report.summary())
+        print(f"recall@{args.k} (served vs exact): {served_recall:.4f}")
+        print(stats.summary())
+    return 1 if report.failed > 0 else 0
 
 
 def _cmd_validate(args) -> int:
@@ -196,12 +317,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument("--algo", choices=("auto", "single_cta", "multi_cta"), default="auto")
     p_search.add_argument("--fast", action="store_true",
                           help="use the vectorized lockstep batch search")
+    p_search.add_argument("--format", choices=("text", "json"), default="text")
 
     p_bench = sub.add_parser("bench", help="quick CAGRA-vs-HNSW recall/QPS sweep")
     _add_dataset_args(p_bench)
     p_bench.add_argument("-k", type=int, default=10)
     p_bench.add_argument("--degree", type=int, default=0)
     p_bench.add_argument("--batch", type=int, default=10000, help="simulated batch size")
+    p_bench.add_argument("--hnsw-m", type=int, default=16,
+                         help="HNSW comparator: connections per node")
+    p_bench.add_argument("--hnsw-efc", type=int, default=100,
+                         help="HNSW comparator: ef_construction")
+    p_bench.add_argument("--format", choices=("text", "json"), default="text")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the online serving layer under a seeded load generator"
+    )
+    _add_dataset_args(p_serve)
+    p_serve.add_argument("--index", default="",
+                         help="serve a saved index .npz instead of building one")
+    p_serve.add_argument("-k", type=int, default=10)
+    p_serve.add_argument("--degree", type=int, default=0)
+    p_serve.add_argument("--itopk", type=int, default=64)
+    p_serve.add_argument("--rate", type=float, default=500.0,
+                         help="open-loop Poisson arrival rate (qps)")
+    p_serve.add_argument("--duration", type=float, default=2.0,
+                         help="load duration in seconds (rate * duration requests)")
+    p_serve.add_argument("--requests", type=int, default=0,
+                         help="explicit request count (overrides --duration)")
+    p_serve.add_argument("--mode", choices=("open", "closed"), default="open")
+    p_serve.add_argument("--clients", type=int, default=8,
+                         help="closed-loop concurrent clients")
+    p_serve.add_argument("--max-batch", type=int, default=64)
+    p_serve.add_argument("--max-wait-ms", type=float, default=2.0)
+    p_serve.add_argument("--queue-capacity", type=int, default=256)
+    p_serve.add_argument("--timeout-ms", type=float, default=0.0,
+                         help="per-request deadline (0 = none)")
+    p_serve.add_argument("--cache-capacity", type=int, default=1024,
+                         help="LRU result-cache entries (0 disables)")
+    p_serve.add_argument("--format", choices=("text", "json"), default="text")
 
     p_validate = sub.add_parser("validate", help="audit a saved index")
     p_validate.add_argument("--index", required=True, help="index .npz path")
@@ -228,6 +382,7 @@ def main(argv: list[str] | None = None) -> int:
         "build": _cmd_build,
         "search": _cmd_search,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
         "validate": _cmd_validate,
         "lint": _cmd_lint,
         "report": _cmd_report,

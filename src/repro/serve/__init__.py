@@ -1,0 +1,40 @@
+"""repro.serve — online serving on top of :class:`repro.CagraIndex`.
+
+Turns the offline index into a traffic-serving frontend: a dynamic
+micro-batching scheduler (coalesce to the single-CTA fast path, route
+batch-of-1 flushes to multi-CTA, per Table II), bounded-queue
+backpressure with per-request deadlines, an LRU result cache, hot index
+swap, a metrics surface, and seeded open/closed-loop load generators.
+See ``docs/serving.md`` for the full contracts.
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.config import ServeConfig
+from repro.serve.loadgen import LoadReport, run_closed_loop, run_open_loop
+from repro.serve.server import (
+    CagraServer,
+    PendingResult,
+    RequestTimeout,
+    ServeError,
+    ServeResult,
+    ServerClosed,
+    ServerOverloaded,
+)
+from repro.serve.stats import ServeStats, StatsCollector
+
+__all__ = [
+    "CagraServer",
+    "LoadReport",
+    "PendingResult",
+    "RequestTimeout",
+    "ResultCache",
+    "ServeConfig",
+    "ServeError",
+    "ServeResult",
+    "ServeStats",
+    "ServerClosed",
+    "ServerOverloaded",
+    "StatsCollector",
+    "run_closed_loop",
+    "run_open_loop",
+]

@@ -1,0 +1,53 @@
+"""Thread-safe LRU cache for query results.
+
+Keys are built by the server from ``(query bytes, k, index generation)``
+— the generation counter makes every ``swap_index`` an implicit
+invalidation even before the explicit :meth:`ResultCache.clear` runs.
+Values are ``(indices, distances)`` row pairs; the cache stores its own
+copies so callers can't mutate cached state.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """A bounded least-recently-used mapping of query keys to results."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, tuple[np.ndarray, np.ndarray]] = OrderedDict()
+
+    def get(self, key: tuple) -> tuple[np.ndarray, np.ndarray] | None:
+        """Return a copy of the cached result, refreshing recency."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            self._entries.move_to_end(key)
+            return entry[0].copy(), entry[1].copy()
+
+    def put(self, key: tuple, indices: np.ndarray, distances: np.ndarray) -> None:
+        """Insert (or refresh) an entry, evicting the oldest past capacity."""
+        with self._lock:
+            self._entries[key] = (indices.copy(), distances.copy())
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,72 @@
+"""Serving-layer configuration.
+
+:class:`ServeConfig` holds the knobs of the online serving loop — the
+micro-batching geometry (``max_batch`` / ``max_wait_ms``), admission
+control (``queue_capacity``, ``default_timeout_ms``), and the result
+cache size.  The *search* parameters stay in
+:class:`repro.core.config.SearchConfig`, passed separately to
+:class:`repro.serve.server.CagraServer`, so serving policy and algorithm
+tuning remain independent dials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServeConfig"]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Parameters of the online serving loop.
+
+    Attributes:
+        max_batch: flush a forming batch as soon as it reaches this many
+            requests (the paper's large-batch regime, Fig. 13, needs
+            coalescing; 64 is a good default at bench scale).
+        max_wait_ms: flush a forming batch at most this long after its
+            *first* request arrived, even if it is still small — the
+            latency bound of the batching trade-off.  A batch that ends
+            up with a single request is dispatched to the multi-CTA
+            path (Table II's batch-1 rule).
+        queue_capacity: bounded request queue; a full queue rejects new
+            submissions with :class:`~repro.serve.server.ServerOverloaded`
+            (admission control / backpressure).
+        default_timeout_ms: per-request deadline applied when the caller
+            does not pass one; ``0`` disables deadlines.  Requests whose
+            deadline passes while queued are dropped (counted as timed
+            out) instead of wasting batch slots.
+        cache_capacity: entries in the LRU query-result cache; ``0``
+            disables caching.  The cache is invalidated on
+            ``swap_index`` so stale results are never served.
+        default_k: neighbors returned when the caller does not pass k.
+        num_sms: SM count forwarded to the multi-CTA reference path
+            (sizes the simulated dispatch exactly like
+            :meth:`CagraIndex.search`).
+        drain_poll_ms: scheduler idle-poll interval; only affects how
+            quickly an idle scheduler notices shutdown.
+    """
+
+    max_batch: int = 64
+    max_wait_ms: float = 2.0
+    queue_capacity: int = 256
+    default_timeout_ms: float = 0.0
+    cache_capacity: int = 1024
+    default_k: int = 10
+    num_sms: int = 108
+    drain_poll_ms: float = 20.0
+
+    def __post_init__(self) -> None:
+        _require(self.max_batch >= 1, "max_batch must be >= 1")
+        _require(self.max_wait_ms >= 0.0, "max_wait_ms must be >= 0")
+        _require(self.queue_capacity >= 1, "queue_capacity must be >= 1")
+        _require(self.default_timeout_ms >= 0.0, "default_timeout_ms must be >= 0")
+        _require(self.cache_capacity >= 0, "cache_capacity must be >= 0")
+        _require(self.default_k >= 1, "default_k must be >= 1")
+        _require(self.num_sms >= 1, "num_sms must be >= 1")
+        _require(self.drain_poll_ms > 0.0, "drain_poll_ms must be > 0")

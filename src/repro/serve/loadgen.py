@@ -1,0 +1,190 @@
+"""Seeded load generators driving a :class:`CagraServer`.
+
+Two standard closed-form workload shapes:
+
+* **open loop** (:func:`run_open_loop`) — Poisson arrivals: inter-arrival
+  gaps are i.i.d. exponential draws from a seeded
+  ``numpy.random.Generator``, so the *schedule* is fully deterministic;
+  arrivals do not wait for completions, which is what exposes queueing
+  delay, backpressure, and timeout behaviour under overload.
+* **closed loop** (:func:`run_closed_loop`) — ``num_clients`` synchronous
+  workers, each submitting its next query the moment the previous one
+  completes; offered load self-limits to the server's capacity.
+
+Both return a :class:`LoadReport` with client-observed outcome counts,
+the per-request latency sample, and the raw results (query row → ids) so
+callers can score recall against ground truth.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.server import (
+    CagraServer,
+    RequestTimeout,
+    ServeError,
+    ServerOverloaded,
+)
+
+__all__ = ["LoadReport", "run_closed_loop", "run_open_loop"]
+
+
+@dataclass
+class LoadReport:
+    """Client-side outcome of one load-generation run.
+
+    ``results`` holds ``(query_row, indices)`` pairs for every completed
+    request, where ``query_row`` indexes the query matrix the generator
+    was given (requests cycle through it round-robin).
+    """
+
+    mode: str
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    timed_out: int = 0
+    failed: int = 0
+    duration_seconds: float = 0.0
+    latencies_ms: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    results: list[tuple[int, np.ndarray]] = field(default_factory=list)
+
+    @property
+    def achieved_qps(self) -> float:
+        return self.completed / self.duration_seconds if self.duration_seconds else 0.0
+
+    def latency_percentile_ms(self, q: float) -> float:
+        return float(np.percentile(self.latencies_ms, q)) if self.latencies_ms.size else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.mode}-loop load: submitted={self.submitted} "
+            f"completed={self.completed} rejected={self.rejected} "
+            f"timed_out={self.timed_out} failed={self.failed} "
+            f"in {self.duration_seconds:.2f}s ({self.achieved_qps:,.0f} qps); "
+            f"latency p50={self.latency_percentile_ms(50):.2f}ms "
+            f"p95={self.latency_percentile_ms(95):.2f}ms "
+            f"p99={self.latency_percentile_ms(99):.2f}ms"
+        )
+
+
+def _collect(report: LoadReport, pending: list) -> None:
+    """Resolve every outstanding handle into the report."""
+    latencies = []
+    for query_row, handle in pending:
+        try:
+            result = handle.result()
+        except RequestTimeout:
+            report.timed_out += 1
+        except ServeError:
+            report.failed += 1
+        else:
+            report.completed += 1
+            latencies.append(result.latency_ms)
+            report.results.append((query_row, result.indices))
+    report.latencies_ms = np.asarray(latencies, dtype=np.float64)
+
+
+def run_open_loop(
+    server: CagraServer,
+    queries: np.ndarray,
+    rate_qps: float,
+    num_requests: int,
+    k: int | None = None,
+    timeout_ms: float | None = None,
+    seed: int = 0,
+) -> LoadReport:
+    """Poisson (open-loop) load: arrivals ignore completions.
+
+    Args:
+        server: a started :class:`CagraServer`.
+        queries: ``(Q, dim)`` query pool, cycled round-robin.
+        rate_qps: mean arrival rate; gaps are ``Exponential(1/rate)``.
+        num_requests: total submissions.
+        k / timeout_ms: forwarded to :meth:`CagraServer.submit`.
+        seed: seeds the arrival-schedule Generator (deterministic).
+    """
+    if rate_qps <= 0:
+        raise ValueError("rate_qps must be > 0")
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    queries = np.atleast_2d(queries)
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_qps, size=num_requests)
+    arrivals = np.cumsum(gaps)
+
+    report = LoadReport(mode="open")
+    pending: list = []
+    start = time.monotonic()
+    for i in range(num_requests):
+        delay = start + arrivals[i] - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        query_row = i % queries.shape[0]
+        try:
+            handle = server.submit(queries[query_row], k=k, timeout_ms=timeout_ms)
+        except ServerOverloaded:
+            report.rejected += 1
+        else:
+            pending.append((query_row, handle))
+        report.submitted += 1
+    _collect(report, pending)
+    report.duration_seconds = time.monotonic() - start
+    return report
+
+
+def run_closed_loop(
+    server: CagraServer,
+    queries: np.ndarray,
+    num_clients: int,
+    requests_per_client: int,
+    k: int | None = None,
+    timeout_ms: float | None = None,
+) -> LoadReport:
+    """Closed-loop load: each of ``num_clients`` workers submits its next
+    query as soon as the previous one resolves (think-time zero)."""
+    if num_clients < 1 or requests_per_client < 1:
+        raise ValueError("num_clients and requests_per_client must be >= 1")
+    queries = np.atleast_2d(queries)
+    num_rows = queries.shape[0]
+    report = LoadReport(mode="closed")
+    lock = threading.Lock()
+    latencies: list[float] = []
+
+    def worker(client: int) -> None:
+        for j in range(requests_per_client):
+            query_row = (client * requests_per_client + j) % num_rows
+            outcome = None
+            try:
+                result = server.search(queries[query_row], k=k, timeout_ms=timeout_ms)
+            except ServerOverloaded:
+                outcome = "rejected"
+            except RequestTimeout:
+                outcome = "timed_out"
+            except ServeError:
+                outcome = "failed"
+            with lock:
+                report.submitted += 1
+                if outcome is None:
+                    report.completed += 1
+                    latencies.append(result.latency_ms)
+                    report.results.append((query_row, result.indices))
+                else:
+                    setattr(report, outcome, getattr(report, outcome) + 1)
+
+    threads = [
+        threading.Thread(target=worker, args=(c,), name=f"loadgen-{c}")
+        for c in range(num_clients)
+    ]
+    start = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.duration_seconds = time.monotonic() - start
+    report.latencies_ms = np.asarray(latencies, dtype=np.float64)
+    return report

@@ -1,0 +1,466 @@
+"""Online serving: dynamic micro-batching over a :class:`CagraIndex`.
+
+The paper's serving trade-off is batch geometry: single-CTA search wins at
+large batches (Fig. 13) and multi-CTA at batch 1 (Fig. 14, Table II), but
+online traffic arrives one query at a time.  :class:`CagraServer` bridges
+the two regimes: callers submit single queries through a synchronous API,
+a bounded queue feeds a scheduler thread that *coalesces* them into
+micro-batches — flushing when the batch reaches ``max_batch`` requests or
+``max_wait_ms`` after its first request, whichever comes first — and each
+flush is dispatched by size, mirroring Table II:
+
+* coalesced batches (size > 1) run the vectorized single-CTA fast path
+  (:func:`repro.core.batch_search.search_batch_fast`);
+* batch-of-1 flushes run the multi-CTA reference path
+  (:meth:`CagraIndex.search` with ``algo="multi_cta"``).
+
+Around that core sit the production concerns: admission control (full
+queue ⇒ :class:`ServerOverloaded`), per-request deadlines (expired ⇒
+:class:`RequestTimeout`, dropped without wasting batch slots), an LRU
+result cache, hot index swap (:meth:`CagraServer.swap_index` atomically
+publishes a new snapshot; in-flight batches finish on the old one), a
+graceful drain on shutdown, and a metrics surface
+(:meth:`CagraServer.stats`).
+
+Typical use::
+
+    with CagraServer(index, ServeConfig(max_batch=64, max_wait_ms=2.0)) as server:
+        result = server.search(query, k=10)        # blocking
+        handle = server.submit(query, k=10)        # async handle
+        ids = handle.result().indices
+        print(server.stats().summary())
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import SearchConfig
+from repro.core.index import CagraIndex
+from repro.serve.cache import ResultCache
+from repro.serve.config import ServeConfig
+from repro.serve.stats import ServeStats, StatsCollector
+
+__all__ = [
+    "CagraServer",
+    "PendingResult",
+    "RequestTimeout",
+    "ServeError",
+    "ServeResult",
+    "ServerClosed",
+    "ServerOverloaded",
+]
+
+#: Grace period the waiting caller gives the scheduler past the request
+#: deadline before declaring the timeout itself (lets a batch that is
+#: already executing still win the race and deliver a result).
+_CLIENT_GRACE_SECONDS = 0.025
+
+
+class ServeError(RuntimeError):
+    """Base class for serving-layer errors."""
+
+
+class ServerOverloaded(ServeError):
+    """The bounded request queue is full (admission control)."""
+
+
+class RequestTimeout(ServeError):
+    """The request's deadline passed before a result was produced."""
+
+
+class ServerClosed(ServeError):
+    """The server is not accepting requests (stopped or never usable)."""
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """One answered query.
+
+    Attributes:
+        indices: ``(k,)`` neighbor ids.
+        distances: matching distances.
+        from_cache: True when served from the result cache without a
+            search.
+        latency_ms: enqueue-to-completion latency (0 for cache hits).
+    """
+
+    indices: np.ndarray
+    distances: np.ndarray
+    from_cache: bool
+    latency_ms: float
+
+
+class _Request:
+    """Internal request record with a first-transition-wins life cycle."""
+
+    PENDING, DONE, TIMED_OUT, FAILED = range(4)
+
+    __slots__ = (
+        "query", "k", "enqueue_time", "deadline", "event", "lock",
+        "state", "indices", "distances", "error", "latency_seconds",
+    )
+
+    def __init__(self, query: np.ndarray, k: int, deadline: float | None):
+        self.query = query
+        self.k = k
+        self.enqueue_time = time.monotonic()
+        self.deadline = deadline
+        self.event = threading.Event()
+        self.lock = threading.Lock()
+        self.state = self.PENDING
+        self.indices: np.ndarray | None = None
+        self.distances: np.ndarray | None = None
+        self.error: BaseException | None = None
+        self.latency_seconds = 0.0
+
+    def _transition(self, state: int) -> bool:
+        with self.lock:
+            if self.state != self.PENDING:
+                return False
+            self.state = state
+        self.event.set()
+        return True
+
+    def resolve_done(self, indices: np.ndarray, distances: np.ndarray) -> bool:
+        self.indices = indices
+        self.distances = distances
+        self.latency_seconds = time.monotonic() - self.enqueue_time
+        return self._transition(self.DONE)
+
+    def resolve_timeout(self) -> bool:
+        return self._transition(self.TIMED_OUT)
+
+    def resolve_failure(self, error: BaseException) -> bool:
+        self.error = error
+        return self._transition(self.FAILED)
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
+
+
+class PendingResult:
+    """Handle for a submitted request; ``result()`` blocks until resolved."""
+
+    def __init__(self, request: _Request, stats: StatsCollector, from_cache: bool = False):
+        self._request = request
+        self._stats = stats
+        self._from_cache = from_cache
+
+    def done(self) -> bool:
+        return self._request.event.is_set()
+
+    def result(self, timeout: float | None = None) -> ServeResult:
+        """Wait for the request to resolve and return (or raise) it.
+
+        Args:
+            timeout: optional wait bound in *seconds* on top of the
+                request's own deadline.  Without a deadline and without
+                ``timeout`` this blocks until the server resolves the
+                request (shutdown resolves everything).
+
+        Raises:
+            RequestTimeout: the request's deadline passed unanswered.
+            ServeError: the server failed the request (search error or
+                non-draining shutdown); search exceptions propagate
+                as-is.
+        """
+        request = self._request
+        budget = timeout
+        if request.deadline is not None:
+            remaining = max(0.0, request.deadline - time.monotonic())
+            grace = remaining + _CLIENT_GRACE_SECONDS
+            budget = grace if budget is None else min(budget, grace)
+        resolved = request.event.wait(budget)
+        if not resolved:
+            if request.deadline is not None and request.resolve_timeout():
+                self._stats.record_timeout()
+            elif request.state == _Request.PENDING:
+                # Caller-imposed wait bound only: leave the request live.
+                raise RequestTimeout(
+                    f"result not ready within the {timeout}s wait bound"
+                )
+        state = request.state
+        if state == _Request.DONE:
+            return ServeResult(
+                indices=request.indices,
+                distances=request.distances,
+                from_cache=self._from_cache,
+                latency_ms=request.latency_seconds * 1e3,
+            )
+        if state == _Request.TIMED_OUT:
+            raise RequestTimeout("request deadline exceeded")
+        raise request.error if request.error is not None else ServeError(
+            "request failed without a recorded error"
+        )
+
+
+#: Queue marker that tells the scheduler to exit after the current drain.
+_SENTINEL = object()
+
+
+class CagraServer:
+    """A synchronous-API, internally concurrent ANN serving frontend.
+
+    One scheduler thread owns all search execution; callers interact
+    through :meth:`submit` / :meth:`search` and never touch the index
+    concurrently.  Requests submitted before :meth:`start` simply queue
+    up (subject to the same admission control) and are served once the
+    scheduler runs.
+    """
+
+    def __init__(
+        self,
+        index: CagraIndex,
+        config: ServeConfig | None = None,
+        search_config: SearchConfig | None = None,
+    ):
+        self.config = config or ServeConfig()
+        self.search_config = search_config or SearchConfig()
+        self._index = index
+        self._generation = 0
+        self._swap_lock = threading.Lock()
+        self._queue: queue.Queue = queue.Queue(maxsize=self.config.queue_capacity)
+        self._cache = (
+            ResultCache(self.config.cache_capacity)
+            if self.config.cache_capacity
+            else None
+        )
+        self._stats = StatsCollector()
+        self._thread: threading.Thread | None = None
+        self._accepting = True
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # life cycle
+    # ------------------------------------------------------------------
+    def start(self) -> "CagraServer":
+        """Start the scheduler thread (idempotent while running)."""
+        if self._closed:
+            raise ServerClosed("server was stopped; build a new one")
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="cagra-serve-scheduler", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the server.
+
+        With ``drain=True`` (default) every queued request is executed
+        before the scheduler exits; with ``drain=False`` queued requests
+        fail immediately with :class:`ServerClosed` (in-flight batches
+        still finish).  Idempotent.
+        """
+        if self._closed:
+            return
+        self._accepting = False
+        self._closed = True
+        if not drain:
+            self._fail_queued()
+        if self._thread is not None:
+            self._queue.put(_SENTINEL)
+            self._thread.join()
+            self._thread = None
+        # Anything that slipped in after the sentinel (or was queued on a
+        # never-started server) must not be left hanging.
+        self._fail_queued()
+
+    def __enter__(self) -> "CagraServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=True)
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: np.ndarray,
+        k: int | None = None,
+        timeout_ms: float | None = None,
+    ) -> PendingResult:
+        """Enqueue one query; returns a :class:`PendingResult` handle.
+
+        Raises :class:`ServerOverloaded` when the queue is full and
+        :class:`ServerClosed` after :meth:`stop`.
+        """
+        if not self._accepting:
+            raise ServerClosed("server is not accepting requests")
+        query = np.asarray(query, dtype=np.float32).reshape(-1)
+        dim = self.index.dim
+        if query.shape[0] != dim:
+            raise ValueError(f"query has dim {query.shape[0]}, index has {dim}")
+        k = int(k) if k else self.config.default_k
+        if k < 1:
+            raise ValueError("k must be >= 1")
+
+        if self._cache is not None:
+            key = (query.tobytes(), k, self._generation)
+            hit = self._cache.get(key)
+            if hit is not None:
+                self._stats.record_cache_hit()
+                request = _Request(query, k, deadline=None)
+                request.resolve_done(*hit)
+                request.latency_seconds = 0.0
+                return PendingResult(request, self._stats, from_cache=True)
+            self._stats.record_cache_miss()
+
+        if timeout_ms is None:
+            timeout_ms = self.config.default_timeout_ms
+        deadline = time.monotonic() + timeout_ms / 1e3 if timeout_ms else None
+        request = _Request(query, k, deadline)
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            self._stats.record_rejected()
+            raise ServerOverloaded(
+                f"request queue full ({self.config.queue_capacity} pending)"
+            ) from None
+        self._stats.record_submitted(self._queue.qsize())
+        return PendingResult(request, self._stats)
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int | None = None,
+        timeout_ms: float | None = None,
+    ) -> ServeResult:
+        """Blocking single-query search (``submit().result()``)."""
+        return self.submit(query, k=k, timeout_ms=timeout_ms).result()
+
+    # ------------------------------------------------------------------
+    # hot swap
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> CagraIndex:
+        """The currently published index snapshot."""
+        with self._swap_lock:
+            return self._index
+
+    def swap_index(self, new_index: CagraIndex) -> None:
+        """Atomically publish ``new_index`` without dropping traffic.
+
+        The batch being executed keeps the snapshot it captured; every
+        later batch sees the new index.  The result cache is invalidated
+        (generation bump + clear) so no stale result is ever served.
+        """
+        with self._swap_lock:
+            if new_index.dim != self._index.dim:
+                raise ValueError(
+                    f"new index has dim {new_index.dim}, server serves "
+                    f"dim {self._index.dim}"
+                )
+            self._index = new_index
+            self._generation += 1
+        if self._cache is not None:
+            self._cache.clear()
+        self._stats.record_swap()
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def stats(self) -> ServeStats:
+        """Snapshot of the metrics surface (see :class:`ServeStats`)."""
+        return self._stats.snapshot(queue_depth=self._queue.qsize())
+
+    # ------------------------------------------------------------------
+    # scheduler internals
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        poll = self.config.drain_poll_ms / 1e3
+        max_wait = self.config.max_wait_ms / 1e3
+        while True:
+            try:
+                first = self._queue.get(timeout=poll)
+            except queue.Empty:
+                continue
+            if first is _SENTINEL:
+                return
+            batch = [first]
+            saw_sentinel = False
+            flush_at = time.monotonic() + max_wait
+            while len(batch) < self.config.max_batch:
+                remaining = flush_at - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if item is _SENTINEL:
+                    saw_sentinel = True
+                    break
+                batch.append(item)
+            self._execute(batch)
+            if saw_sentinel:
+                return
+
+    def _execute(self, batch: list[_Request]) -> None:
+        now = time.monotonic()
+        live = []
+        for request in batch:
+            if request.expired(now):
+                if request.resolve_timeout():
+                    self._stats.record_timeout()
+            elif not request.event.is_set():
+                live.append(request)
+        if not live:
+            return
+
+        with self._swap_lock:
+            index = self._index
+            generation = self._generation
+        k_max = max(request.k for request in live)
+        config = self.search_config
+        if config.itopk < k_max:
+            config = config.with_overrides(itopk=k_max)
+        queries = np.stack([request.query for request in live])
+
+        try:
+            if len(live) == 1:
+                # Table II batch-1 rule: one query spread over many CTAs.
+                result = index.search(
+                    queries,
+                    k_max,
+                    config=config.with_overrides(algo="multi_cta"),
+                    num_sms=self.config.num_sms,
+                )
+                path = "multi_cta"
+            else:
+                result = index.search_fast(queries, k_max, config=config)
+                path = "single_cta"
+        except Exception as exc:  # deliver, don't kill the scheduler
+            for request in live:
+                if request.resolve_failure(exc):
+                    self._stats.record_failure()
+            return
+
+        self._stats.record_batch(len(live), path)
+        for row, request in enumerate(live):
+            ids = result.indices[row, : request.k].copy()
+            dists = result.distances[row, : request.k].copy()
+            if self._cache is not None:
+                self._cache.put(
+                    (request.query.tobytes(), request.k, generation), ids, dists
+                )
+            if request.resolve_done(ids, dists):
+                self._stats.record_completed(request.latency_seconds)
+
+    def _fail_queued(self) -> None:
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is _SENTINEL:
+                continue
+            if item.resolve_failure(ServerClosed("server stopped before execution")):
+                self._stats.record_failure()

@@ -1,0 +1,222 @@
+"""Serving metrics: counters, batch-size histogram, latency percentiles.
+
+The server threads record into a lock-protected :class:`StatsCollector`;
+:meth:`StatsCollector.snapshot` freezes everything into an immutable
+:class:`ServeStats` dataclass whose :meth:`ServeStats.summary` renders the
+operator-facing text block.  Latencies are kept in a bounded reservoir
+(the most recent ``LATENCY_WINDOW`` completions) so a long-running server
+reports *current* tail latency with bounded memory.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LATENCY_WINDOW", "ServeStats", "StatsCollector"]
+
+#: Completions kept for percentile estimation (a sliding window).
+LATENCY_WINDOW = 65536
+
+
+@dataclass(frozen=True)
+class ServeStats:
+    """An immutable snapshot of the server's metrics surface.
+
+    Attributes:
+        submitted: requests admitted to the queue (excludes cache hits
+            and rejections).
+        completed: requests answered by an executed search batch.
+        cache_hits / cache_misses: result-cache outcomes at submit time.
+        rejected: submissions refused because the queue was full.
+        timed_out: requests whose deadline passed before completion
+            (dropped while queued or abandoned by the waiting caller).
+        failed: requests completed with an error (search raised, or the
+            server was stopped without draining).
+        batches: executed search batches.
+        coalesced_batches: batches of more than one request (single-CTA
+            fast path).
+        single_query_batches: batch-of-1 flushes dispatched to the
+            multi-CTA reference path (Table II's batch-1 rule).
+        batch_size_histogram: executed batch size -> count.
+        queue_depth / max_queue_depth: depth at snapshot time and the
+            high-water mark.
+        index_swaps: successful ``swap_index`` calls.
+        latency_*_ms: enqueue-to-completion latency percentiles over the
+            sliding window (cache hits excluded; they are ~0).
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    rejected: int = 0
+    timed_out: int = 0
+    failed: int = 0
+    batches: int = 0
+    coalesced_batches: int = 0
+    single_query_batches: int = 0
+    batch_size_histogram: dict[int, int] = field(default_factory=dict)
+    queue_depth: int = 0
+    max_queue_depth: int = 0
+    index_swaps: int = 0
+    latency_mean_ms: float = 0.0
+    latency_p50_ms: float = 0.0
+    latency_p95_ms: float = 0.0
+    latency_p99_ms: float = 0.0
+    latency_max_ms: float = 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        total = sum(size * count for size, count in self.batch_size_histogram.items())
+        return total / self.batches if self.batches else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        looked_up = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked_up if looked_up else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (histogram keys become strings)."""
+        out = {
+            name: getattr(self, name)
+            for name in (
+                "submitted", "completed", "cache_hits", "cache_misses",
+                "rejected", "timed_out", "failed", "batches",
+                "coalesced_batches", "single_query_batches", "queue_depth",
+                "max_queue_depth", "index_swaps", "latency_mean_ms",
+                "latency_p50_ms", "latency_p95_ms", "latency_p99_ms",
+                "latency_max_ms",
+            )
+        }
+        out["batch_size_histogram"] = {
+            str(size): count for size, count in sorted(self.batch_size_histogram.items())
+        }
+        out["mean_batch_size"] = self.mean_batch_size
+        out["cache_hit_rate"] = self.cache_hit_rate
+        return out
+
+    def summary(self) -> str:
+        """Operator-facing pretty print of the whole metrics surface."""
+        lines = [
+            "serving stats",
+            f"  requests    submitted={self.submitted}  completed={self.completed}  "
+            f"cache_hits={self.cache_hits}  rejected={self.rejected}  "
+            f"timed_out={self.timed_out}  failed={self.failed}",
+            f"  batches     executed={self.batches}  "
+            f"coalesced={self.coalesced_batches}  "
+            f"single(multi-CTA)={self.single_query_batches}  "
+            f"mean_size={self.mean_batch_size:.2f}",
+        ]
+        if self.batch_size_histogram:
+            hist = "  ".join(
+                f"{size}:{count}"
+                for size, count in sorted(self.batch_size_histogram.items())
+            )
+            lines.append(f"  batch sizes {hist}")
+        lines.append(
+            f"  queue       depth={self.queue_depth}  "
+            f"high_water={self.max_queue_depth}"
+        )
+        lines.append(
+            f"  cache       hit_rate={self.cache_hit_rate:.3f}  "
+            f"(hits={self.cache_hits} misses={self.cache_misses})"
+        )
+        lines.append(
+            f"  latency     mean={self.latency_mean_ms:.2f}ms  "
+            f"p50={self.latency_p50_ms:.2f}ms  p95={self.latency_p95_ms:.2f}ms  "
+            f"p99={self.latency_p99_ms:.2f}ms  max={self.latency_max_ms:.2f}ms"
+        )
+        lines.append(f"  index swaps {self.index_swaps}")
+        return "\n".join(lines)
+
+
+class StatsCollector:
+    """Mutable, lock-protected counters behind :class:`ServeStats`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = Counter()
+        self._batch_sizes = Counter()
+        self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._max_queue_depth = 0
+
+    # ------------------------------------------------------------------
+    # recording (one method per event so call sites read like a log line)
+    # ------------------------------------------------------------------
+    def record_submitted(self, queue_depth: int) -> None:
+        with self._lock:
+            self._counts["submitted"] += 1
+            self._max_queue_depth = max(self._max_queue_depth, queue_depth)
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self._counts["rejected"] += 1
+
+    def record_cache_hit(self) -> None:
+        with self._lock:
+            self._counts["cache_hits"] += 1
+
+    def record_cache_miss(self) -> None:
+        with self._lock:
+            self._counts["cache_misses"] += 1
+
+    def record_completed(self, latency_seconds: float) -> None:
+        with self._lock:
+            self._counts["completed"] += 1
+            self._latencies.append(latency_seconds * 1e3)
+
+    def record_timeout(self) -> None:
+        with self._lock:
+            self._counts["timed_out"] += 1
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._counts["failed"] += 1
+
+    def record_batch(self, size: int, path: str) -> None:
+        with self._lock:
+            self._counts["batches"] += 1
+            self._batch_sizes[size] += 1
+            if path == "multi_cta":
+                self._counts["single_query_batches"] += 1
+            else:
+                self._counts["coalesced_batches"] += 1
+
+    def record_swap(self) -> None:
+        with self._lock:
+            self._counts["index_swaps"] += 1
+
+    # ------------------------------------------------------------------
+    def snapshot(self, queue_depth: int = 0) -> ServeStats:
+        with self._lock:
+            latencies = np.asarray(self._latencies, dtype=np.float64)
+            if latencies.size:
+                p50, p95, p99 = np.percentile(latencies, [50.0, 95.0, 99.0])
+                mean, peak = float(latencies.mean()), float(latencies.max())
+            else:
+                p50 = p95 = p99 = mean = peak = 0.0
+            return ServeStats(
+                submitted=self._counts["submitted"],
+                completed=self._counts["completed"],
+                cache_hits=self._counts["cache_hits"],
+                cache_misses=self._counts["cache_misses"],
+                rejected=self._counts["rejected"],
+                timed_out=self._counts["timed_out"],
+                failed=self._counts["failed"],
+                batches=self._counts["batches"],
+                coalesced_batches=self._counts["coalesced_batches"],
+                single_query_batches=self._counts["single_query_batches"],
+                batch_size_histogram=dict(self._batch_sizes),
+                queue_depth=queue_depth,
+                max_queue_depth=self._max_queue_depth,
+                index_swaps=self._counts["index_swaps"],
+                latency_mean_ms=mean,
+                latency_p50_ms=float(p50),
+                latency_p95_ms=float(p95),
+                latency_p99_ms=float(p99),
+                latency_max_ms=peak,
+            )

@@ -25,6 +25,23 @@ class TestParser:
         assert args.reordering == "rank"
         assert args.dtype == "float32"
 
+    def test_bench_hnsw_comparator_flags(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.hnsw_m == 16 and args.hnsw_efc == 100  # seed defaults kept
+        args = build_parser().parse_args(["bench", "--hnsw-m", "8", "--hnsw-efc", "40"])
+        assert args.hnsw_m == 8 and args.hnsw_efc == 40
+
+    def test_format_defaults_to_text(self):
+        for command in (["search", "--index", "x.npz"], ["bench"], ["serve"]):
+            assert build_parser().parse_args(command).format == "text"
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.mode == "open"
+        assert args.max_batch == 64
+        assert args.max_wait_ms == 2.0
+        assert args.timeout_ms == 0.0
+
 
 class TestCommands:
     def test_info_lists_datasets(self, capsys):
@@ -104,3 +121,46 @@ class TestValidateAndReport:
                    "--scale", "400", "--queries", "10", "-k", "5", "--fast"])
         assert rc == 0
         assert "recall@5" in capsys.readouterr().out
+
+    def test_search_json_format(self, tmp_path, capsys):
+        import json
+
+        index_path = str(tmp_path / "j.npz")
+        main(["build", "--dataset", "deep-1m", "--scale", "400",
+              "--degree", "8", "--out", index_path])
+        capsys.readouterr()
+        rc = main(["search", "--index", index_path, "--dataset", "deep-1m",
+                   "--scale", "400", "--queries", "10", "-k", "5",
+                   "--fast", "--format", "json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["queries"] == 10 and payload["k"] == 5
+        assert payload["fast_path"] is True
+        assert 0.0 <= payload["recall"] <= 1.0
+        assert payload["distance_computations_per_query"] > 0
+
+
+class TestServeCommand:
+    def test_serve_smoke_text(self, capsys):
+        rc = main(["serve", "--dataset", "deep-1m", "--scale", "300",
+                   "--degree", "8", "--queries", "12", "--rate", "400",
+                   "--requests", "60", "--max-batch", "8", "--itopk", "32"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "serving stats" in out
+        assert "failed=0" in out
+        assert "recall@10" in out
+
+    def test_serve_json_closed_loop(self, capsys):
+        import json
+
+        rc = main(["serve", "--dataset", "deep-1m", "--scale", "300",
+                   "--degree", "8", "--queries", "12", "--mode", "closed",
+                   "--clients", "4", "--requests", "40", "--itopk", "32",
+                   "--format", "json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "closed"
+        assert payload["failed"] == 0
+        assert payload["completed"] > 0
+        assert payload["stats"]["batches"] > 0

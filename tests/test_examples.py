@@ -28,6 +28,7 @@ def _load_example(name):
         ("quickstart", dict(scale=600, num_queries=15)),
         ("graph_quality_analysis", dict(scale=600, num_queries=15)),
         ("online_single_query", dict(scale=500, num_queries=8)),
+        ("online_serving", dict(scale=500, num_queries=8)),
         ("fp16_and_persistence", dict(scale=400, num_queries=10)),
         ("sharded_and_filtered", dict(scale=600, num_queries=15)),
     ],

@@ -154,6 +154,43 @@ class TestExtend:
         bigger = fp16.extend(small_data[300:320])
         assert bigger.dataset.dtype == np.float16
 
+    def test_repeated_small_extends_keep_paths_agreeing(self, base_and_extra):
+        """Many small extends, then the reference and fast search paths
+        must still agree on the grown graph (same results, high recall)."""
+        base, extra, index = base_and_extra
+        grown = index
+        for start in range(0, 40, 8):
+            grown = grown.extend(extra[start : start + 8])
+        assert grown.size == index.size + 40
+        assert grown.degree == index.degree
+
+        queries = base[:20]
+        config = SearchConfig(itopk=64, seed=1)
+        reference = grown.search(queries, 10, config)
+        fast = grown.search_fast(queries, 10, config)
+        overlap = np.mean([
+            len(np.intersect1d(a, b)) / 10
+            for a, b in zip(reference.indices, fast.indices)
+        ])
+        assert overlap > 0.9  # same algorithm, different hash semantics
+
+        full = np.vstack([base, extra[:40]])
+        truth, _ = exact_search(full, queries, 10)
+        assert recall(reference.indices, truth) > 0.85
+        assert recall(fast.indices, truth) > 0.85
+
+    def test_extend_id_space_overflow_rejected(self, base_and_extra, monkeypatch):
+        """The 2**31 - 1 id-space cap (MSB parented flag) must hold on
+        extend, not just build (core/index.py)."""
+        import repro.core.index as index_module
+
+        _, extra, index = base_and_extra
+        monkeypatch.setattr(index_module, "MAX_DATASET_SIZE", index.size + 3)
+        with pytest.raises(ValueError, match="id space"):
+            index.extend(extra[:10])
+        # Under the cap the same call still works.
+        assert index.extend(extra[:3]).size == index.size + 3
+
 
 class TestSharding:
     @pytest.fixture(scope="class")
