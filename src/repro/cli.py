@@ -15,6 +15,12 @@ Subcommands::
 ``.fvecs`` files (``--fvecs path``).  ``search``, ``bench`` and ``serve``
 accept ``--format json`` for machine-readable output (consistent with
 ``lint --format json``); text stays the default.
+
+``build`` and ``serve`` take ``--shards N`` to build a sharded index
+(one independent CAGRA sub-index per simulated GPU), with
+``--num-workers`` / ``--backend`` controlling the :mod:`repro.parallel`
+worker pool that runs shard builds and searches concurrently; ``search``
+auto-detects sharded ``.npz`` files and accepts the same two knobs.
 """
 
 from __future__ import annotations
@@ -40,6 +46,34 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--fvecs", default="", help="load dataset from an .fvecs file instead")
     parser.add_argument("--queries", type=int, default=100, help="query count")
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_parallel_args(parser: argparse.ArgumentParser, shards: bool = True) -> None:
+    if shards:
+        parser.add_argument("--shards", type=int, default=1,
+                            help="split into N independent sub-indexes (multi-GPU sharding)")
+    parser.add_argument("--num-workers", type=int, default=0,
+                        help="shard worker-pool size (0 = one per available CPU)")
+    parser.add_argument("--backend", choices=("auto", "serial", "thread", "process"),
+                        default="auto", help="shard execution backend")
+
+
+def _parallel_config(args):
+    from repro.parallel import ParallelConfig
+
+    return ParallelConfig(num_workers=args.num_workers, backend=args.backend)
+
+
+def _load_index(path: str, args=None):
+    """Load a saved index, detecting sharded vs monolithic files."""
+    with np.load(path, allow_pickle=False) as archive:
+        sharded = "num_shards" in archive.files
+    if sharded:
+        from repro.core.sharding import ShardedCagraIndex
+
+        parallel = _parallel_config(args) if args is not None else None
+        return ShardedCagraIndex.load(path, parallel=parallel)
+    return CagraIndex.load(path)
 
 
 def _load(args) -> tuple[np.ndarray, np.ndarray, str, int]:
@@ -72,6 +106,20 @@ def _cmd_build(args) -> int:
         seed=args.seed,
     )
     started = time.perf_counter()
+    if args.shards > 1:
+        from repro.core.sharding import ShardedCagraIndex
+
+        index = ShardedCagraIndex.build(
+            data, args.shards, config,
+            dataset_dtype=args.dtype, parallel=_parallel_config(args),
+        )
+        elapsed = time.perf_counter() - started
+        index.save(args.out)
+        print(f"built {index!r} in {elapsed:.2f}s "
+              f"({args.shards} shard(s), backend={args.backend}, "
+              f"workers={args.num_workers or 'auto'})")
+        print(f"saved to {args.out}")
+        return 0
     index = CagraIndex.build(data, config, dataset_dtype=args.dtype)
     elapsed = time.perf_counter() - started
     index.save(args.out)
@@ -83,7 +131,7 @@ def _cmd_build(args) -> int:
 
 
 def _cmd_search(args) -> int:
-    index = CagraIndex.load(args.index)
+    index = _load_index(args.index, args)
     _, queries, metric, _ = _load(args)
     config = SearchConfig(itopk=args.itopk, algo=args.algo)
     started = time.perf_counter()
@@ -94,13 +142,19 @@ def _cmd_search(args) -> int:
     elapsed = time.perf_counter() - started
     truth, _ = exact_search(index.dataset, queries, args.k, metric=index.metric)
     measured_recall = recall_of(result.indices, truth)
-    per_query = result.report.distance_computations / queries.shape[0]
+    if hasattr(result, "shard_reports"):
+        algo = result.shard_reports[0].algo
+        total_dc = sum(r.distance_computations for r in result.shard_reports)
+    else:
+        algo = result.report.algo
+        total_dc = result.report.distance_computations
+    per_query = total_dc / queries.shape[0]
     if args.format == "json":
         print(json.dumps({
             "queries": int(queries.shape[0]),
             "k": args.k,
             "itopk": args.itopk,
-            "algo": result.report.algo,
+            "algo": algo,
             "fast_path": bool(args.fast),
             "elapsed_seconds": elapsed,
             "recall": measured_recall,
@@ -175,7 +229,15 @@ def _cmd_serve(args) -> int:
 
     data, queries, metric, degree = _load(args)
     if args.index:
-        index = CagraIndex.load(args.index)
+        index = _load_index(args.index, args)
+    elif args.shards > 1:
+        from repro.core.sharding import ShardedCagraIndex
+
+        index = ShardedCagraIndex.build(
+            data, args.shards,
+            GraphBuildConfig(graph_degree=args.degree or degree, metric=metric),
+            parallel=_parallel_config(args),
+        )
     else:
         index = CagraIndex.build(
             data, GraphBuildConfig(graph_degree=args.degree or degree, metric=metric)
@@ -308,6 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--degree", type=int, default=0, help="graph degree (0 = dataset default)")
     p_build.add_argument("--reordering", choices=("rank", "distance", "none"), default="rank")
     p_build.add_argument("--dtype", choices=("float32", "float16"), default="float32")
+    _add_parallel_args(p_build)
 
     p_search = sub.add_parser("search", help="search a saved index")
     _add_dataset_args(p_search)
@@ -318,6 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument("--fast", action="store_true",
                           help="use the vectorized lockstep batch search")
     p_search.add_argument("--format", choices=("text", "json"), default="text")
+    _add_parallel_args(p_search, shards=False)
 
     p_bench = sub.add_parser("bench", help="quick CAGRA-vs-HNSW recall/QPS sweep")
     _add_dataset_args(p_bench)
@@ -356,6 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--cache-capacity", type=int, default=1024,
                          help="LRU result-cache entries (0 disables)")
     p_serve.add_argument("--format", choices=("text", "json"), default="text")
+    _add_parallel_args(p_serve)
 
     p_validate = sub.add_parser("validate", help="audit a saved index")
     p_validate.add_argument("--index", required=True, help="index .npz path")

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.graph import INDEX_MASK
+
 __all__ = ["StandardHashTable", "ForgettableHashTable", "standard_table_log2_size"]
 
 _EMPTY = np.uint32(0xFFFFFFFF)
@@ -158,6 +160,11 @@ class ForgettableHashTable(StandardHashTable):
             return False
         self._iterations_since_reset = 0
         self.reset()
-        for key in np.asarray(topm_ids, dtype=np.uint32).ravel():
+        ids = np.asarray(topm_ids, dtype=np.uint32).ravel()
+        # Unfilled top-M slots hold the INDEX_MASK dummy id; registering it
+        # would waste slots of the small shared-memory-sized table (one per
+        # reset) and lengthen probe sequences for real ids.  A real node can
+        # never carry this id (N is capped at 2^31 - 1).
+        for key in ids[ids != INDEX_MASK]:
             self.insert(int(key))
         return True

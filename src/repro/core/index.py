@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.core.config import GraphBuildConfig, SearchConfig
 from repro.core.distances import METRICS, as_storage_dtype
-from repro.core.graph import MAX_DATASET_SIZE, FixedDegreeGraph
+from repro.core.graph import INDEX_MASK, MAX_DATASET_SIZE, FixedDegreeGraph
 from repro.core.nn_descent import KnnGraphResult, build_knn_graph
 from repro.core.optimize import OptimizeReport, optimize_graph
 from repro.core.search import CostReport, SearchResult, search_batch
@@ -46,6 +46,36 @@ class BuildReport:
     @property
     def total_seconds(self) -> float:
         return self.knn_seconds + self.optimize_seconds
+
+
+def _repair_unfilled_edges(
+    edges: np.ndarray, distances: np.ndarray, num_nodes: int, seed: int
+) -> np.ndarray:
+    """Replace unfilled search slots in ``edges`` with valid neighbor ids.
+
+    ``SearchResult.indices`` marks unfilled slots with ``INDEX_MASK`` (and
+    ``+inf`` distance) — e.g. when the index holds fewer reachable nodes
+    than the requested ``k``.  Writing those straight into a graph would
+    create dangling edges to a nonexistent node, so each one is re-drawn
+    as a random valid node id, avoiding duplicates within the row when the
+    index is large enough to allow it.
+    """
+    edges = edges.copy()
+    unfilled = (edges == INDEX_MASK) | ~np.isfinite(distances)
+    for i in np.nonzero(unfilled.any(axis=1))[0]:
+        # A distinct stream per row, disjoint from the search's
+        # ``[seed, query]`` streams (three-element spawn key).
+        rng = np.random.default_rng([seed, int(i), 0x0E11])
+        present = {int(x) for x in edges[i][~unfilled[i]]}
+        for j in np.nonzero(unfilled[i])[0]:
+            candidate = int(rng.integers(0, num_nodes))
+            for _ in range(32):
+                if candidate not in present or len(present) >= num_nodes:
+                    break
+                candidate = int(rng.integers(0, num_nodes))
+            present.add(candidate)
+            edges[i, j] = np.uint32(candidate)
+    return edges
 
 
 class CagraIndex:
@@ -219,6 +249,12 @@ class CagraIndex:
         among the new vectors themselves only appear via reverse links,
         so after extending by a large fraction of the index a full
         rebuild recovers graph quality (exactly the cuVS guidance).
+
+        Unfilled search slots (``INDEX_MASK``, e.g. on a near-empty index
+        with fewer reachable nodes than ``degree``) are repaired with
+        random valid neighbors instead of being written as dangling
+        edges; :func:`~repro.core.validation.validate_index` flags any
+        graph where such a sentinel survived.
         """
         new_vectors = np.atleast_2d(np.asarray(new_vectors))
         if new_vectors.shape[1] != self.dim:
@@ -236,14 +272,15 @@ class CagraIndex:
 
         n = self.size
         m = new_vectors.shape[0]
-        neighbors = np.vstack(
-            [self.graph.neighbors, result.indices.astype(np.uint32)]
+        new_edges = _repair_unfilled_edges(
+            result.indices.astype(np.uint32), result.distances, n, seed
         )
+        neighbors = np.vstack([self.graph.neighbors, new_edges])
         # Reverse links: the new node replaces the last slot of its first
         # degree/2 targets (unless already present).
         for i in range(m):
             new_id = np.uint32(n + i)
-            for target in result.indices[i][: degree // 2]:
+            for target in new_edges[i][: degree // 2]:
                 row = neighbors[int(target)]
                 if new_id not in row:
                     row[-1] = new_id

@@ -7,8 +7,17 @@ one sub-graph independently".  :class:`ShardedCagraIndex` implements it:
 * the dataset is split round-robin into ``num_shards`` sub-datasets;
 * each shard builds an independent CAGRA index (exactly GGNN's
   construction trick, which the paper cites for this);
-* a search runs on every shard (in parallel, one GPU each) and the
-  per-shard top-k lists are merged by distance.
+* a search runs on every shard and the per-shard top-k lists are merged
+  by distance, with ``INDEX_MASK`` unfilled slots masked out *before* the
+  local→global id gather (an unfilled slot is a sentinel, not a local
+  row) and propagated as trailing padding in the merged output.
+
+Shard builds and searches are genuinely concurrent: both fan out through
+:mod:`repro.parallel`'s :class:`~repro.parallel.executor.ShardExecutor`
+(process pool + shared-memory dataset hand-off by default on multi-core
+POSIX hosts; thread/serial fallbacks elsewhere), the software analogue of
+"one GPU per sub-graph".  Results are bitwise identical to the serial
+loop on every backend — see ``docs/parallel.md``.
 
 Because every shard search is a full CAGRA search over a subset, recall
 is at least that of a single index of the same total size searched with
@@ -17,13 +26,16 @@ the same per-shard budget; wall time is the slowest shard plus a merge.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import weakref
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.config import GraphBuildConfig, SearchConfig
+from repro.core.graph import INDEX_MASK
 from repro.core.index import CagraIndex
 from repro.core.search import CostReport, SearchResult
+from repro.parallel.config import ParallelConfig
 
 __all__ = ["ShardedCagraIndex", "ShardedSearchResult"]
 
@@ -33,21 +45,54 @@ class ShardedSearchResult:
     """Merged result of a sharded search.
 
     Attributes:
-        indices: ``(batch, k)`` *global* dataset ids.
-        distances: matching distances.
+        indices: ``(batch, k)`` *global* dataset ids; ``INDEX_MASK`` marks
+            unfilled slots (only in trailing positions), which happens
+            when fewer than ``k`` results exist across all shards — e.g.
+            tiny shards or a very selective ``filter_mask``.
+        distances: matching distances (``inf`` on unfilled slots).
         shard_reports: one :class:`CostReport` per shard — the cost model
             prices each on its own GPU; wall time is their max.
+        shard_seconds: measured per-shard Python wall time (what the
+            worker pool overlaps; the critical path of a parallel search
+            is their max).
     """
 
     indices: np.ndarray
     distances: np.ndarray
     shard_reports: list[CostReport]
+    shard_seconds: list[float] = field(default_factory=list)
+
+
+class _ShardRuntime:
+    """Pool + shared-memory state owned by one sharded index.
+
+    Kept separate from the index so a ``weakref.finalize`` can release
+    OS resources (worker processes, ``/dev/shm`` segments) when the index
+    is garbage collected without resurrecting it.
+    """
+
+    def __init__(self):
+        self.executor = None
+        self.handle = None
+
+    def close(self) -> None:
+        if self.executor is not None:
+            self.executor.close()
+            self.executor = None
+        if self.handle is not None:
+            self.handle.close()
+            self.handle = None
 
 
 class ShardedCagraIndex:
-    """CAGRA index sharded across simulated GPUs."""
+    """CAGRA index sharded across simulated GPUs (worker processes)."""
 
-    def __init__(self, shards: list[CagraIndex], assignments: list[np.ndarray]):
+    def __init__(
+        self,
+        shards: list[CagraIndex],
+        assignments: list[np.ndarray],
+        parallel: ParallelConfig | None = None,
+    ):
         if not shards:
             raise ValueError("need at least one shard")
         if len(shards) != len(assignments):
@@ -58,6 +103,43 @@ class ShardedCagraIndex:
         for shard, ids in zip(self.shards, self.assignments):
             if shard.size != len(ids):
                 raise ValueError("assignment length must match shard size")
+        #: Default execution policy for this index's searches.
+        self.parallel = parallel or ParallelConfig()
+        self._runtime = _ShardRuntime()
+        self._finalizer = weakref.finalize(self, _ShardRuntime.close, self._runtime)
+
+    # ------------------------------------------------------------------
+    # execution plumbing
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the worker pool and shared-memory segments (idempotent).
+
+        Also runs automatically when the index is garbage collected or
+        the interpreter exits; call it explicitly in long-lived processes
+        that churn through many indexes.
+        """
+        self._runtime.close()
+
+    def _executor(self, parallel: ParallelConfig):
+        from repro.parallel.executor import ShardExecutor
+
+        if parallel is not self.parallel:
+            # Per-call override: a throwaway executor, closed by caller.
+            return ShardExecutor.from_config(parallel, self.num_shards), True
+        if self._runtime.executor is None:
+            self._runtime.executor = ShardExecutor.from_config(
+                parallel, self.num_shards
+            )
+        return self._runtime.executor, False
+
+    def _shared_handle(self, executor):
+        from repro.parallel.shards import SharedIndexHandle
+
+        if executor.backend != "process":
+            return None
+        if self._runtime.handle is None:
+            self._runtime.handle = SharedIndexHandle(self.shards)
+        return self._runtime.handle
 
     # ------------------------------------------------------------------
     @classmethod
@@ -67,8 +149,18 @@ class ShardedCagraIndex:
         num_shards: int,
         config: GraphBuildConfig | None = None,
         dataset_dtype: str = "float32",
+        parallel: ParallelConfig | None = None,
     ) -> "ShardedCagraIndex":
-        """Split ``dataset`` round-robin and build one index per shard."""
+        """Split ``dataset`` round-robin and build one index per shard.
+
+        Shard builds run concurrently on the :class:`ParallelConfig`'s
+        backend (process pool by default on multi-core POSIX hosts); each
+        shard's build is seeded by shard number, so the resulting graphs
+        are bitwise identical to a serial build.
+        """
+        from repro.parallel.executor import ShardExecutor
+        from repro.parallel.shards import build_shards, plan_shards
+
         dataset = np.asarray(dataset)
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
@@ -76,57 +168,163 @@ class ShardedCagraIndex:
         if n < 2 * num_shards:
             raise ValueError("each shard needs at least 2 vectors")
         config = config or GraphBuildConfig()
-        shards = []
-        assignments = []
-        for s in range(num_shards):
-            ids = np.arange(s, n, num_shards, dtype=np.int64)
-            # Shard degree cannot exceed the shard population.
-            degree = min(config.graph_degree, max(2, (len(ids) - 1) // 2 * 2))
-            shard_config = GraphBuildConfig(
-                graph_degree=degree,
-                intermediate_degree=0,
-                reordering=config.reordering,
-                add_reverse_edges=config.add_reverse_edges,
-                nn_descent_iterations=config.nn_descent_iterations,
-                nn_descent_sample_rate=config.nn_descent_sample_rate,
-                nn_descent_termination_delta=config.nn_descent_termination_delta,
-                metric=config.metric,
-                seed=config.seed + s,
-            )
-            shards.append(
-                CagraIndex.build(dataset[ids], shard_config, dataset_dtype=dataset_dtype)
-            )
-            assignments.append(ids)
-        return cls(shards, assignments)
+        parallel = parallel or ParallelConfig()
+        plans = plan_shards(n, num_shards, config)
+        with ShardExecutor.from_config(parallel, num_shards) as executor:
+            shards = build_shards(dataset, plans, dataset_dtype, executor)
+        return cls(shards, [plan.ids for plan in plans], parallel=parallel)
 
     # ------------------------------------------------------------------
+    def _shard_filter_masks(
+        self, filter_mask: np.ndarray | None
+    ) -> tuple[list[np.ndarray | None], list[bool]]:
+        """Slice a global filter mask per shard; flag fully-excluded shards."""
+        if filter_mask is None:
+            return [None] * self.num_shards, [False] * self.num_shards
+        filter_mask = np.asarray(filter_mask, dtype=bool)
+        if filter_mask.shape != (self.size,):
+            raise ValueError("filter_mask must have one entry per dataset row")
+        if not filter_mask.any():
+            raise ValueError("filter_mask excludes every node")
+        masks: list[np.ndarray | None] = []
+        empty: list[bool] = []
+        for ids in self.assignments:
+            local = filter_mask[ids]
+            if local.all():
+                masks.append(None)  # no-op mask: skip the filtered code path
+                empty.append(False)
+            elif local.any():
+                masks.append(local)
+                empty.append(False)
+            else:
+                # Every row of this shard is excluded — searching it would
+                # be rejected outright, so it contributes nothing instead.
+                masks.append(None)
+                empty.append(True)
+        return masks, empty
+
+    @staticmethod
+    def _empty_result(batch: int, k: int, algo: str) -> SearchResult:
+        return SearchResult(
+            indices=np.full((batch, k), INDEX_MASK, dtype=np.uint32),
+            distances=np.full((batch, k), np.inf),
+            report=CostReport(algo=algo, batch_size=batch, kernel_launches=0),
+        )
+
+    def _run_shard_searches(
+        self,
+        queries: np.ndarray,
+        k: int,
+        config: SearchConfig | None,
+        num_sms: int,
+        fast: bool,
+        filter_mask: np.ndarray | None,
+        parallel: ParallelConfig | None,
+    ) -> list[tuple[SearchResult, float]]:
+        from repro.parallel.shards import search_shards
+
+        masks, excluded = self._shard_filter_masks(filter_mask)
+        live = [s for s in range(self.num_shards) if not excluded[s]]
+        executor, throwaway = self._executor(parallel or self.parallel)
+        try:
+            handle = None
+            if not throwaway:
+                handle = self._shared_handle(executor)
+            outputs = search_shards(
+                [self.shards[s] for s in live],
+                queries,
+                k,
+                config,
+                num_sms,
+                executor,
+                fast=fast,
+                filter_masks=[masks[s] for s in live],
+                handle=handle,
+            )
+        finally:
+            if throwaway:
+                executor.close()
+        batch = queries.shape[0]
+        algo = outputs[0][0].report.algo if outputs else "single_cta"
+        by_shard = dict(zip(live, outputs))
+        return [
+            by_shard.get(s, (self._empty_result(batch, k, algo), 0.0))
+            for s in range(self.num_shards)
+        ]
+
+    def _merge(
+        self, per_shard: list[tuple[SearchResult, float]], k: int
+    ) -> ShardedSearchResult:
+        """Merge per-shard top-k into global top-k.
+
+        ``INDEX_MASK`` entries and non-finite distances mark unfilled or
+        filtered-out slots (see :class:`~repro.core.search.SearchResult`);
+        gathering them through the assignment array would index a
+        shard-sized array with id ``2**31 - 1``, so they are masked to
+        ``(INDEX_MASK, +inf)`` first and therefore sort to the tail of
+        the merged list.
+        """
+        id_blocks = []
+        dist_blocks = []
+        for s, (result, _seconds) in enumerate(per_shard):
+            unfilled = (result.indices == INDEX_MASK) | ~np.isfinite(
+                result.distances
+            )
+            local = np.where(unfilled, 0, result.indices.astype(np.int64))
+            ids = self.assignments[s][local].astype(np.uint32)
+            id_blocks.append(np.where(unfilled, INDEX_MASK, ids))
+            dist_blocks.append(np.where(unfilled, np.inf, result.distances))
+        all_ids = np.concatenate(id_blocks, axis=1)
+        all_dists = np.concatenate(dist_blocks, axis=1)
+        order = np.argsort(all_dists, axis=1, kind="stable")[:, :k]
+        return ShardedSearchResult(
+            indices=np.take_along_axis(all_ids, order, axis=1),
+            distances=np.take_along_axis(all_dists, order, axis=1),
+            shard_reports=[result.report for result, _ in per_shard],
+            shard_seconds=[seconds for _, seconds in per_shard],
+        )
+
     def search(
         self,
         queries: np.ndarray,
         k: int = 10,
         config: SearchConfig | None = None,
         num_sms: int = 108,
+        filter_mask: np.ndarray | None = None,
+        parallel: ParallelConfig | None = None,
     ) -> ShardedSearchResult:
-        """Search every shard and merge per-query top-k by distance."""
-        queries = np.atleast_2d(queries)
-        batch = queries.shape[0]
-        per_shard: list[SearchResult] = [
-            shard.search(queries, k, config=config, num_sms=num_sms)
-            for shard in self.shards
-        ]
+        """Search every shard and merge per-query top-k by distance.
 
-        all_ids = np.concatenate(
-            [self.assignments[s][result.indices.astype(np.int64)]
-             for s, result in enumerate(per_shard)],
-            axis=1,
+        Shard searches run concurrently on the index's worker pool
+        (override per call with ``parallel``).  ``filter_mask`` is a
+        *global* length-N bool mask; shards whose rows are all excluded
+        are skipped.  Unfilled slots surface as trailing ``INDEX_MASK`` /
+        ``inf`` entries, never as bogus global ids.
+        """
+        queries = np.atleast_2d(queries)
+        per_shard = self._run_shard_searches(
+            queries, k, config, num_sms, False, filter_mask, parallel
         )
-        all_dists = np.concatenate([r.distances for r in per_shard], axis=1)
-        order = np.argsort(all_dists, axis=1, kind="stable")[:, :k]
-        return ShardedSearchResult(
-            indices=np.take_along_axis(all_ids, order, axis=1).astype(np.uint32),
-            distances=np.take_along_axis(all_dists, order, axis=1),
-            shard_reports=[r.report for r in per_shard],
+        return self._merge(per_shard, k)
+
+    def search_fast(
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        config: SearchConfig | None = None,
+        filter_mask: np.ndarray | None = None,
+        parallel: ParallelConfig | None = None,
+    ) -> ShardedSearchResult:
+        """Vectorized per-shard :meth:`CagraIndex.search_fast` + merge.
+
+        The batch-throughput path (and what :class:`repro.serve.CagraServer`
+        uses for coalesced batches when serving a sharded index).
+        """
+        queries = np.atleast_2d(queries)
+        per_shard = self._run_shard_searches(
+            queries, k, config, 108, True, filter_mask, parallel
         )
+        return self._merge(per_shard, k)
 
     # ------------------------------------------------------------------
     # persistence
@@ -144,7 +342,9 @@ class ShardedCagraIndex:
         np.savez_compressed(path, **payload)
 
     @classmethod
-    def load(cls, path: str) -> "ShardedCagraIndex":
+    def load(
+        cls, path: str, parallel: ParallelConfig | None = None
+    ) -> "ShardedCagraIndex":
         """Load an index written by :meth:`save`."""
         from repro.core.graph import FixedDegreeGraph
 
@@ -162,7 +362,7 @@ class ShardedCagraIndex:
                     )
                 )
                 assignments.append(archive[f"assignment_{s}"])
-        return cls(shards, assignments)
+        return cls(shards, assignments, parallel=parallel)
 
     # ------------------------------------------------------------------
     @property
@@ -173,9 +373,36 @@ class ShardedCagraIndex:
     def size(self) -> int:
         return sum(shard.size for shard in self.shards)
 
+    @property
+    def dim(self) -> int:
+        return self.shards[0].dim
+
+    @property
+    def metric(self) -> str:
+        return self.shards[0].metric
+
+    @property
+    def dataset(self) -> np.ndarray:
+        """The global dataset reassembled in original row order.
+
+        Materialized on demand (one copy); lets recall/ground-truth
+        tooling and :class:`repro.serve.CagraServer` treat sharded and
+        monolithic indexes uniformly.
+        """
+        out = np.empty(
+            (self.size, self.dim), dtype=self.shards[0].dataset.dtype
+        )
+        for shard, ids in zip(self.shards, self.assignments):
+            out[ids] = shard.dataset
+        return out
+
     def max_shard_memory_bytes(self) -> int:
         """Per-GPU memory requirement (the quantity sharding bounds)."""
         return max(shard.memory_bytes() for shard in self.shards)
+
+    def memory_bytes(self) -> int:
+        """Total footprint across all shards."""
+        return sum(shard.memory_bytes() for shard in self.shards)
 
     def __repr__(self) -> str:
         return (

@@ -35,6 +35,7 @@ class ValidationReport:
     num_nodes: int = 0
     degree: int = 0
     parent_flag_bits: int = 0
+    unfilled_edges: int = 0
     self_loops: int = 0
     duplicate_edges: int = 0
     min_in_degree: int = 0
@@ -102,8 +103,20 @@ def validate_index(
             f"{report.parent_flag_bits} stored neighbor id(s) carry the "
             f"PARENT_FLAG bit — stored graphs must hold bare node ids"
         )
+    # INDEX_MASK is the search's "unfilled slot" sentinel, never a valid
+    # node id; one stored as an out-edge is a dangling edge to a
+    # nonexistent node (the failure mode of an unrepaired ``extend`` that
+    # copied unfilled search slots into the graph).
+    report.unfilled_edges = int((neighbors == INDEX_MASK).sum())
+    if report.unfilled_edges:
+        report.errors.append(
+            f"{report.unfilled_edges} out-edge slot(s) hold the INDEX_MASK "
+            f"unfilled-slot sentinel (dangling edges, e.g. from unrepaired "
+            f"extend results)"
+        )
     bare = neighbors & INDEX_MASK
-    if neighbors.size and bare.max() >= n:
+    real = bare[neighbors != INDEX_MASK]
+    if real.size and real.max() >= n:
         report.errors.append("neighbor id out of range")
 
     node_ids = np.arange(n, dtype=np.uint32)[:, None]

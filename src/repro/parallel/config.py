@@ -1,0 +1,86 @@
+"""Execution policy for the shard worker pool.
+
+:class:`ParallelConfig` is the knob surface of :mod:`repro.parallel`: how
+many workers to use and which backend runs them.  It deliberately lives
+next to (not inside) :class:`~repro.core.config.GraphBuildConfig` — the
+*same* index can be built serially on a laptop and searched by a 4-worker
+pool in production, so execution policy is not part of index identity and
+never affects results (see ``docs/parallel.md`` for the determinism
+contract).
+
+Environment overrides (applied only where a field still holds its
+default) let CI force a policy without threading arguments through every
+call site::
+
+    REPRO_NUM_WORKERS=2 REPRO_PARALLEL_BACKEND=process pytest -k sharding
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["BACKENDS", "ParallelConfig", "available_cpus"]
+
+#: Recognised backend names.  ``auto`` resolves per call: ``process`` on
+#: POSIX when more than one worker is useful, ``thread`` elsewhere
+#: (Windows-safe: no fork, no shared-memory lifetime pitfalls), ``serial``
+#: when one worker would run everything anyway.
+BACKENDS = ("auto", "serial", "thread", "process")
+
+_ENV_WORKERS = "REPRO_NUM_WORKERS"
+_ENV_BACKEND = "REPRO_PARALLEL_BACKEND"
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux
+        return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How per-shard work is executed.
+
+    Attributes:
+        num_workers: worker count; ``0`` = auto (``min(tasks, CPUs)``,
+            or the ``REPRO_NUM_WORKERS`` environment override).
+        backend: one of :data:`BACKENDS`; ``"auto"`` (or the
+            ``REPRO_PARALLEL_BACKEND`` override) picks ``process`` on
+            POSIX multi-core hosts, ``thread`` on other platforms, and
+            ``serial`` whenever a pool could not help.
+    """
+
+    num_workers: int = 0
+    backend: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 0:
+            raise ValueError("num_workers must be >= 0 (0 = auto)")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {self.backend!r}")
+
+    # ------------------------------------------------------------------
+    def resolved_workers(self, num_tasks: int) -> int:
+        """Worker count for ``num_tasks`` independent tasks."""
+        workers = self.num_workers
+        if workers == 0:
+            env = os.environ.get(_ENV_WORKERS, "")
+            workers = int(env) if env.isdigit() and int(env) > 0 else 0
+        if workers == 0:
+            workers = available_cpus()
+        return max(1, min(workers, num_tasks))
+
+    def resolved_backend(self, num_tasks: int) -> str:
+        """Backend for ``num_tasks`` tasks (never returns ``"auto"``)."""
+        backend = self.backend
+        if backend == "auto":
+            env = os.environ.get(_ENV_BACKEND, "")
+            backend = env if env in BACKENDS else "auto"
+        if self.resolved_workers(num_tasks) <= 1 or num_tasks <= 1:
+            return "serial"
+        if backend == "auto":
+            backend = "process" if os.name == "posix" else "thread"
+        return backend

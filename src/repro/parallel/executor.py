@@ -1,0 +1,138 @@
+"""The shard worker pool (:class:`ShardExecutor`).
+
+One executor owns at most one pool (thread or process) and runs batches
+of independent, *pure* tasks with :meth:`ShardExecutor.map` — per-shard
+CAGRA builds and per-shard searches.  Because every task is a
+deterministic function of its payload, the executor can guarantee:
+
+* **determinism** — results are bitwise identical across backends and
+  worker counts (the paper's multi-GPU sharding has the same property:
+  each GPU's sub-graph is an independent computation);
+* **robustness** — if a process pool cannot be used (worker crash,
+  unpicklable payload, fork unavailable), the batch is transparently
+  re-run serially and the executor downgrades itself, so callers never
+  see a pool failure.
+
+Process pools use the ``fork`` start method where available (no module
+re-import, sub-second spin-up) and fall back to the platform default
+elsewhere; payload arrays that would be expensive to pickle travel via
+:mod:`repro.parallel.sharedmem` instead of the task queue.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Sequence
+
+from repro.parallel.config import ParallelConfig
+
+__all__ = ["ShardExecutor"]
+
+
+def _process_context():
+    import multiprocessing
+
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class ShardExecutor:
+    """Runs independent shard tasks on a serial/thread/process backend.
+
+    Construct directly with *resolved* values, or via :meth:`from_config`
+    to apply :class:`~repro.parallel.config.ParallelConfig` resolution
+    (auto worker count, platform backend choice, env overrides).  Usable
+    as a context manager; :meth:`close` shuts the pool down.
+    """
+
+    def __init__(self, num_workers: int = 1, backend: str = "serial"):
+        if backend not in ("serial", "thread", "process"):
+            raise ValueError(f"unknown backend {backend!r}")
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        self.backend = backend if num_workers > 1 else "serial"
+        self._pool = None
+
+    @classmethod
+    def from_config(cls, config: ParallelConfig, num_tasks: int) -> "ShardExecutor":
+        return cls(
+            num_workers=config.resolved_workers(num_tasks),
+            backend=config.resolved_backend(num_tasks),
+        )
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the pool (idempotent); serial maps keep working."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            if self.backend == "thread":
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.num_workers,
+                    thread_name_prefix="repro-shard",
+                )
+            elif self.backend == "process":
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.num_workers,
+                    mp_context=_process_context(),
+                )
+        return self._pool
+
+    def map(self, fn: Callable, payloads: Sequence) -> list:
+        """Run ``fn`` over ``payloads``; results in payload order.
+
+        ``fn`` must be a module-level function and each payload picklable
+        when the backend is ``process``.  Pool-level failures degrade to
+        a serial re-run (tasks are pure, so re-running is safe); task
+        exceptions propagate unchanged.
+        """
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        if self.backend == "serial" or len(payloads) == 1:
+            return [fn(p) for p in payloads]
+        pool = self._ensure_pool()
+        try:
+            return list(pool.map(fn, payloads))
+        # AttributeError/TypeError: how pickle reports unpicklable payloads
+        # (local functions, closures).  Tasks are pure, so the serial
+        # re-run either succeeds (pool-infrastructure failure) or raises
+        # the task's own genuine exception unchanged.
+        except (
+            BrokenProcessPool,
+            pickle.PicklingError,
+            AttributeError,
+            TypeError,
+            OSError,
+        ) as exc:
+            warnings.warn(
+                f"{self.backend} pool failed ({exc!r}); re-running the "
+                f"{len(payloads)} shard task(s) serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.close()
+            self.backend = "serial"
+            return [fn(p) for p in payloads]
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardExecutor(num_workers={self.num_workers}, "
+            f"backend={self.backend!r}, pid={os.getpid()})"
+        )

@@ -1,0 +1,240 @@
+"""Per-shard build and search tasks for :class:`ShardExecutor`.
+
+The unit of parallelism mirrors the paper's multi-GPU story (Sec. IV-C2 /
+V-E): one *shard* — an independent CAGRA sub-index — per worker, exactly
+GGNN's independent-shard construction trick.  This module turns the two
+shard operations into pool-friendly pure functions:
+
+* :func:`build_shards` — one NN-descent + graph-optimization build per
+  shard; the (potentially huge) dataset crosses the process boundary via
+  :mod:`repro.parallel.sharedmem`, each worker slices its shard's rows,
+  and only the small ``(n_s, d)`` adjacency array is pickled back;
+* :func:`search_shards` — one full CAGRA search per shard; with the
+  process backend, shard datasets and graphs are mapped from a
+  :class:`SharedIndexHandle` the owner keeps alive across calls, so a
+  serving layer pays the copy once per index generation, not per query.
+
+Results are bitwise identical to running the same loop serially: every
+task derives its randomness from explicit seeds in its payload
+(``GraphBuildConfig.seed + shard`` for builds, the per-query
+``[seed, query]`` Philox streams for searches), never from worker
+identity, scheduling order, or time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.batch_search import search_batch_fast
+from repro.core.config import GraphBuildConfig, SearchConfig
+from repro.core.distances import as_storage_dtype
+from repro.core.graph import FixedDegreeGraph
+from repro.core.index import CagraIndex
+from repro.core.search import SearchResult, search_batch
+from repro.parallel.executor import ShardExecutor
+from repro.parallel.sharedmem import ArraySpec, SharedArray, attach_array
+
+__all__ = [
+    "ShardPlan",
+    "SharedIndexHandle",
+    "build_shards",
+    "plan_shards",
+    "search_shards",
+]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One shard's slice of the dataset and its build configuration."""
+
+    ids: np.ndarray  # int64 global row ids owned by this shard
+    config: GraphBuildConfig
+
+
+def plan_shards(
+    num_rows: int, num_shards: int, config: GraphBuildConfig
+) -> list[ShardPlan]:
+    """Round-robin split plus per-shard build configs.
+
+    Each shard's degree is capped by its population and its seed is
+    offset by the shard number, so shard ``s`` builds identically no
+    matter which worker (or process) runs it.
+    """
+    plans = []
+    for s in range(num_shards):
+        ids = np.arange(s, num_rows, num_shards, dtype=np.int64)
+        # Shard degree cannot exceed the shard population.
+        degree = min(config.graph_degree, max(2, (len(ids) - 1) // 2 * 2))
+        shard_config = GraphBuildConfig(
+            graph_degree=degree,
+            intermediate_degree=0,
+            reordering=config.reordering,
+            add_reverse_edges=config.add_reverse_edges,
+            nn_descent_iterations=config.nn_descent_iterations,
+            nn_descent_sample_rate=config.nn_descent_sample_rate,
+            nn_descent_termination_delta=config.nn_descent_termination_delta,
+            metric=config.metric,
+            seed=config.seed + s,
+        )
+        plans.append(ShardPlan(ids=ids, config=shard_config))
+    return plans
+
+
+# ----------------------------------------------------------------------
+# build
+# ----------------------------------------------------------------------
+def _build_shard_task(payload):
+    """Worker body: build one shard, return (neighbors, report, seconds).
+
+    ``source`` is either the dataset itself (serial/thread backends) or
+    an :class:`ArraySpec` naming the shared segment (process backend).
+    """
+    source, ids, config, dataset_dtype = payload
+    data = attach_array(source) if isinstance(source, ArraySpec) else source
+    started = time.perf_counter()
+    index = CagraIndex.build(data[ids], config, dataset_dtype=dataset_dtype)
+    seconds = time.perf_counter() - started
+    return index.graph.neighbors, index.build_report, seconds
+
+
+def build_shards(
+    dataset: np.ndarray,
+    plans: list[ShardPlan],
+    dataset_dtype: str,
+    executor: ShardExecutor,
+) -> list[CagraIndex]:
+    """Build every planned shard on ``executor``; shards in plan order."""
+    dataset = np.asarray(dataset)
+    share = None
+    source = dataset
+    if executor.backend == "process":
+        share = SharedArray.create(dataset)
+        source = share.spec
+    payloads = [(source, plan.ids, plan.config, dataset_dtype) for plan in plans]
+    try:
+        outputs = executor.map(_build_shard_task, payloads)
+    finally:
+        if share is not None:
+            share.close()
+    shards = []
+    for plan, (neighbors, report, _seconds) in zip(plans, outputs):
+        # Reconstruct the shard around the parent's own dataset slice —
+        # only the adjacency crossed the process boundary.
+        stored = as_storage_dtype(dataset[plan.ids], dataset_dtype)
+        shards.append(
+            CagraIndex(
+                stored,
+                FixedDegreeGraph(neighbors),
+                metric=plan.config.metric,
+                build_config=plan.config,
+                build_report=report,
+            )
+        )
+    return shards
+
+
+# ----------------------------------------------------------------------
+# search
+# ----------------------------------------------------------------------
+class SharedIndexHandle:
+    """Shared-memory projection of a sharded index's arrays.
+
+    Owning code (typically :class:`~repro.core.sharding.ShardedCagraIndex`)
+    creates this once, reuses it across every process-backend search, and
+    closes it when the index is dropped — workers attach each segment a
+    single time and serve all subsequent searches from the same mapping.
+    """
+
+    def __init__(self, shards: list[CagraIndex]):
+        self._arrays: list[SharedArray] = []
+        self.shard_specs: list[tuple[ArraySpec, ArraySpec, str]] = []
+        for shard in shards:
+            data = SharedArray.create(shard.dataset)
+            graph = SharedArray.create(shard.graph.neighbors)
+            self._arrays.extend([data, graph])
+            self.shard_specs.append((data.spec, graph.spec, shard.metric))
+
+    def close(self) -> None:
+        for array in self._arrays:
+            array.close()
+        self._arrays = []
+        self.shard_specs = []
+
+
+def _run_search(data, graph, metric, queries, k, config, num_sms, fast, filter_mask):
+    started = time.perf_counter()
+    if fast:
+        result = search_batch_fast(
+            data, graph, queries, k, config=config, metric=metric,
+            filter_mask=filter_mask,
+        )
+    else:
+        result = search_batch(
+            data, graph, queries, k, config=config, metric=metric,
+            num_sms=num_sms, filter_mask=filter_mask,
+        )
+    return result, time.perf_counter() - started
+
+
+def _search_shard_local(payload) -> tuple[SearchResult, float]:
+    """Worker body for serial/thread backends (shared address space)."""
+    shard, queries, k, config, num_sms, fast, filter_mask = payload
+    return _run_search(
+        shard.dataset, shard.graph, shard.metric,
+        queries, k, config, num_sms, fast, filter_mask,
+    )
+
+
+def _search_shard_shm(payload) -> tuple[SearchResult, float]:
+    """Worker body for the process backend (attach shared segments)."""
+    (data_spec, graph_spec, metric), queries, k, config, num_sms, fast, \
+        filter_mask = payload
+    data = attach_array(data_spec)
+    graph = FixedDegreeGraph(attach_array(graph_spec))
+    return _run_search(
+        data, graph, metric, queries, k, config, num_sms, fast, filter_mask
+    )
+
+
+def search_shards(
+    shards: list[CagraIndex],
+    queries: np.ndarray,
+    k: int,
+    config: SearchConfig | None,
+    num_sms: int,
+    executor: ShardExecutor,
+    fast: bool = False,
+    filter_masks: list[np.ndarray | None] | None = None,
+    handle: SharedIndexHandle | None = None,
+) -> list[tuple[SearchResult, float]]:
+    """Search every shard on ``executor``; ``(result, seconds)`` per shard.
+
+    ``filter_masks`` carries one per-shard (local-id) mask or ``None``
+    each.  With the process backend, pass a live :class:`SharedIndexHandle`
+    to reuse its segments; otherwise a temporary one is created for the
+    call.
+    """
+    if filter_masks is None:
+        filter_masks = [None] * len(shards)
+    if executor.backend == "process":
+        own_handle = handle is None
+        if own_handle:
+            handle = SharedIndexHandle(shards)
+        payloads = [
+            (handle.shard_specs[s], queries, k, config, num_sms, fast,
+             filter_masks[s])
+            for s in range(len(shards))
+        ]
+        try:
+            return executor.map(_search_shard_shm, payloads)
+        finally:
+            if own_handle:
+                handle.close()
+    payloads = [
+        (shard, queries, k, config, num_sms, fast, filter_masks[s])
+        for s, shard in enumerate(shards)
+    ]
+    return executor.map(_search_shard_local, payloads)

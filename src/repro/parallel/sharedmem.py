@@ -1,0 +1,138 @@
+"""Zero-copy array hand-off to worker processes via POSIX shared memory.
+
+A process-backend task must see multi-hundred-MB datasets without
+pickling them through the task queue.  :class:`SharedArray` copies an
+array into a :class:`multiprocessing.shared_memory.SharedMemory` segment
+*once* in the parent; workers receive only the tiny :class:`ArraySpec`
+(name, shape, dtype) and map the same physical pages read-only-by-
+convention with :func:`attach_array`.
+
+Lifecycle contract (see ``docs/parallel.md``):
+
+* the *creator* owns the segment — ``close()`` unmaps and unlinks it;
+* workers cache their attachments per segment name (bounded LRU), so a
+  pool serving many searches against the same index attaches once;
+* unlinking while workers hold attachments is safe on POSIX: pages are
+  freed when the last mapping closes.
+
+Python < 3.13 registers *attachments* with the ``resource_tracker`` too,
+which double-counts segments (spurious "leaked shared_memory" warnings
+under spawn, KeyError noise in a fork-shared tracker when creator and
+workers both unregister); :func:`attach_array` therefore attaches
+*untracked* — ``track=False`` on 3.13+, and on older interpreters by
+briefly suppressing ``resource_tracker.register`` around the attach.
+Only the creator ever talks to the tracker, and its register/unlink
+pair is balanced.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["ArraySpec", "SharedArray", "attach_array"]
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Picklable handle to a shared array (what a task payload carries)."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+class SharedArray:
+    """A NumPy array backed by a shared-memory segment this object owns."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, array: np.ndarray):
+        self._shm = shm
+        self.array = array
+
+    @classmethod
+    def create(cls, source: np.ndarray) -> "SharedArray":
+        """Copy ``source`` into a fresh shared segment."""
+        source = np.ascontiguousarray(source)
+        shm = shared_memory.SharedMemory(create=True, size=max(1, source.nbytes))
+        view = np.ndarray(source.shape, dtype=source.dtype, buffer=shm.buf)
+        view[...] = source
+        return cls(shm, view)
+
+    @property
+    def spec(self) -> ArraySpec:
+        return ArraySpec(
+            name=self._shm.name,
+            shape=tuple(self.array.shape),
+            dtype=str(self.array.dtype),
+        )
+
+    def close(self) -> None:
+        """Unmap and unlink the segment (idempotent)."""
+        if self._shm is None:
+            return
+        self.array = None
+        shm, self._shm = self._shm, None
+        try:
+            shm.close()
+            shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker bookkeeping.
+
+    Python < 3.13 has no ``track=False``, and registering a mere
+    attachment is wrong on both start methods: under spawn the worker's
+    tracker "owns" a segment it didn't create, under fork every worker
+    shares the creator's tracker and duplicate unregisters raise inside
+    the tracker process.  Suppressing ``register`` for the duration of
+    the attach is the standard workaround; workers run these tasks
+    single-threaded, so the swap is not racy.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+#: Per-process attachment cache: segment name -> (SharedMemory, ndarray).
+#: Bounded so long-lived workers that see many short-lived indexes do not
+#: accumulate mappings to already-unlinked segments.
+_ATTACH_CACHE: OrderedDict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = (
+    OrderedDict()
+)
+_ATTACH_CACHE_MAX = 64
+
+
+def attach_array(spec: ArraySpec) -> np.ndarray:
+    """Map the segment described by ``spec`` and return its array view.
+
+    Cached per process: repeated tasks against the same segment reuse one
+    mapping.  The returned view must be treated as read-only.
+    """
+    cached = _ATTACH_CACHE.get(spec.name)
+    if cached is not None:
+        _ATTACH_CACHE.move_to_end(spec.name)
+        return cached[1]
+    shm = _attach_untracked(spec.name)
+    array = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+    _ATTACH_CACHE[spec.name] = (shm, array)
+    while len(_ATTACH_CACHE) > _ATTACH_CACHE_MAX:
+        _, (old_shm, _view) = _ATTACH_CACHE.popitem(last=False)
+        try:
+            old_shm.close()
+        except OSError:
+            pass
+    return array

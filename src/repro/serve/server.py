@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.core.config import SearchConfig
 from repro.core.index import CagraIndex
+from repro.core.sharding import ShardedCagraIndex
 from repro.serve.cache import ResultCache
 from repro.serve.config import ServeConfig
 from repro.serve.stats import ServeStats, StatsCollector
@@ -212,11 +213,18 @@ class CagraServer:
     concurrently.  Requests submitted before :meth:`start` simply queue
     up (subject to the same admission control) and are served once the
     scheduler runs.
+
+    The served index may be a single :class:`CagraIndex` or a
+    :class:`~repro.core.sharding.ShardedCagraIndex` — both expose the
+    ``dim`` / ``search`` / ``search_fast`` surface the scheduler uses,
+    and a sharded index fans each flush out across its own
+    :mod:`repro.parallel` worker pool, so micro-batching and per-shard
+    parallelism compose.
     """
 
     def __init__(
         self,
-        index: CagraIndex,
+        index: CagraIndex | ShardedCagraIndex,
         config: ServeConfig | None = None,
         search_config: SearchConfig | None = None,
     ):
@@ -340,12 +348,12 @@ class CagraServer:
     # hot swap
     # ------------------------------------------------------------------
     @property
-    def index(self) -> CagraIndex:
+    def index(self) -> CagraIndex | ShardedCagraIndex:
         """The currently published index snapshot."""
         with self._swap_lock:
             return self._index
 
-    def swap_index(self, new_index: CagraIndex) -> None:
+    def swap_index(self, new_index: CagraIndex | ShardedCagraIndex) -> None:
         """Atomically publish ``new_index`` without dropping traffic.
 
         The batch being executed keeps the snapshot it captured; every

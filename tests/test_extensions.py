@@ -230,6 +230,140 @@ class TestSharding:
         with pytest.raises(ValueError, match="at least 2 vectors"):
             ShardedCagraIndex.build(small_data[:4], 3)
 
+    def test_fast_path_matches_per_shard_fast(self, sharded, small_queries, small_truth):
+        result = sharded.search_fast(small_queries, 10, SearchConfig(itopk=64))
+        assert recall(result.indices, small_truth) > 0.9
+
+
+class TestShardedMergeMasking:
+    """Regression tests for the INDEX_MASK merge leak: unfilled per-shard
+    slots used to be gathered through the assignment array as if id
+    2**31 - 1 were a local row (IndexError, or worse a bogus global id)."""
+
+    def test_k_exceeding_shard_size(self):
+        from repro.core.graph import INDEX_MASK
+
+        rng = np.random.default_rng(6)
+        data = rng.standard_normal((24, 8)).astype(np.float32)
+        sharded = ShardedCagraIndex.build(
+            data, 4, GraphBuildConfig(graph_degree=4, seed=1)
+        )
+        # Each shard holds 6 points, so k=30 leaves every shard short.
+        result = sharded.search(
+            data[:3], 30, SearchConfig(itopk=32, seed=2)
+        )
+        filled = result.indices != INDEX_MASK
+        assert filled.sum(axis=1).max() <= 24
+        # Filled slots carry valid global ids, unfilled slots carry inf.
+        assert result.indices[filled].max() < 24
+        assert np.isposinf(result.distances[~filled]).all()
+        # INDEX_MASK padding only in trailing positions.
+        for row in filled:
+            width = int(row.sum())
+            assert row[:width].all() and not row[width:].any()
+
+    def test_restrictive_filter_mask(self, small_data):
+        from repro.core.graph import INDEX_MASK
+
+        sharded = ShardedCagraIndex.build(
+            small_data, 3, GraphBuildConfig(graph_degree=8, seed=2)
+        )
+        # ~1% selectivity: fewer allowed nodes than requested k.
+        allowed = np.arange(0, len(small_data), 150)
+        mask = np.zeros(len(small_data), dtype=bool)
+        mask[allowed] = True
+        result = sharded.search(
+            small_data[:4], 10, SearchConfig(itopk=64, seed=3),
+            filter_mask=mask,
+        )
+        filled = result.indices != INDEX_MASK
+        assert set(result.indices[filled].tolist()) <= set(allowed.tolist())
+        for row in filled:
+            width = int(row.sum())
+            assert row[:width].all() and not row[width:].any()
+
+    def test_filter_mask_excluding_whole_shard(self, small_data):
+        """A shard whose rows are all filtered out contributes nothing
+        (and must not be searched — an all-False local mask is an error)."""
+        sharded = ShardedCagraIndex.build(
+            small_data, 3, GraphBuildConfig(graph_degree=8, seed=2)
+        )
+        # Round-robin assignment: shard 0 owns ids 0, 3, 6, ... — allow
+        # only ids from shards 1 and 2.
+        mask = np.zeros(len(small_data), dtype=bool)
+        mask[np.arange(1, len(small_data), 3)] = True
+        mask[np.arange(2, len(small_data), 3)] = True
+        result = sharded.search(
+            small_data[:4], 5, SearchConfig(itopk=64, seed=3),
+            filter_mask=mask,
+        )
+        assert (result.indices % 3 != 0).all()
+        assert len(result.shard_reports) == 3
+        assert result.shard_reports[0].kernel_launches == 0
+
+    def test_all_false_mask_rejected(self, small_data):
+        sharded = ShardedCagraIndex.build(
+            small_data[:60], 2, GraphBuildConfig(graph_degree=4, seed=1)
+        )
+        with pytest.raises(ValueError, match="excludes every node"):
+            sharded.search(
+                small_data[:2], 5, SearchConfig(itopk=32),
+                filter_mask=np.zeros(60, dtype=bool),
+            )
+
+    def test_mask_shape_validated(self, small_data):
+        sharded = ShardedCagraIndex.build(
+            small_data[:60], 2, GraphBuildConfig(graph_degree=4, seed=1)
+        )
+        with pytest.raises(ValueError, match="one entry per dataset row"):
+            sharded.search(
+                small_data[:2], 5, filter_mask=np.ones(3, dtype=bool)
+            )
+
+
+class TestExtendUnfilledRepair:
+    """Regression tests for the extend dangling-edge leak: unfilled
+    INDEX_MASK slots in the extend search results used to be written into
+    the graph verbatim as out-edges of the new nodes."""
+
+    @staticmethod
+    def _tiny_overdegree_index():
+        """A degree-4 index over 3 nodes: any extend search asks for
+        k=4 neighbors from a 3-node index, so one slot per new vector
+        comes back unfilled (INDEX_MASK, +inf)."""
+        from repro.core.graph import FixedDegreeGraph
+
+        base = np.eye(3, 4, dtype=np.float32)
+        neighbors = np.array(
+            [[1, 2, 1, 2], [0, 2, 0, 2], [0, 1, 0, 1]], dtype=np.uint32
+        )
+        return CagraIndex(base, FixedDegreeGraph(neighbors))
+
+    def test_no_sentinel_edges_after_overdegree_extend(self):
+        from repro.core.graph import INDEX_MASK
+
+        index = self._tiny_overdegree_index()
+        bigger = index.extend(np.ones((2, 4), dtype=np.float32))
+        assert not (bigger.graph.neighbors == INDEX_MASK).any()
+        assert ((bigger.graph.neighbors & INDEX_MASK) < bigger.size).all()
+
+    def test_extended_index_validates_clean(self):
+        from repro import validate_index
+
+        index = self._tiny_overdegree_index()
+        bigger = index.extend(np.ones((2, 4), dtype=np.float32))
+        report = validate_index(bigger)
+        assert report.unfilled_edges == 0
+        assert not any("INDEX_MASK" in e for e in report.errors)
+        assert not any("out of range" in e for e in report.errors)
+
+    def test_repair_is_deterministic(self):
+        index = self._tiny_overdegree_index()
+        extra = np.ones((2, 4), dtype=np.float32)
+        a = index.extend(extra)
+        b = index.extend(extra)
+        np.testing.assert_array_equal(a.graph.neighbors, b.graph.neighbors)
+
 
 class TestShardingPersistence:
     def test_save_load_roundtrip(self, small_data, tmp_path):

@@ -131,6 +131,30 @@ class TestForgettableHashTable:
             table = ForgettableHashTable(log2, reset_interval=2)
             assert table.size == 2**log2
 
+    def test_reset_skips_index_mask_dummies(self):
+        """Regression: unfilled top-M slots hold the INDEX_MASK sentinel
+        (2**31 - 1), which is padding, not a visited node — re-registering
+        it after a reset wasted a slot and could shadow a real id that
+        hashes to the same bucket."""
+        from repro.core.graph import INDEX_MASK
+
+        table = ForgettableHashTable(8, reset_interval=1)
+        topm = np.array([5, INDEX_MASK, 9, INDEX_MASK], dtype=np.uint32)
+        assert table.maybe_reset(topm)
+        assert table.contains(5)
+        assert table.contains(9)
+        assert not table.contains(int(INDEX_MASK))
+        # Exactly the two real ids occupy slots.
+        assert table.occupancy() == 2 / table.size
+
+    def test_reset_with_all_dummy_topm(self):
+        from repro.core.graph import INDEX_MASK
+
+        table = ForgettableHashTable(8, reset_interval=1)
+        table.insert(42)
+        assert table.maybe_reset(np.full(4, INDEX_MASK, dtype=np.uint32))
+        assert table.occupancy() == 0.0
+
 
 class TestHashDistribution:
     def test_probe_counts_reasonable(self):

@@ -1,0 +1,279 @@
+"""Tests for repro.parallel: config resolution, the shard executor,
+shared-memory hand-off, and cross-backend determinism of sharded
+builds and searches."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import GraphBuildConfig, SearchConfig, ShardedCagraIndex
+from repro.parallel import (
+    ArraySpec,
+    ParallelConfig,
+    ShardExecutor,
+    SharedArray,
+    attach_array,
+    available_cpus,
+    plan_shards,
+)
+
+
+class TestParallelConfig:
+    def test_defaults(self):
+        config = ParallelConfig()
+        assert config.num_workers == 0
+        assert config.backend == "auto"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="backend"):
+            ParallelConfig(backend="cuda")
+        with pytest.raises(ValueError, match="num_workers"):
+            ParallelConfig(num_workers=-1)
+
+    def test_explicit_workers_clamped_to_tasks(self):
+        config = ParallelConfig(num_workers=8)
+        assert config.resolved_workers(num_tasks=3) == 3
+        assert config.resolved_workers(num_tasks=100) == 8
+
+    def test_auto_workers_use_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NUM_WORKERS", raising=False)
+        config = ParallelConfig()
+        assert config.resolved_workers(num_tasks=10_000) == available_cpus()
+
+    def test_single_worker_resolves_serial(self):
+        config = ParallelConfig(num_workers=1, backend="process")
+        assert config.resolved_backend(num_tasks=4) == "serial"
+
+    def test_single_task_resolves_serial(self):
+        config = ParallelConfig(num_workers=4, backend="process")
+        assert config.resolved_backend(num_tasks=1) == "serial"
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_WORKERS", "3")
+        monkeypatch.setenv("REPRO_PARALLEL_BACKEND", "thread")
+        config = ParallelConfig()  # both fields at their defaults
+        assert config.resolved_workers(num_tasks=8) == 3
+        assert config.resolved_backend(num_tasks=8) == "thread"
+
+    def test_explicit_fields_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_WORKERS", "3")
+        monkeypatch.setenv("REPRO_PARALLEL_BACKEND", "thread")
+        config = ParallelConfig(num_workers=2, backend="process")
+        assert config.resolved_workers(num_tasks=8) == 2
+        assert config.resolved_backend(num_tasks=8) == "process"
+
+
+def _square(payload):
+    return payload * payload
+
+
+def _pid_of(payload):
+    return os.getpid()
+
+
+class TestShardExecutor:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_map_preserves_order(self, backend):
+        with ShardExecutor(num_workers=2, backend=backend) as executor:
+            assert executor.map(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+
+    def test_empty_map(self):
+        with ShardExecutor() as executor:
+            assert executor.map(_square, []) == []
+
+    def test_one_worker_downgrades_to_serial(self):
+        executor = ShardExecutor(num_workers=1, backend="process")
+        assert executor.backend == "serial"
+
+    def test_process_backend_uses_other_processes(self):
+        with ShardExecutor(num_workers=2, backend="process") as executor:
+            pids = executor.map(_pid_of, [0, 1, 2, 3])
+        assert any(pid != os.getpid() for pid in pids)
+
+    def test_unpicklable_payload_falls_back_to_serial(self):
+        # A lambda in the payload cannot cross the process boundary; the
+        # executor must warn, downgrade, and still return correct results.
+        with ShardExecutor(num_workers=2, backend="process") as executor:
+            with pytest.warns(RuntimeWarning, match="re-running"):
+                results = executor.map(_call_it, [lambda: 7, lambda: 8])
+            assert results == [7, 8]
+            assert executor.backend == "serial"
+
+    def test_from_config_resolution(self):
+        executor = ShardExecutor.from_config(
+            ParallelConfig(num_workers=2, backend="thread"), num_tasks=4
+        )
+        assert executor.num_workers == 2
+        assert executor.backend == "thread"
+        executor.close()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="backend"):
+            ShardExecutor(backend="gpu")
+        with pytest.raises(ValueError, match="num_workers"):
+            ShardExecutor(num_workers=0)
+
+    def test_close_idempotent(self):
+        executor = ShardExecutor(num_workers=2, backend="thread")
+        executor.map(_square, [1, 2])
+        executor.close()
+        executor.close()
+        # Serial maps keep working after close.
+        assert executor.map(_square, [3]) == [9]
+
+
+def _call_it(fn):
+    return fn()
+
+
+class TestSharedMemory:
+    def test_roundtrip(self):
+        source = np.arange(24, dtype=np.float32).reshape(4, 6)
+        share = SharedArray.create(source)
+        try:
+            spec = share.spec
+            assert pickle.loads(pickle.dumps(spec)) == spec
+            view = attach_array(spec)
+            np.testing.assert_array_equal(view, source)
+        finally:
+            share.close()
+
+    def test_attach_cached_per_name(self):
+        source = np.ones(8, dtype=np.uint32)
+        share = SharedArray.create(source)
+        try:
+            first = attach_array(share.spec)
+            second = attach_array(share.spec)
+            assert first is second
+        finally:
+            share.close()
+
+    def test_close_idempotent(self):
+        share = SharedArray.create(np.zeros(4))
+        share.close()
+        share.close()
+
+    def test_spec_carries_geometry(self):
+        source = np.zeros((3, 5), dtype=np.float16)
+        share = SharedArray.create(source)
+        try:
+            assert share.spec == ArraySpec(share.spec.name, (3, 5), "float16")
+        finally:
+            share.close()
+
+
+class TestPlanShards:
+    def test_round_robin_partition(self):
+        plans = plan_shards(10, 3, GraphBuildConfig(graph_degree=4, seed=5))
+        all_ids = np.concatenate([plan.ids for plan in plans])
+        assert sorted(all_ids.tolist()) == list(range(10))
+        np.testing.assert_array_equal(plans[1].ids, [1, 4, 7])
+
+    def test_per_shard_seed_offsets(self):
+        plans = plan_shards(10, 3, GraphBuildConfig(graph_degree=4, seed=5))
+        assert [plan.config.seed for plan in plans] == [5, 6, 7]
+
+    def test_degree_capped_by_population(self):
+        # 3 points per shard cannot support degree 32.
+        plans = plan_shards(12, 4, GraphBuildConfig(graph_degree=32))
+        assert all(plan.config.graph_degree == 2 for plan in plans)
+
+
+class TestCrossBackendDeterminism:
+    """The tentpole guarantee: every backend produces bitwise-identical
+    graphs and search results."""
+
+    @pytest.fixture(scope="class")
+    def payload(self):
+        rng = np.random.default_rng(12)
+        data = rng.standard_normal((360, 24)).astype(np.float32)
+        queries = rng.standard_normal((8, 24)).astype(np.float32)
+        return data, queries
+
+    @pytest.fixture(scope="class")
+    def serial_index(self, payload):
+        data, _ = payload
+        return ShardedCagraIndex.build(
+            data, 4, GraphBuildConfig(graph_degree=8, seed=3),
+            parallel=ParallelConfig(num_workers=1, backend="serial"),
+        )
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_build_bitwise_identical(self, payload, serial_index, backend):
+        data, _ = payload
+        index = ShardedCagraIndex.build(
+            data, 4, GraphBuildConfig(graph_degree=8, seed=3),
+            parallel=ParallelConfig(num_workers=2, backend=backend),
+        )
+        for ours, theirs in zip(index.shards, serial_index.shards):
+            np.testing.assert_array_equal(
+                ours.graph.neighbors, theirs.graph.neighbors
+            )
+        index.close()
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_search_bitwise_identical(self, payload, serial_index, backend):
+        data, queries = payload
+        config = SearchConfig(itopk=32, seed=9)
+        expected = serial_index.search(queries, 10, config)
+        index = ShardedCagraIndex.build(
+            data, 4, GraphBuildConfig(graph_degree=8, seed=3),
+            parallel=ParallelConfig(num_workers=2, backend=backend),
+        )
+        got = index.search(queries, 10, config)
+        np.testing.assert_array_equal(got.indices, expected.indices)
+        np.testing.assert_array_equal(got.distances, expected.distances)
+        fast_expected = serial_index.search_fast(queries, 10, config)
+        fast_got = index.search_fast(queries, 10, config)
+        np.testing.assert_array_equal(fast_got.indices, fast_expected.indices)
+        index.close()
+
+    def test_repeated_process_searches_reuse_pool(self, payload, serial_index):
+        """The persistent pool + shared-memory handle path: repeated
+        searches on one index must stay correct (and identical)."""
+        data, queries = payload
+        index = ShardedCagraIndex.build(
+            data, 4, GraphBuildConfig(graph_degree=8, seed=3),
+            parallel=ParallelConfig(num_workers=2, backend="process"),
+        )
+        config = SearchConfig(itopk=32, seed=9)
+        expected = serial_index.search(queries, 10, config)
+        for _ in range(3):
+            got = index.search(queries, 10, config)
+            np.testing.assert_array_equal(got.indices, expected.indices)
+        index.close()
+
+    def test_per_call_parallel_override(self, payload, serial_index):
+        data, queries = payload
+        config = SearchConfig(itopk=32, seed=9)
+        expected = serial_index.search(queries, 10, config)
+        got = serial_index.search(
+            queries, 10, config,
+            parallel=ParallelConfig(num_workers=2, backend="thread"),
+        )
+        np.testing.assert_array_equal(got.indices, expected.indices)
+
+    def test_shard_seconds_reported(self, payload, serial_index):
+        _, queries = payload
+        result = serial_index.search(queries, 5, SearchConfig(itopk=32))
+        assert len(result.shard_seconds) == serial_index.num_shards
+        assert all(seconds >= 0.0 for seconds in result.shard_seconds)
+
+
+class TestServeShardedIndex:
+    def test_server_accepts_sharded_index(self):
+        from repro.serve import CagraServer, ServeConfig
+
+        rng = np.random.default_rng(2)
+        data = rng.standard_normal((200, 16)).astype(np.float32)
+        index = ShardedCagraIndex.build(
+            data, 2, GraphBuildConfig(graph_degree=8, seed=1),
+            parallel=ParallelConfig(num_workers=1, backend="serial"),
+        )
+        with CagraServer(index, ServeConfig(max_batch=8, max_wait_ms=1.0)) as server:
+            result = server.search(data[3], k=5)
+        assert result.indices.shape == (5,)
+        assert int(result.indices[0]) == 3  # self-match on its own row
+        index.close()

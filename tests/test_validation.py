@@ -148,3 +148,18 @@ class TestCorruptGraphFixtures:
         report = validate_index(self._corruptible_index(tiny_data), expected_degree=4)
         assert report.ok
         assert report.parent_flag_bits == 0
+
+    def test_index_mask_sentinel_edges_flagged(self, tiny_data):
+        """Regression: INDEX_MASK out-edges (dangling, e.g. written by an
+        unrepaired extend) get their own finding, distinct from the
+        generic out-of-range check."""
+        from repro.core.graph import INDEX_MASK
+
+        index = self._corruptible_index(tiny_data)
+        index.graph.neighbors[2, 0] = INDEX_MASK
+        index.graph.neighbors[9, 3] = INDEX_MASK
+        report = validate_index(index)
+        assert not report.ok
+        assert report.unfilled_edges == 2
+        assert any("INDEX_MASK" in e for e in report.errors)
+        assert not any("out of range" in e for e in report.errors)
