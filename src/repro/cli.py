@@ -21,6 +21,15 @@ accept ``--format json`` for machine-readable output (consistent with
 ``--num-workers`` / ``--backend`` controlling the :mod:`repro.parallel`
 worker pool that runs shard builds and searches concurrently; ``search``
 auto-detects sharded ``.npz`` files and accepts the same two knobs.
+
+Resilience (``docs/resilience.md``): ``search`` and ``serve`` take
+``--on-shard-failure raise|partial`` and ``--min-quorum`` to serve
+degraded results when shards of a sharded index fail, and
+``--fault-plan`` (JSON or ``@path``; also the ``REPRO_FAULT_PLAN``
+environment variable) to inject deterministic faults for chaos testing.
+Degraded searches surface ``degraded`` / ``failed_shards`` in ``--format
+json``, and ``serve --format json`` includes the server ``health()``
+snapshot (circuit-breaker states, rolling failure rate).
 """
 
 from __future__ import annotations
@@ -56,16 +65,42 @@ def _add_parallel_args(parser: argparse.ArgumentParser, shards: bool = True) -> 
                         help="shard worker-pool size (0 = one per available CPU)")
     parser.add_argument("--backend", choices=("auto", "serial", "thread", "process"),
                         default="auto", help="shard execution backend")
+    parser.add_argument("--fault-plan", default="",
+                        help="deterministic fault-injection plan, JSON or @path "
+                             "(default: the REPRO_FAULT_PLAN environment variable)")
+
+
+def _add_degradation_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--on-shard-failure", choices=("raise", "partial"),
+                        default="raise",
+                        help="sharded-index failure policy: fail the query or "
+                             "merge the surviving shards (degraded result)")
+    parser.add_argument("--min-quorum", type=int, default=1,
+                        help="minimum shards that must answer before a "
+                             "degraded result is acceptable")
 
 
 def _parallel_config(args):
     from repro.parallel import ParallelConfig
 
-    return ParallelConfig(num_workers=args.num_workers, backend=args.backend)
+    return ParallelConfig(
+        num_workers=args.num_workers,
+        backend=args.backend,
+        fault_plan=getattr(args, "fault_plan", ""),
+    )
 
 
 def _load_index(path: str, args=None):
-    """Load a saved index, detecting sharded vs monolithic files."""
+    """Load a saved index, detecting sharded vs monolithic files.
+
+    Instrumented with the ``index.load`` fault point so load-path failure
+    handling (bad file, missing volume) is testable via a fault plan.
+    """
+    from repro.resilience import FaultInjector, resolve_fault_plan
+
+    plan = resolve_fault_plan(getattr(args, "fault_plan", "") if args else "")
+    if plan is not None:
+        FaultInjector(plan).fire("index.load", path=path)
     with np.load(path, allow_pickle=False) as archive:
         sharded = "num_shards" in archive.files
     if sharded:
@@ -134,11 +169,17 @@ def _cmd_search(args) -> int:
     index = _load_index(args.index, args)
     _, queries, metric, _ = _load(args)
     config = SearchConfig(itopk=args.itopk, algo=args.algo)
+    kwargs = {}
+    if hasattr(index, "num_shards"):  # degradation knobs are shard-level
+        kwargs = dict(
+            on_shard_failure=args.on_shard_failure,
+            min_shard_quorum=args.min_quorum,
+        )
     started = time.perf_counter()
     if args.fast:
-        result = index.search_fast(queries, args.k, config=config)
+        result = index.search_fast(queries, args.k, config=config, **kwargs)
     else:
-        result = index.search(queries, args.k, config=config)
+        result = index.search(queries, args.k, config=config, **kwargs)
     elapsed = time.perf_counter() - started
     truth, _ = exact_search(index.dataset, queries, args.k, metric=index.metric)
     measured_recall = recall_of(result.indices, truth)
@@ -149,8 +190,9 @@ def _cmd_search(args) -> int:
         algo = result.report.algo
         total_dc = result.report.distance_computations
     per_query = total_dc / queries.shape[0]
+    degraded = bool(getattr(result, "degraded", False))
     if args.format == "json":
-        print(json.dumps({
+        payload = {
             "queries": int(queries.shape[0]),
             "k": args.k,
             "itopk": args.itopk,
@@ -159,11 +201,19 @@ def _cmd_search(args) -> int:
             "elapsed_seconds": elapsed,
             "recall": measured_recall,
             "distance_computations_per_query": per_query,
-        }, indent=2))
+            "degraded": degraded,
+        }
+        if degraded:
+            payload["failed_shards"] = list(getattr(result, "failed_shards", []))
+            payload["skipped_shards"] = list(getattr(result, "skipped_shards", []))
+        print(json.dumps(payload, indent=2))
         return 0
     print(f"searched {queries.shape[0]} queries in {elapsed:.3f}s (python wall time)")
     print(f"recall@{args.k}: {measured_recall:.4f}")
     print(f"distance computations/query: {per_query:.0f}")
+    if degraded:
+        print(f"DEGRADED: failed shards {list(getattr(result, 'failed_shards', []))}, "
+              f"skipped shards {list(getattr(result, 'skipped_shards', []))}")
     return 0
 
 
@@ -249,6 +299,11 @@ def _cmd_serve(args) -> int:
         default_timeout_ms=args.timeout_ms,
         cache_capacity=args.cache_capacity,
         default_k=args.k,
+        on_shard_failure=args.on_shard_failure,
+        min_shard_quorum=args.min_quorum,
+        breaker_failure_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown_s,
+        fault_plan=args.fault_plan,
     )
     num_requests = args.requests or max(1, int(args.rate * args.duration))
     server = CagraServer(index, config, search_config=SearchConfig(itopk=args.itopk, seed=args.seed))
@@ -264,6 +319,7 @@ def _cmd_serve(args) -> int:
                 server, queries, num_clients=args.clients,
                 requests_per_client=per_client,
             )
+        health = server.health()  # before stop: reflects the run, not shutdown
     stats = server.stats()
 
     truth, _ = exact_search(index.dataset, queries, args.k, metric=index.metric)
@@ -293,6 +349,7 @@ def _cmd_serve(args) -> int:
             },
             "recall": served_recall,
             "stats": stats.to_dict(),
+            "health": health,
         }
         print(json.dumps(payload, indent=2))
     else:
@@ -303,6 +360,10 @@ def _cmd_serve(args) -> int:
         print(report.summary())
         print(f"recall@{args.k} (served vs exact): {served_recall:.4f}")
         print(stats.summary())
+        if health["status"] != "ok" or health["open_shards"]:
+            print(f"health: {health['status']}  "
+                  f"open_shards={health['open_shards']}  "
+                  f"failure_rate={health['recent_failure_rate']:.3f}")
     return 1 if report.failed > 0 else 0
 
 
@@ -382,6 +443,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="use the vectorized lockstep batch search")
     p_search.add_argument("--format", choices=("text", "json"), default="text")
     _add_parallel_args(p_search, shards=False)
+    _add_degradation_args(p_search)
 
     p_bench = sub.add_parser("bench", help="quick CAGRA-vs-HNSW recall/QPS sweep")
     _add_dataset_args(p_bench)
@@ -421,6 +483,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="LRU result-cache entries (0 disables)")
     p_serve.add_argument("--format", choices=("text", "json"), default="text")
     _add_parallel_args(p_serve)
+    _add_degradation_args(p_serve)
+    p_serve.add_argument("--breaker-threshold", type=int, default=0,
+                         help="consecutive shard failures that open its "
+                              "circuit breaker (0 disables breakers)")
+    p_serve.add_argument("--breaker-cooldown-s", type=float, default=30.0,
+                         help="open-breaker cooldown before a half-open probe")
 
     p_validate = sub.add_parser("validate", help="audit a saved index")
     p_validate.add_argument("--index", required=True, help="index .npz path")

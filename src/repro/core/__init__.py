@@ -27,7 +27,7 @@ from repro.core.config import (
 from repro.core.graph import FixedDegreeGraph
 from repro.core.index import CagraIndex
 from repro.core.refine import refine
-from repro.core.sharding import ShardedCagraIndex
+from repro.core.sharding import ShardQuorumError, ShardedCagraIndex
 from repro.core.validation import ValidationReport, validate_index
 
 __all__ = [
@@ -36,6 +36,7 @@ __all__ = [
     "GraphBuildConfig",
     "SearchConfig",
     "HashTableConfig",
+    "ShardQuorumError",
     "ShardedCagraIndex",
     "ValidationReport",
     "refine",

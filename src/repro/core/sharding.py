@@ -22,6 +22,15 @@ loop on every backend — see ``docs/parallel.md``.
 Because every shard search is a full CAGRA search over a subset, recall
 is at least that of a single index of the same total size searched with
 the same per-shard budget; wall time is the slowest shard plus a merge.
+
+Failure semantics (``docs/resilience.md``): each shard search is an
+independent :class:`~repro.parallel.executor.TaskOutcome`, so one shard
+dying (worker crash, watchdog timeout, retries exhausted) need not sink
+the whole query.  ``on_shard_failure="raise"`` (default) re-raises the
+first shard error; ``"partial"`` merges the survivors — failed shards
+contribute only sentinel slots — and reports ``degraded`` /
+``failed_shards`` metadata, as long as at least ``min_shard_quorum``
+shards answered (otherwise :class:`ShardQuorumError`).
 """
 
 from __future__ import annotations
@@ -37,7 +46,19 @@ from repro.core.index import CagraIndex
 from repro.core.search import CostReport, SearchResult
 from repro.parallel.config import ParallelConfig
 
-__all__ = ["ShardedCagraIndex", "ShardedSearchResult"]
+__all__ = ["ShardQuorumError", "ShardedCagraIndex", "ShardedSearchResult"]
+
+#: Accepted ``on_shard_failure`` policies.
+_FAILURE_MODES = ("raise", "partial")
+
+
+class ShardQuorumError(RuntimeError):
+    """Too few shards answered to satisfy ``min_shard_quorum``.
+
+    Raised even under ``on_shard_failure="partial"``: a degraded answer is
+    only useful while most of the index is still reachable, and the quorum
+    knob is where the caller draws that line.
+    """
 
 
 @dataclass
@@ -55,12 +76,22 @@ class ShardedSearchResult:
         shard_seconds: measured per-shard Python wall time (what the
             worker pool overlaps; the critical path of a parallel search
             is their max).
+        degraded: ``True`` when any shard failed or was skipped, i.e. the
+            merge covers only part of the index.
+        failed_shards: global shard numbers whose search failed after all
+            retries (``on_shard_failure="partial"`` only).
+        skipped_shards: shards excluded up front by the caller (e.g. a
+            serving layer's open circuit breakers), as opposed to shards
+            that failed while searching.
     """
 
     indices: np.ndarray
     distances: np.ndarray
     shard_reports: list[CostReport]
     shard_seconds: list[float] = field(default_factory=list)
+    degraded: bool = False
+    failed_shards: list[int] = field(default_factory=list)
+    skipped_shards: list[int] = field(default_factory=list)
 
 
 class _ShardRuntime:
@@ -160,6 +191,7 @@ class ShardedCagraIndex:
         """
         from repro.parallel.executor import ShardExecutor
         from repro.parallel.shards import build_shards, plan_shards
+        from repro.resilience import resolve_fault_plan
 
         dataset = np.asarray(dataset)
         if num_shards < 1:
@@ -171,7 +203,10 @@ class ShardedCagraIndex:
         parallel = parallel or ParallelConfig()
         plans = plan_shards(n, num_shards, config)
         with ShardExecutor.from_config(parallel, num_shards) as executor:
-            shards = build_shards(dataset, plans, dataset_dtype, executor)
+            shards = build_shards(
+                dataset, plans, dataset_dtype, executor,
+                fault=resolve_fault_plan(parallel.fault_plan),
+            )
         return cls(shards, [plan.ids for plan in plans], parallel=parallel)
 
     # ------------------------------------------------------------------
@@ -220,17 +255,48 @@ class ShardedCagraIndex:
         fast: bool,
         filter_mask: np.ndarray | None,
         parallel: ParallelConfig | None,
-    ) -> list[tuple[SearchResult, float]]:
-        from repro.parallel.shards import search_shards
+        on_shard_failure: str,
+        min_shard_quorum: int,
+        skip_shards,
+    ) -> tuple[list[tuple[SearchResult, float]], list[int], list[int]]:
+        """Fan a search out and fold failures per ``on_shard_failure``.
 
+        Returns ``(per_shard, failed, skipped)`` where ``per_shard`` holds
+        one ``(SearchResult, seconds)`` per shard — failed, skipped, and
+        filter-excluded shards contribute an all-sentinel result that the
+        merge sorts to the tail.
+        """
+        from repro.parallel.shards import search_shards
+        from repro.resilience import resolve_fault_plan
+
+        if on_shard_failure not in _FAILURE_MODES:
+            raise ValueError(
+                f"on_shard_failure must be one of {_FAILURE_MODES}, "
+                f"got {on_shard_failure!r}"
+            )
+        if min_shard_quorum < 1:
+            raise ValueError("min_shard_quorum must be >= 1")
+        skipped = sorted(set(int(s) for s in skip_shards))
+        for s in skipped:
+            if not 0 <= s < self.num_shards:
+                raise ValueError(f"skip_shards entry {s} out of range")
+        if len(skipped) == self.num_shards:
+            raise ShardQuorumError(
+                f"all {self.num_shards} shard(s) skipped; nothing to search"
+            )
+        active = parallel or self.parallel
         masks, excluded = self._shard_filter_masks(filter_mask)
-        live = [s for s in range(self.num_shards) if not excluded[s]]
-        executor, throwaway = self._executor(parallel or self.parallel)
+        live = [
+            s
+            for s in range(self.num_shards)
+            if not excluded[s] and s not in skipped
+        ]
+        executor, throwaway = self._executor(active)
         try:
             handle = None
             if not throwaway:
                 handle = self._shared_handle(executor)
-            outputs = search_shards(
+            outcomes = search_shards(
                 [self.shards[s] for s in live],
                 queries,
                 k,
@@ -240,20 +306,45 @@ class ShardedCagraIndex:
                 fast=fast,
                 filter_masks=[masks[s] for s in live],
                 handle=handle,
+                fault=resolve_fault_plan(active.fault_plan),
+                shard_ids=live,
             )
         finally:
             if throwaway:
                 executor.close()
+        failed: list[int] = []
+        by_shard: dict[int, tuple[SearchResult, float]] = {}
+        for s, outcome in zip(live, outcomes):
+            if outcome.ok:
+                by_shard[s] = outcome.value
+            elif on_shard_failure == "raise":
+                raise outcome.error
+            else:
+                failed.append(s)
+        # Filter exclusion alone is never a quorum problem (the caller
+        # asked for it); failures and breaker skips are.
+        if (failed or skipped) and len(by_shard) < min_shard_quorum:
+            raise ShardQuorumError(
+                f"only {len(by_shard)} of {self.num_shards} shard(s) "
+                f"answered (failed={failed}, skipped={skipped}); "
+                f"min_shard_quorum={min_shard_quorum}"
+            )
         batch = queries.shape[0]
-        algo = outputs[0][0].report.algo if outputs else "single_cta"
-        by_shard = dict(zip(live, outputs))
-        return [
+        algo = next(
+            (r.report.algo for r, _ in by_shard.values()), "single_cta"
+        )
+        per_shard = [
             by_shard.get(s, (self._empty_result(batch, k, algo), 0.0))
             for s in range(self.num_shards)
         ]
+        return per_shard, failed, skipped
 
     def _merge(
-        self, per_shard: list[tuple[SearchResult, float]], k: int
+        self,
+        per_shard: list[tuple[SearchResult, float]],
+        k: int,
+        failed: list[int] | None = None,
+        skipped: list[int] | None = None,
     ) -> ShardedSearchResult:
         """Merge per-shard top-k into global top-k.
 
@@ -277,11 +368,16 @@ class ShardedCagraIndex:
         all_ids = np.concatenate(id_blocks, axis=1)
         all_dists = np.concatenate(dist_blocks, axis=1)
         order = np.argsort(all_dists, axis=1, kind="stable")[:, :k]
+        failed = list(failed or [])
+        skipped = list(skipped or [])
         return ShardedSearchResult(
             indices=np.take_along_axis(all_ids, order, axis=1),
             distances=np.take_along_axis(all_dists, order, axis=1),
             shard_reports=[result.report for result, _ in per_shard],
             shard_seconds=[seconds for _, seconds in per_shard],
+            degraded=bool(failed or skipped),
+            failed_shards=failed,
+            skipped_shards=skipped,
         )
 
     def search(
@@ -292,6 +388,9 @@ class ShardedCagraIndex:
         num_sms: int = 108,
         filter_mask: np.ndarray | None = None,
         parallel: ParallelConfig | None = None,
+        on_shard_failure: str = "raise",
+        min_shard_quorum: int = 1,
+        skip_shards=(),
     ) -> ShardedSearchResult:
         """Search every shard and merge per-query top-k by distance.
 
@@ -300,12 +399,20 @@ class ShardedCagraIndex:
         *global* length-N bool mask; shards whose rows are all excluded
         are skipped.  Unfilled slots surface as trailing ``INDEX_MASK`` /
         ``inf`` entries, never as bogus global ids.
+
+        ``on_shard_failure="partial"`` merges surviving shards when some
+        fail (after the executor's retries), reporting them in
+        ``failed_shards`` and setting ``degraded``; fewer than
+        ``min_shard_quorum`` survivors raises :class:`ShardQuorumError`.
+        ``skip_shards`` excludes shards up front (a serving layer's open
+        circuit breakers) — they count against the quorum too.
         """
         queries = np.atleast_2d(queries)
-        per_shard = self._run_shard_searches(
-            queries, k, config, num_sms, False, filter_mask, parallel
+        per_shard, failed, skipped = self._run_shard_searches(
+            queries, k, config, num_sms, False, filter_mask, parallel,
+            on_shard_failure, min_shard_quorum, skip_shards,
         )
-        return self._merge(per_shard, k)
+        return self._merge(per_shard, k, failed, skipped)
 
     def search_fast(
         self,
@@ -314,17 +421,23 @@ class ShardedCagraIndex:
         config: SearchConfig | None = None,
         filter_mask: np.ndarray | None = None,
         parallel: ParallelConfig | None = None,
+        on_shard_failure: str = "raise",
+        min_shard_quorum: int = 1,
+        skip_shards=(),
     ) -> ShardedSearchResult:
         """Vectorized per-shard :meth:`CagraIndex.search_fast` + merge.
 
         The batch-throughput path (and what :class:`repro.serve.CagraServer`
-        uses for coalesced batches when serving a sharded index).
+        uses for coalesced batches when serving a sharded index).  Failure
+        handling matches :meth:`search` (``on_shard_failure`` /
+        ``min_shard_quorum`` / ``skip_shards``).
         """
         queries = np.atleast_2d(queries)
-        per_shard = self._run_shard_searches(
-            queries, k, config, 108, True, filter_mask, parallel
+        per_shard, failed, skipped = self._run_shard_searches(
+            queries, k, config, 108, True, filter_mask, parallel,
+            on_shard_failure, min_shard_quorum, skip_shards,
         )
-        return self._merge(per_shard, k)
+        return self._merge(per_shard, k, failed, skipped)
 
     # ------------------------------------------------------------------
     # persistence
@@ -365,6 +478,18 @@ class ShardedCagraIndex:
         return cls(shards, assignments, parallel=parallel)
 
     # ------------------------------------------------------------------
+    @property
+    def executor_stats(self) -> dict | None:
+        """Retry/recycle counters of the index's persistent executor.
+
+        ``None`` until the first search on the persistent pool; per-call
+        ``parallel`` overrides use throwaway executors whose stats are
+        not retained.
+        """
+        if self._runtime.executor is None:
+            return None
+        return self._runtime.executor.stats.as_dict()
+
     @property
     def num_shards(self) -> int:
         return len(self.shards)

@@ -18,7 +18,7 @@ shared-memory lifecycle.
 
 from repro.parallel.config import BACKENDS, ParallelConfig, available_cpus
 from repro.parallel.sharedmem import ArraySpec, SharedArray, attach_array
-from repro.parallel.executor import ShardExecutor
+from repro.parallel.executor import ExecutorStats, ShardExecutor, TaskOutcome
 from repro.parallel.shards import (
     ShardPlan,
     SharedIndexHandle,
@@ -30,11 +30,13 @@ from repro.parallel.shards import (
 __all__ = [
     "ArraySpec",
     "BACKENDS",
+    "ExecutorStats",
     "ParallelConfig",
     "ShardExecutor",
     "ShardPlan",
     "SharedArray",
     "SharedIndexHandle",
+    "TaskOutcome",
     "attach_array",
     "available_cpus",
     "build_shards",

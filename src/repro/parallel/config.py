@@ -51,16 +51,48 @@ class ParallelConfig:
             ``REPRO_PARALLEL_BACKEND`` override) picks ``process`` on
             POSIX multi-core hosts, ``thread`` on other platforms, and
             ``serial`` whenever a pool could not help.
+        max_retries: additional attempts after a shard task's first
+            failure (tasks are pure, so retrying never changes results).
+        task_timeout_s: per-attempt hung-task watchdog for pooled
+            backends; ``0`` disables it (see
+            :class:`~repro.resilience.retry.RetryPolicy`).
+        backoff_base_ms / backoff_max_ms / retry_seed: seeded
+            exponential-backoff schedule between retries.
+        fault_plan: JSON fault plan (or ``@path``) for deterministic
+            fault injection; empty defers to the ``REPRO_FAULT_PLAN``
+            environment variable, and both empty disables injection
+            entirely (see :mod:`repro.resilience.faults`).
     """
 
     num_workers: int = 0
     backend: str = "auto"
+    max_retries: int = 2
+    task_timeout_s: float = 0.0
+    backoff_base_ms: float = 10.0
+    backoff_max_ms: float = 2000.0
+    retry_seed: int = 0
+    fault_plan: str = ""
 
     def __post_init__(self) -> None:
         if self.num_workers < 0:
             raise ValueError("num_workers must be >= 0 (0 = auto)")
         if self.backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {self.backend!r}")
+        # Delegate retry-field validation to the policy constructor so the
+        # two surfaces can never drift.
+        self.retry_policy()
+
+    def retry_policy(self):
+        """The :class:`~repro.resilience.retry.RetryPolicy` these knobs name."""
+        from repro.resilience import RetryPolicy
+
+        return RetryPolicy(
+            max_retries=self.max_retries,
+            task_timeout_s=self.task_timeout_s,
+            backoff_base_ms=self.backoff_base_ms,
+            backoff_max_ms=self.backoff_max_ms,
+            seed=self.retry_seed,
+        )
 
     # ------------------------------------------------------------------
     def resolved_workers(self, num_tasks: int) -> int:

@@ -19,6 +19,13 @@ task derives its randomness from explicit seeds in its payload
 (``GraphBuildConfig.seed + shard`` for builds, the per-query
 ``[seed, query]`` Philox streams for searches), never from worker
 identity, scheduling order, or time.
+
+Both task bodies are instrumented with :mod:`repro.resilience.faults`
+injection points (``shard.build`` / ``shard.search``), carried in the
+payload as a JSON plan so the same faults fire on every backend and
+start method; a ``corrupt`` fault poisons the search result in place
+(sentinel ids, NaN distances) to exercise the merge layer's sentinel
+masking.  With no plan configured the hook is a single ``None`` check.
 """
 
 from __future__ import annotations
@@ -31,11 +38,12 @@ import numpy as np
 from repro.core.batch_search import search_batch_fast
 from repro.core.config import GraphBuildConfig, SearchConfig
 from repro.core.distances import as_storage_dtype
-from repro.core.graph import FixedDegreeGraph
+from repro.core.graph import INDEX_MASK, FixedDegreeGraph
 from repro.core.index import CagraIndex
 from repro.core.search import SearchResult, search_batch
-from repro.parallel.executor import ShardExecutor
+from repro.parallel.executor import ShardExecutor, TaskOutcome
 from repro.parallel.sharedmem import ArraySpec, SharedArray, attach_array
+from repro.resilience import FaultInjector, FaultPlan
 
 __all__ = [
     "ShardPlan",
@@ -83,6 +91,13 @@ def plan_shards(
     return plans
 
 
+def _task_injector(fault_json: str | None) -> FaultInjector | None:
+    """Rebuild the fault injector inside the executing worker (if any)."""
+    if not fault_json:
+        return None
+    return FaultInjector.from_json(fault_json)
+
+
 # ----------------------------------------------------------------------
 # build
 # ----------------------------------------------------------------------
@@ -92,7 +107,11 @@ def _build_shard_task(payload):
     ``source`` is either the dataset itself (serial/thread backends) or
     an :class:`ArraySpec` naming the shared segment (process backend).
     """
-    source, ids, config, dataset_dtype = payload
+    source, ids, config, dataset_dtype, shard_no, fault_json = payload
+    injector = _task_injector(fault_json)
+    if injector is not None:
+        # ``corrupt`` is search-only; build faults fail loudly or stall.
+        injector.fire("shard.build", shard=shard_no, op="build")
     data = attach_array(source) if isinstance(source, ArraySpec) else source
     started = time.perf_counter()
     index = CagraIndex.build(data[ids], config, dataset_dtype=dataset_dtype)
@@ -105,15 +124,26 @@ def build_shards(
     plans: list[ShardPlan],
     dataset_dtype: str,
     executor: ShardExecutor,
+    fault: FaultPlan | None = None,
 ) -> list[CagraIndex]:
-    """Build every planned shard on ``executor``; shards in plan order."""
+    """Build every planned shard on ``executor``; shards in plan order.
+
+    Builds are all-or-nothing: a shard whose build fails on every retry
+    re-raises (a partially built sharded index has no useful meaning),
+    unlike searches, which support degraded merges via
+    :func:`search_shards` outcomes.
+    """
     dataset = np.asarray(dataset)
     share = None
     source = dataset
     if executor.backend == "process":
         share = SharedArray.create(dataset)
         source = share.spec
-    payloads = [(source, plan.ids, plan.config, dataset_dtype) for plan in plans]
+    fault_json = fault.to_json() if fault is not None else None
+    payloads = [
+        (source, plan.ids, plan.config, dataset_dtype, s, fault_json)
+        for s, plan in enumerate(plans)
+    ]
     try:
         outputs = executor.map(_build_shard_task, payloads)
     finally:
@@ -164,6 +194,20 @@ class SharedIndexHandle:
         self.shard_specs = []
 
 
+def _corrupt_result(result: SearchResult) -> SearchResult:
+    """Apply a ``corrupt`` fault: sentinel ids + NaN distances.
+
+    This is exactly the poison the merge layer's sentinel masking must
+    absorb (see ``ShardedCagraIndex._merge``): half the slots become
+    unfilled sentinels, every distance goes non-finite.
+    """
+    indices = result.indices.copy()
+    distances = result.distances.copy()
+    indices[:, : max(1, indices.shape[1] // 2)] = np.uint32(INDEX_MASK)
+    distances[:] = np.nan
+    return SearchResult(indices=indices, distances=distances, report=result.report)
+
+
 def _run_search(data, graph, metric, queries, k, config, num_sms, fast, filter_mask):
     started = time.perf_counter()
     if fast:
@@ -181,22 +225,37 @@ def _run_search(data, graph, metric, queries, k, config, num_sms, fast, filter_m
 
 def _search_shard_local(payload) -> tuple[SearchResult, float]:
     """Worker body for serial/thread backends (shared address space)."""
-    shard, queries, k, config, num_sms, fast, filter_mask = payload
-    return _run_search(
+    shard, queries, k, config, num_sms, fast, filter_mask, shard_no, \
+        fault_json = payload
+    injector = _task_injector(fault_json)
+    spec = None
+    if injector is not None:
+        spec = injector.fire("shard.search", shard=shard_no, op="search")
+    result, seconds = _run_search(
         shard.dataset, shard.graph, shard.metric,
         queries, k, config, num_sms, fast, filter_mask,
     )
+    if spec is not None and spec.kind == "corrupt":
+        result = _corrupt_result(result)
+    return result, seconds
 
 
 def _search_shard_shm(payload) -> tuple[SearchResult, float]:
     """Worker body for the process backend (attach shared segments)."""
     (data_spec, graph_spec, metric), queries, k, config, num_sms, fast, \
-        filter_mask = payload
+        filter_mask, shard_no, fault_json = payload
+    injector = _task_injector(fault_json)
+    spec = None
+    if injector is not None:
+        spec = injector.fire("shard.search", shard=shard_no, op="search")
     data = attach_array(data_spec)
     graph = FixedDegreeGraph(attach_array(graph_spec))
-    return _run_search(
+    result, seconds = _run_search(
         data, graph, metric, queries, k, config, num_sms, fast, filter_mask
     )
+    if spec is not None and spec.kind == "corrupt":
+        result = _corrupt_result(result)
+    return result, seconds
 
 
 def search_shards(
@@ -209,32 +268,50 @@ def search_shards(
     fast: bool = False,
     filter_masks: list[np.ndarray | None] | None = None,
     handle: SharedIndexHandle | None = None,
-) -> list[tuple[SearchResult, float]]:
-    """Search every shard on ``executor``; ``(result, seconds)`` per shard.
+    fault: FaultPlan | None = None,
+    shard_ids: list[int] | None = None,
+) -> list[TaskOutcome]:
+    """Search every shard on ``executor``; one :class:`TaskOutcome` each.
+
+    A successful outcome's ``value`` is ``(SearchResult, seconds)``; a
+    failed outcome (retries exhausted, worker dead, watchdog fired)
+    carries the error instead of raising, so the caller decides between
+    all-or-nothing and degraded-merge semantics.
 
     ``filter_masks`` carries one per-shard (local-id) mask or ``None``
-    each.  With the process backend, pass a live :class:`SharedIndexHandle`
-    to reuse its segments; otherwise a temporary one is created for the
+    each.  ``shard_ids`` names each entry's global shard number (for
+    fault matching) when ``shards`` is a subset; defaults to positional.
+    With the process backend, pass a live :class:`SharedIndexHandle` to
+    reuse its segments; otherwise a temporary one is created for the
     call.
     """
     if filter_masks is None:
         filter_masks = [None] * len(shards)
+    if shard_ids is None:
+        shard_ids = list(range(len(shards)))
+    fault_json = fault.to_json() if fault is not None else None
     if executor.backend == "process":
         own_handle = handle is None
         if own_handle:
             handle = SharedIndexHandle(shards)
+        # A caller-provided handle spans the *whole* index (specs indexed
+        # by global shard id); a handle built here spans only the subset.
+        spec_of = (lambda s: handle.shard_specs[s]) if own_handle else (
+            lambda s: handle.shard_specs[shard_ids[s]]
+        )
         payloads = [
-            (handle.shard_specs[s], queries, k, config, num_sms, fast,
-             filter_masks[s])
+            (spec_of(s), queries, k, config, num_sms, fast,
+             filter_masks[s], shard_ids[s], fault_json)
             for s in range(len(shards))
         ]
         try:
-            return executor.map(_search_shard_shm, payloads)
+            return executor.map_outcomes(_search_shard_shm, payloads)
         finally:
             if own_handle:
                 handle.close()
     payloads = [
-        (shard, queries, k, config, num_sms, fast, filter_masks[s])
+        (shard, queries, k, config, num_sms, fast, filter_masks[s],
+         shard_ids[s], fault_json)
         for s, shard in enumerate(shards)
     ]
-    return executor.map(_search_shard_local, payloads)
+    return executor.map_outcomes(_search_shard_local, payloads)

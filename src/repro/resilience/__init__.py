@@ -1,0 +1,52 @@
+"""repro.resilience — deterministic fault injection, retry, and breakers.
+
+The failure-handling substrate of the parallel/sharding/serving stack:
+
+* :mod:`repro.resilience.faults` — a seedable :class:`FaultPlan` /
+  :class:`FaultInjector` with named injection points (``shard.build``,
+  ``shard.search``, ``pool.spawn``, ``serve.execute``, ``index.load``)
+  and fault kinds (raise, crash, delay, corrupt), activated via config
+  knobs or the ``REPRO_FAULT_PLAN`` environment variable — zero overhead
+  when disabled;
+* :mod:`repro.resilience.retry` — :class:`RetryPolicy`, the per-task
+  retry/backoff/watchdog policy the shard executor runs under;
+* :mod:`repro.resilience.breaker` — :class:`CircuitBreaker`, the
+  closed→open→half-open guard :class:`repro.serve.CagraServer` keeps per
+  shard.
+
+See ``docs/resilience.md`` for the fault-point catalog and the layer-by-
+layer failure-semantics contract.
+"""
+
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import (
+    ENV_FAULT_PLAN,
+    FAULT_KINDS,
+    FAULT_POINTS,
+    FaultInjected,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    WorkerCrash,
+    current_attempt,
+    resolve_fault_plan,
+    set_current_attempt,
+)
+from repro.resilience.retry import RetryPolicy, TaskTimeout
+
+__all__ = [
+    "CircuitBreaker",
+    "ENV_FAULT_PLAN",
+    "FAULT_KINDS",
+    "FAULT_POINTS",
+    "FaultInjected",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "TaskTimeout",
+    "WorkerCrash",
+    "current_attempt",
+    "resolve_fault_plan",
+    "set_current_attempt",
+]

@@ -1,0 +1,123 @@
+"""Per-shard circuit breaker (closed → open → half-open).
+
+A shard that fails every search should not be asked again on every
+request — each ask costs a retry storm and a degraded-merge pass.  The
+breaker trips **open** after ``failure_threshold`` consecutive failures
+and the serving layer skips the shard outright; after ``cooldown_s`` the
+breaker admits a single **half-open** probe, and the probe's outcome
+either **closes** the breaker (shard recovered) or re-opens it for
+another cooldown.
+
+The clock is injectable (``clock=time.monotonic`` by default) so state
+transitions are unit-testable without sleeping, and all methods are
+thread-safe (the serving scheduler records outcomes while ``health()``
+snapshots from caller threads).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker guarding one shard (or any resource)."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 30.0,
+        clock=time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._opens = 0
+        self._closes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May the guarded shard be used right now?
+
+        Closed: yes.  Open: no, until ``cooldown_s`` has elapsed — then
+        the breaker transitions to half-open and admits the probe.
+        Half-open: yes (the probe is in flight or being retried).
+        """
+        with self._lock:
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.OPEN:
+                if self._clock() - self._opened_at >= self.cooldown_s:
+                    self._state = self.HALF_OPEN
+                    return True
+                return False
+            return True  # HALF_OPEN
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                self._state = self.CLOSED
+                self._closes += 1
+            self._consecutive_failures = 0
+
+    def record_failure(self) -> bool:
+        """Record one failure; ``True`` when this call tripped the breaker
+        open (callers use it to count trips without re-reading state)."""
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self._opens += 1
+                return True
+            self._consecutive_failures += 1
+            if (
+                self._state == self.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self._opens += 1
+                return True
+            return False
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-friendly state for ``health()`` surfaces."""
+        with self._lock:
+            until_probe = 0.0
+            if self._state == self.OPEN:
+                until_probe = max(
+                    0.0, self.cooldown_s - (self._clock() - self._opened_at)
+                )
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "opens": self._opens,
+                "closes": self._closes,
+                "seconds_until_probe": until_probe,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"threshold={self.failure_threshold}, cooldown={self.cooldown_s}s)"
+        )

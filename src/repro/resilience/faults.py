@@ -1,0 +1,315 @@
+"""Deterministic fault injection (the chaos harness).
+
+Production failures — a worker process dying mid-search, a shard hanging,
+an index file that will not load, a search returning garbage — are rare
+and timing-dependent, which makes the code paths that handle them the
+least-tested code in the system.  This module turns them into *planned*
+events: a :class:`FaultPlan` names **where** (an injection point), **what**
+(a fault kind), and **when** (context matching plus hit counting), and the
+instrumented call sites consult a :class:`FaultInjector` built from that
+plan.  The same plan triggers the same faults on every backend and every
+run, so failure paths are as deterministically testable as the happy path.
+
+Injection points (:data:`FAULT_POINTS`):
+
+========================  ====================================================
+``shard.build``           inside a per-shard build task (worker body)
+``shard.search``          inside a per-shard search task (worker body)
+``pool.spawn``            when :class:`~repro.parallel.executor.ShardExecutor`
+                          creates its thread/process pool
+``serve.execute``         in :meth:`CagraServer._execute`, before the batch
+                          search dispatch
+``index.load``            when the CLI loads a saved index from disk
+========================  ====================================================
+
+Fault kinds (:data:`FAULT_KINDS`):
+
+* ``raise`` — raise :class:`FaultInjected`;
+* ``crash`` — ``os._exit`` when running inside a worker *process* (a real
+  SIGKILL-grade death: the pool sees :class:`BrokenProcessPool`); in the
+  parent process / a worker thread it degrades to raising
+  :class:`WorkerCrash`, so serial, thread, and process backends all see
+  "that shard failed" and produce bitwise-identical degraded results;
+* ``delay`` — sleep ``delay_ms`` then continue (a straggler / hung
+  worker; pair with the executor watchdog);
+* ``corrupt`` — the call site receives the spec back and poisons its
+  *result* (sentinel ids, NaN distances) instead of failing loudly.
+
+Plans are activated per call site: :class:`ParallelConfig.fault_plan` /
+:class:`ServeConfig.fault_plan` carry a JSON plan (or ``@path``), and the
+``REPRO_FAULT_PLAN`` environment variable overrides an empty config field
+(see :func:`resolve_fault_plan`) so chaos CI can force a plan without
+touching call sites.  With no plan configured every instrumented site
+costs one ``is None`` check — zero overhead when disabled.
+
+Determinism notes: context matching (``match={"shard": 3}``) and
+``attempt`` matching are scheduling-independent and therefore replay
+bitwise-identically across backends.  ``after``/``times`` hit counting is
+stateful per :class:`FaultInjector` instance; worker-side points
+(``shard.build`` / ``shard.search``) rebuild their injector per task, so
+hit counting is only meaningful at stateful sites (``serve.execute``,
+``pool.spawn``, ``index.load``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ENV_FAULT_PLAN",
+    "FAULT_KINDS",
+    "FAULT_POINTS",
+    "FaultInjected",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "WorkerCrash",
+    "current_attempt",
+    "resolve_fault_plan",
+    "set_current_attempt",
+]
+
+#: Environment override consulted by :func:`resolve_fault_plan` when the
+#: config field is empty.  Holds a JSON plan or ``@/path/to/plan.json``.
+ENV_FAULT_PLAN = "REPRO_FAULT_PLAN"
+
+#: Recognised injection points (see the module docstring table).
+FAULT_POINTS = (
+    "shard.build",
+    "shard.search",
+    "pool.spawn",
+    "serve.execute",
+    "index.load",
+)
+
+#: Recognised fault kinds.
+FAULT_KINDS = ("raise", "crash", "delay", "corrupt")
+
+#: Worker exit status used by ``crash`` faults (distinctive in waitpid logs).
+CRASH_EXIT_CODE = 87
+
+
+class FaultInjected(RuntimeError):
+    """Raised by a ``raise``-kind fault (the planned failure itself)."""
+
+
+class WorkerCrash(FaultInjected):
+    """In-process stand-in for ``os._exit`` when there is no worker process
+    to kill (serial/thread backends, or a fault fired in the parent)."""
+
+
+# ----------------------------------------------------------------------
+# retry-attempt context (set by the executor around each task execution)
+# ----------------------------------------------------------------------
+_STATE = threading.local()
+
+
+def set_current_attempt(attempt: int) -> None:
+    """Record the retry attempt (0 = first try) for this thread's task."""
+    _STATE.attempt = attempt
+
+
+def current_attempt() -> int:
+    """The retry attempt of the task executing on this thread."""
+    return getattr(_STATE, "attempt", 0)
+
+
+def _in_worker_process() -> bool:
+    import multiprocessing
+
+    return multiprocessing.parent_process() is not None
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault.
+
+    Attributes:
+        point: injection point name (one of :data:`FAULT_POINTS`).
+        kind: fault kind (one of :data:`FAULT_KINDS`).
+        match: context equality filter — the fault fires only when every
+            ``key: value`` pair equals the context the call site provides
+            (e.g. ``{"shard": 3}`` targets shard 3 only; ``{}`` matches
+            every hit at the point).
+        attempt: fire only on this retry attempt (``0`` = first try only,
+            which makes the fault *transient*: the executor's retry
+            succeeds).  ``None`` fires on every attempt (permanent).
+        after: skip the first N matching hits (stateful sites only).
+        times: fire at most N times per injector instance (``0`` =
+            unlimited; stateful sites only).
+        delay_ms: sleep duration for ``delay`` faults.
+    """
+
+    point: str
+    kind: str = "raise"
+    match: dict = field(default_factory=dict)
+    attempt: int | None = None
+    after: int = 0
+    times: int = 0
+    delay_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.point not in FAULT_POINTS:
+            raise ValueError(
+                f"unknown fault point {self.point!r}; expected one of {FAULT_POINTS}"
+            )
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.after < 0:
+            raise ValueError("after must be >= 0")
+        if self.times < 0:
+            raise ValueError("times must be >= 0 (0 = unlimited)")
+        if self.delay_ms < 0:
+            raise ValueError("delay_ms must be >= 0")
+        if self.attempt is not None and self.attempt < 0:
+            raise ValueError("attempt must be >= 0 (or None)")
+
+    def matches(self, context: dict) -> bool:
+        """Does this spec apply to a hit with ``context``?"""
+        for key, want in self.match.items():
+            if context.get(key) != want:
+                return False
+        if self.attempt is not None and context.get("attempt", 0) != self.attempt:
+            return False
+        return True
+
+    def to_dict(self) -> dict:
+        out = {"point": self.point, "kind": self.kind}
+        if self.match:
+            out["match"] = dict(self.match)
+        if self.attempt is not None:
+            out["attempt"] = self.attempt
+        if self.after:
+            out["after"] = self.after
+        if self.times:
+            out["times"] = self.times
+        if self.delay_ms:
+            out["delay_ms"] = self.delay_ms
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FaultSpec":
+        known = {"point", "kind", "match", "attempt", "after", "times", "delay_ms"}
+        unknown = set(raw) - known
+        if unknown:
+            raise ValueError(f"unknown FaultSpec field(s): {sorted(unknown)}")
+        return cls(
+            point=raw["point"],
+            kind=raw.get("kind", "raise"),
+            match=dict(raw.get("match", {})),
+            attempt=raw.get("attempt"),
+            after=int(raw.get("after", 0)),
+            times=int(raw.get("times", 0)),
+            delay_ms=float(raw.get("delay_ms", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered collection of :class:`FaultSpec` (first match wins)."""
+
+    specs: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise TypeError("FaultPlan.specs must hold FaultSpec instances")
+
+    def to_json(self) -> str:
+        return json.dumps({"specs": [spec.to_dict() for spec in self.specs]})
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        raw = json.loads(text)
+        if isinstance(raw, list):  # bare spec list shorthand
+            raw = {"specs": raw}
+        if not isinstance(raw, dict) or "specs" not in raw:
+            raise ValueError('fault plan JSON must be {"specs": [...]} or a list')
+        return cls(specs=tuple(FaultSpec.from_dict(s) for s in raw["specs"]))
+
+
+def resolve_fault_plan(explicit: str = "") -> FaultPlan | None:
+    """Resolve a plan string (config field wins, then ``REPRO_FAULT_PLAN``).
+
+    Either source may be raw JSON or ``@path`` naming a JSON file; empty
+    everywhere resolves to ``None`` (injection disabled — the common,
+    zero-overhead case).
+    """
+    text = explicit or os.environ.get(ENV_FAULT_PLAN, "")
+    if not text:
+        return None
+    if text.startswith("@"):
+        with open(text[1:], encoding="utf-8") as handle:
+            text = handle.read()
+    return FaultPlan.from_json(text)
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` at instrumented call sites.
+
+    One injector instance keeps the ``after``/``times`` hit counters for
+    its call site; :meth:`fire` applies ``raise``/``crash``/``delay``
+    faults directly and returns ``corrupt`` specs to the caller (only the
+    call site knows how to poison its own result).
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._hits = [0] * len(plan.specs)
+        self._fired = [0] * len(plan.specs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultInjector":
+        return cls(FaultPlan.from_json(text))
+
+    def check(self, point: str, **context) -> FaultSpec | None:
+        """Return the first spec that fires for this hit (count it), else
+        ``None``.  ``attempt`` defaults to the executor-provided retry
+        attempt of the current thread."""
+        context.setdefault("attempt", current_attempt())
+        for i, spec in enumerate(self.plan.specs):
+            if spec.point != point or not spec.matches(context):
+                continue
+            self._hits[i] += 1
+            if self._hits[i] <= spec.after:
+                continue
+            if spec.times and self._fired[i] >= spec.times:
+                continue
+            self._fired[i] += 1
+            return spec
+        return None
+
+    def fire(self, point: str, **context) -> FaultSpec | None:
+        """Check and *apply* the fault.
+
+        ``raise`` raises :class:`FaultInjected`; ``crash`` kills the
+        worker process (or raises :class:`WorkerCrash` when there is no
+        process to kill); ``delay`` sleeps then returns ``None``
+        (transparent besides the stall); ``corrupt`` is returned to the
+        caller to poison its result.
+        """
+        spec = self.check(point, **context)
+        if spec is None:
+            return None
+        detail = f"injected {spec.kind} fault at {point} ({context})"
+        if spec.kind == "raise":
+            raise FaultInjected(detail)
+        if spec.kind == "crash":
+            if _in_worker_process():
+                os._exit(CRASH_EXIT_CODE)
+            raise WorkerCrash(detail)
+        if spec.kind == "delay":
+            time.sleep(spec.delay_ms / 1e3)
+            return None
+        return spec  # corrupt
+
+    def __repr__(self) -> str:
+        return f"FaultInjector(specs={len(self.plan.specs)}, fired={sum(self._fired)})"

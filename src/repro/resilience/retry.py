@@ -1,0 +1,74 @@
+"""Per-task retry policy with seeded exponential backoff.
+
+Shard tasks are pure functions of their payloads, so re-running one is
+always safe — the only question is *when*.  :class:`RetryPolicy` answers
+it deterministically: exponential backoff with jitter drawn from a
+:class:`numpy.random.Philox`-family generator seeded by
+``(seed, task_index, attempt)``, never by wall clock or worker identity,
+so a retried run schedules identically to the first (DESIGN.md §6 /
+lint rule RL003).
+
+The watchdog half of the policy (``task_timeout_s``) bounds how long the
+executor waits for any single task before declaring it hung and failing
+over; see :meth:`ShardExecutor.map_outcomes` for how timeouts, retries,
+and pool recycling interact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RetryPolicy", "TaskTimeout"]
+
+
+class TaskTimeout(RuntimeError):
+    """A task exceeded the watchdog timeout on every allowed attempt."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failed or hung shard tasks are retried.
+
+    Attributes:
+        max_retries: additional attempts after the first (``0`` disables
+            retrying; a task is executed at most ``max_retries + 1``
+            times).
+        task_timeout_s: per-attempt watchdog — a pooled task still
+            running after this many seconds is declared hung, its worker
+            is recycled (process backend), and the task is retried or
+            failed with :class:`TaskTimeout`.  ``0`` disables the
+            watchdog.  The serial backend cannot watchdog (the task runs
+            on the calling thread).
+        backoff_base_ms: backoff before retry ``a`` is
+            ``min(backoff_max_ms, backoff_base_ms * 2**a)`` scaled by a
+            seeded jitter factor in ``[0.5, 1.0)``.
+        backoff_max_ms: backoff ceiling.
+        seed: jitter seed (combined with task index and attempt so no
+            two tasks share a backoff stream).
+    """
+
+    max_retries: int = 2
+    task_timeout_s: float = 0.0
+    backoff_base_ms: float = 10.0
+    backoff_max_ms: float = 2000.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.task_timeout_s < 0:
+            raise ValueError("task_timeout_s must be >= 0 (0 = no watchdog)")
+        if self.backoff_base_ms < 0:
+            raise ValueError("backoff_base_ms must be >= 0")
+        if self.backoff_max_ms < self.backoff_base_ms:
+            raise ValueError("backoff_max_ms must be >= backoff_base_ms")
+        if self.seed < 0:
+            raise ValueError("seed must be >= 0")
+
+    def backoff_seconds(self, task_index: int, attempt: int) -> float:
+        """Deterministic jittered backoff before retry ``attempt``."""
+        capped = min(self.backoff_max_ms, self.backoff_base_ms * (2.0 ** attempt))
+        rng = np.random.default_rng([self.seed, task_index, attempt])
+        return capped * (0.5 + 0.5 * float(rng.random())) / 1e3

@@ -5,7 +5,10 @@ micro-batching scheduler (coalesce to the single-CTA fast path, route
 batch-of-1 flushes to multi-CTA, per Table II), bounded-queue
 backpressure with per-request deadlines, an LRU result cache, hot index
 swap, a metrics surface, and seeded open/closed-loop load generators.
-See ``docs/serving.md`` for the full contracts.
+Failure handling — batch bisection, degraded sharded serving, per-shard
+circuit breakers, and the :meth:`CagraServer.health` snapshot — rides on
+:mod:`repro.resilience`.  See ``docs/serving.md`` for the full contracts
+and ``docs/resilience.md`` for failure semantics.
 """
 
 from repro.serve.cache import ResultCache

@@ -50,6 +50,22 @@ class ServeConfig:
             :meth:`CagraIndex.search`).
         drain_poll_ms: scheduler idle-poll interval; only affects how
             quickly an idle scheduler notices shutdown.
+        on_shard_failure: failure policy forwarded to a sharded index's
+            searches — ``"raise"`` fails the batch when any shard fails,
+            ``"partial"`` serves degraded results from the surviving
+            shards (see :class:`~repro.core.sharding.ShardedCagraIndex`).
+        min_shard_quorum: minimum shards that must answer before a
+            degraded result is acceptable; fewer fails the batch with
+            :class:`~repro.core.sharding.ShardQuorumError`.
+        breaker_failure_threshold: consecutive failures that open a
+            shard's circuit breaker (open shards are skipped up front
+            instead of re-failing every batch); ``0`` disables breakers.
+        breaker_cooldown_s: how long an open breaker waits before letting
+            one probe batch through (half-open).
+        fault_plan: JSON fault plan (or ``@path``) for deterministic
+            fault injection at ``serve.execute``; empty defers to the
+            ``REPRO_FAULT_PLAN`` environment variable (see
+            :mod:`repro.resilience.faults`).
     """
 
     max_batch: int = 64
@@ -60,6 +76,11 @@ class ServeConfig:
     default_k: int = 10
     num_sms: int = 108
     drain_poll_ms: float = 20.0
+    on_shard_failure: str = "raise"
+    min_shard_quorum: int = 1
+    breaker_failure_threshold: int = 0
+    breaker_cooldown_s: float = 30.0
+    fault_plan: str = ""
 
     def __post_init__(self) -> None:
         _require(self.max_batch >= 1, "max_batch must be >= 1")
@@ -70,3 +91,13 @@ class ServeConfig:
         _require(self.default_k >= 1, "default_k must be >= 1")
         _require(self.num_sms >= 1, "num_sms must be >= 1")
         _require(self.drain_poll_ms > 0.0, "drain_poll_ms must be > 0")
+        _require(
+            self.on_shard_failure in ("raise", "partial"),
+            "on_shard_failure must be 'raise' or 'partial'",
+        )
+        _require(self.min_shard_quorum >= 1, "min_shard_quorum must be >= 1")
+        _require(
+            self.breaker_failure_threshold >= 0,
+            "breaker_failure_threshold must be >= 0 (0 = disabled)",
+        )
+        _require(self.breaker_cooldown_s >= 0.0, "breaker_cooldown_s must be >= 0")

@@ -22,6 +22,17 @@ publishes a new snapshot; in-flight batches finish on the old one), a
 graceful drain on shutdown, and a metrics surface
 (:meth:`CagraServer.stats`).
 
+Failure handling (``docs/resilience.md``): one bad request no longer
+sinks its whole micro-batch — an execution error bisects the batch and
+retries the halves until the failure is isolated to a single request.
+When serving a sharded index, ``ServeConfig.on_shard_failure="partial"``
+serves degraded results from the surviving shards, an optional per-shard
+:class:`~repro.resilience.CircuitBreaker` (closed → open → half-open)
+skips repeat offenders up front, and :meth:`CagraServer.health` reports
+breaker states plus a rolling failure rate.  The ``serve.execute`` fault
+point (:mod:`repro.resilience.faults`, ``ServeConfig.fault_plan`` or
+``REPRO_FAULT_PLAN``) makes all of it deterministically testable.
+
 Typical use::
 
     with CagraServer(index, ServeConfig(max_batch=64, max_wait_ms=2.0)) as server:
@@ -41,8 +52,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import SearchConfig
+from repro.core.graph import INDEX_MASK
 from repro.core.index import CagraIndex
-from repro.core.sharding import ShardedCagraIndex
+from repro.core.sharding import ShardQuorumError, ShardedCagraIndex
+from repro.resilience import CircuitBreaker, FaultInjector, resolve_fault_plan
 from repro.serve.cache import ResultCache
 from repro.serve.config import ServeConfig
 from repro.serve.stats import ServeStats, StatsCollector
@@ -240,9 +253,28 @@ class CagraServer:
             else None
         )
         self._stats = StatsCollector()
+        plan = resolve_fault_plan(self.config.fault_plan)
+        # One injector for the server's lifetime: ``serve.execute`` is a
+        # stateful site, so after/times hit counting is meaningful here.
+        self._fault = FaultInjector(plan) if plan is not None else None
+        self._breakers = self._make_breakers(index)
         self._thread: threading.Thread | None = None
         self._accepting = True
         self._closed = False
+
+    def _make_breakers(self, index) -> dict[int, CircuitBreaker]:
+        """One breaker per shard; empty when disabled or not sharded."""
+        if self.config.breaker_failure_threshold < 1 or not isinstance(
+            index, ShardedCagraIndex
+        ):
+            return {}
+        return {
+            s: CircuitBreaker(
+                failure_threshold=self.config.breaker_failure_threshold,
+                cooldown_s=self.config.breaker_cooldown_s,
+            )
+            for s in range(index.num_shards)
+        }
 
     # ------------------------------------------------------------------
     # life cycle
@@ -368,6 +400,9 @@ class CagraServer:
                 )
             self._index = new_index
             self._generation += 1
+            # Fresh index, fresh breaker state: failures of the old
+            # index's shards say nothing about the new one's.
+            self._breakers = self._make_breakers(new_index)
         if self._cache is not None:
             self._cache.clear()
         self._stats.record_swap()
@@ -378,6 +413,49 @@ class CagraServer:
     def stats(self) -> ServeStats:
         """Snapshot of the metrics surface (see :class:`ServeStats`)."""
         return self._stats.snapshot(queue_depth=self._queue.qsize())
+
+    #: ``health()`` reports ``"degraded"`` above this rolling failure rate.
+    _UNHEALTHY_FAILURE_RATE = 0.5
+
+    def health(self) -> dict:
+        """Operator-facing liveness/degradation snapshot (JSON-friendly).
+
+        ``status`` is ``"ok"``, ``"degraded"`` (any shard breaker not
+        closed, or the rolling failure rate above
+        :data:`_UNHEALTHY_FAILURE_RATE`), or ``"stopped"``.
+        """
+        with self._swap_lock:
+            index = self._index
+            generation = self._generation
+            breakers = dict(self._breakers)
+        snap = self.stats()
+        breaker_states = {
+            str(s): breakers[s].snapshot() for s in sorted(breakers)
+        }
+        open_shards = [
+            s
+            for s in sorted(breakers)
+            if breaker_states[str(s)]["state"] != CircuitBreaker.CLOSED
+        ]
+        if self._closed:
+            status = "stopped"
+        elif open_shards or (
+            snap.recent_failure_rate > self._UNHEALTHY_FAILURE_RATE
+        ):
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "accepting": self._accepting,
+            "generation": generation,
+            "num_shards": getattr(index, "num_shards", 1),
+            "queue_depth": snap.queue_depth,
+            "recent_failure_rate": snap.recent_failure_rate,
+            "degraded_batches": snap.degraded_batches,
+            "open_shards": open_shards,
+            "breakers": breaker_states,
+        }
 
     # ------------------------------------------------------------------
     # scheduler internals
@@ -420,19 +498,48 @@ class CagraServer:
                     self._stats.record_timeout()
             elif not request.event.is_set():
                 live.append(request)
-        if not live:
-            return
+        if live:
+            self._run_batch(live)
 
+    def _fail_batch(self, live: list[_Request], exc: BaseException) -> None:
+        for request in live:
+            if request.resolve_failure(exc):
+                self._stats.record_failure()
+
+    def _run_batch(self, live: list[_Request]) -> None:
+        """Execute one micro-batch, isolating failures by bisection.
+
+        A batch that raises is split in half and each half re-executed,
+        so one poisoned request fails alone instead of taking every rider
+        down with it (recursion depth is log2 of the batch size).
+        :class:`ShardQuorumError` is query-independent — splitting cannot
+        help — so it fails the whole batch immediately.
+        """
         with self._swap_lock:
             index = self._index
             generation = self._generation
+            breakers = self._breakers
         k_max = max(request.k for request in live)
         config = self.search_config
         if config.itopk < k_max:
             config = config.with_overrides(itopk=k_max)
         queries = np.stack([request.query for request in live])
+        sharded = isinstance(index, ShardedCagraIndex)
+        skip: list[int] = []
+        if sharded and breakers:
+            skip = [s for s in sorted(breakers) if not breakers[s].allow()]
 
+        corrupt = None
         try:
+            if self._fault is not None:
+                corrupt = self._fault.fire("serve.execute", batch=len(live))
+            kwargs = {}
+            if sharded:
+                kwargs = dict(
+                    on_shard_failure=self.config.on_shard_failure,
+                    min_shard_quorum=self.config.min_shard_quorum,
+                    skip_shards=skip,
+                )
             if len(live) == 1:
                 # Table II batch-1 rule: one query spread over many CTAs.
                 result = index.search(
@@ -440,22 +547,51 @@ class CagraServer:
                     k_max,
                     config=config.with_overrides(algo="multi_cta"),
                     num_sms=self.config.num_sms,
+                    **kwargs,
                 )
                 path = "multi_cta"
             else:
-                result = index.search_fast(queries, k_max, config=config)
+                result = index.search_fast(
+                    queries, k_max, config=config, **kwargs
+                )
                 path = "single_cta"
+        except ShardQuorumError as exc:
+            self._fail_batch(live, exc)
+            return
         except Exception as exc:  # deliver, don't kill the scheduler
-            for request in live:
-                if request.resolve_failure(exc):
-                    self._stats.record_failure()
+            if len(live) == 1:
+                self._fail_batch(live, exc)
+                return
+            self._stats.record_batch_split()
+            mid = len(live) // 2
+            self._run_batch(live[:mid])
+            self._run_batch(live[mid:])
             return
 
+        failed_shards = list(getattr(result, "failed_shards", []) or [])
+        degraded = bool(getattr(result, "degraded", False))
+        if sharded and breakers:
+            for s in failed_shards:
+                if breakers[s].record_failure():
+                    self._stats.record_breaker_trip()
+            for s in range(index.num_shards):
+                if s not in failed_shards and s not in skip:
+                    breakers[s].record_success()
+        if degraded:
+            self._stats.record_degraded(len(failed_shards))
+
         self._stats.record_batch(len(live), path)
+        # Degraded or fault-corrupted answers are served but never cached:
+        # a partial result must not outlive the failure that caused it.
+        cacheable = self._cache is not None and not degraded and corrupt is None
         for row, request in enumerate(live):
-            ids = result.indices[row, : request.k].copy()
-            dists = result.distances[row, : request.k].copy()
-            if self._cache is not None:
+            if corrupt is not None:
+                ids = np.full(request.k, INDEX_MASK, dtype=np.uint32)
+                dists = np.full(request.k, np.nan)
+            else:
+                ids = result.indices[row, : request.k].copy()
+                dists = result.distances[row, : request.k].copy()
+            if cacheable:
                 self._cache.put(
                     (request.query.tobytes(), request.k, generation), ids, dists
                 )

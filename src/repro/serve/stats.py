@@ -16,10 +16,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["LATENCY_WINDOW", "ServeStats", "StatsCollector"]
+__all__ = ["LATENCY_WINDOW", "OUTCOME_WINDOW", "ServeStats", "StatsCollector"]
 
 #: Completions kept for percentile estimation (a sliding window).
 LATENCY_WINDOW = 65536
+
+#: Recent request outcomes (success/failure) kept for the rolling
+#: failure rate reported by :meth:`CagraServer.health`.
+OUTCOME_WINDOW = 256
 
 
 @dataclass(frozen=True)
@@ -45,6 +49,18 @@ class ServeStats:
         queue_depth / max_queue_depth: depth at snapshot time and the
             high-water mark.
         index_swaps: successful ``swap_index`` calls.
+        degraded_batches: batches answered from a partial shard set
+            (``on_shard_failure="partial"`` with failures or open
+            breakers).
+        shard_failures: total per-shard search failures observed across
+            degraded batches.
+        batch_splits: batches bisected after an execution error to
+            isolate the failure (each split adds two sub-batches).
+        retried_batches: sub-batches re-executed after a split.
+        breaker_trips: shard circuit breakers transitioning to open.
+        recent_failure_rate: failed fraction of the most recent
+            :data:`OUTCOME_WINDOW` request completions (the
+            :meth:`CagraServer.health` signal).
         latency_*_ms: enqueue-to-completion latency percentiles over the
             sliding window (cache hits excluded; they are ~0).
     """
@@ -63,6 +79,12 @@ class ServeStats:
     queue_depth: int = 0
     max_queue_depth: int = 0
     index_swaps: int = 0
+    degraded_batches: int = 0
+    shard_failures: int = 0
+    batch_splits: int = 0
+    retried_batches: int = 0
+    breaker_trips: int = 0
+    recent_failure_rate: float = 0.0
     latency_mean_ms: float = 0.0
     latency_p50_ms: float = 0.0
     latency_p95_ms: float = 0.0
@@ -87,7 +109,9 @@ class ServeStats:
                 "submitted", "completed", "cache_hits", "cache_misses",
                 "rejected", "timed_out", "failed", "batches",
                 "coalesced_batches", "single_query_batches", "queue_depth",
-                "max_queue_depth", "index_swaps", "latency_mean_ms",
+                "max_queue_depth", "index_swaps", "degraded_batches",
+                "shard_failures", "batch_splits", "retried_batches",
+                "breaker_trips", "recent_failure_rate", "latency_mean_ms",
                 "latency_p50_ms", "latency_p95_ms", "latency_p99_ms",
                 "latency_max_ms",
             )
@@ -131,6 +155,18 @@ class ServeStats:
             f"p99={self.latency_p99_ms:.2f}ms  max={self.latency_max_ms:.2f}ms"
         )
         lines.append(f"  index swaps {self.index_swaps}")
+        if (
+            self.degraded_batches or self.shard_failures
+            or self.batch_splits or self.breaker_trips
+        ):
+            lines.append(
+                f"  resilience  degraded_batches={self.degraded_batches}  "
+                f"shard_failures={self.shard_failures}  "
+                f"batch_splits={self.batch_splits}  "
+                f"retried={self.retried_batches}  "
+                f"breaker_trips={self.breaker_trips}  "
+                f"recent_failure_rate={self.recent_failure_rate:.3f}"
+            )
         return "\n".join(lines)
 
 
@@ -142,6 +178,7 @@ class StatsCollector:
         self._counts = Counter()
         self._batch_sizes = Counter()
         self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._outcomes: deque[int] = deque(maxlen=OUTCOME_WINDOW)  # 1 = failed
         self._max_queue_depth = 0
 
     # ------------------------------------------------------------------
@@ -168,6 +205,7 @@ class StatsCollector:
         with self._lock:
             self._counts["completed"] += 1
             self._latencies.append(latency_seconds * 1e3)
+            self._outcomes.append(0)
 
     def record_timeout(self) -> None:
         with self._lock:
@@ -176,6 +214,21 @@ class StatsCollector:
     def record_failure(self) -> None:
         with self._lock:
             self._counts["failed"] += 1
+            self._outcomes.append(1)
+
+    def record_degraded(self, shard_failures: int) -> None:
+        with self._lock:
+            self._counts["degraded_batches"] += 1
+            self._counts["shard_failures"] += shard_failures
+
+    def record_batch_split(self) -> None:
+        with self._lock:
+            self._counts["batch_splits"] += 1
+            self._counts["retried_batches"] += 2
+
+    def record_breaker_trip(self) -> None:
+        with self._lock:
+            self._counts["breaker_trips"] += 1
 
     def record_batch(self, size: int, path: str) -> None:
         with self._lock:
@@ -214,6 +267,16 @@ class StatsCollector:
                 queue_depth=queue_depth,
                 max_queue_depth=self._max_queue_depth,
                 index_swaps=self._counts["index_swaps"],
+                degraded_batches=self._counts["degraded_batches"],
+                shard_failures=self._counts["shard_failures"],
+                batch_splits=self._counts["batch_splits"],
+                retried_batches=self._counts["retried_batches"],
+                breaker_trips=self._counts["breaker_trips"],
+                recent_failure_rate=(
+                    sum(self._outcomes) / len(self._outcomes)
+                    if self._outcomes
+                    else 0.0
+                ),
                 latency_mean_ms=mean,
                 latency_p50_ms=float(p50),
                 latency_p95_ms=float(p95),

@@ -1,0 +1,875 @@
+"""repro.resilience: fault injection, retry/backoff, breakers, degradation.
+
+Covers the failure-handling contract end to end (``docs/resilience.md``):
+
+* the :class:`FaultPlan` / :class:`FaultInjector` chaos harness itself
+  (JSON round trips, context matching, hit counting, every fault kind);
+* :class:`RetryPolicy` seeded backoff determinism and the executor's
+  retry / watchdog / pool-recycle machinery, including a real mid-map
+  worker death (``os._exit``) on the process backend;
+* :class:`CircuitBreaker` closed → open → half-open → closed cycling on
+  an injected clock (no sleeping);
+* graceful degradation of :class:`ShardedCagraIndex` — partial merges,
+  quorum boundaries, and bitwise-identical degraded results across the
+  serial/thread/process backends under the same seeded fault plan;
+* :class:`CagraServer` batch bisection, per-shard breakers, ``health()``,
+  and the ``serve.execute`` fault point;
+* the CLI resilience surface (``--fault-plan``, ``--on-shard-failure``,
+  ``--min-quorum``, degraded JSON output, the ``index.load`` point).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro import GraphBuildConfig, SearchConfig
+from repro.baselines import exact_search
+from repro.cli import build_parser, main
+from repro.serve import CagraServer, ServeConfig
+from repro.core.graph import INDEX_MASK
+from repro.core.metrics import recall as recall_of
+from repro.core.sharding import ShardQuorumError, ShardedCagraIndex
+from repro.datasets import write_fvecs
+from repro.parallel import ParallelConfig, ShardExecutor
+from repro.resilience import (
+    CircuitBreaker,
+    FaultInjected,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    TaskTimeout,
+    WorkerCrash,
+    resolve_fault_plan,
+)
+
+
+def _plan(*specs) -> str:
+    """JSON for a list of spec dicts (what configs and the CLI carry)."""
+    return json.dumps(list(specs))
+
+
+# ----------------------------------------------------------------------
+# FaultSpec / FaultPlan / resolve_fault_plan
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="unknown fault point"):
+            FaultSpec(point="nope")
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(point="shard.search", kind="explode")
+        with pytest.raises(ValueError, match="delay_ms"):
+            FaultSpec(point="shard.search", kind="delay", delay_ms=-1)
+        with pytest.raises(ValueError, match="attempt"):
+            FaultSpec(point="shard.search", attempt=-1)
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(point="shard.search", kind="crash", match={"shard": 3}),
+            FaultSpec(point="serve.execute", kind="delay",
+                      delay_ms=5.0, after=2, times=1),
+        ))
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+
+    def test_bare_list_shorthand(self):
+        plan = FaultPlan.from_json(_plan({"point": "shard.build"}))
+        assert plan.specs[0].point == "shard.build"
+        assert plan.specs[0].kind == "raise"  # default
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown FaultSpec field"):
+            FaultPlan.from_json(_plan({"point": "shard.build", "sharrd": 1}))
+        with pytest.raises(ValueError, match="specs"):
+            FaultPlan.from_json('{"plans": []}')
+
+    def test_match_semantics(self):
+        spec = FaultSpec(point="shard.search", match={"shard": 3})
+        assert spec.matches({"shard": 3, "op": "search"})
+        assert not spec.matches({"shard": 2})
+        assert not spec.matches({})  # missing key != wanted value
+        transient = FaultSpec(point="shard.search", attempt=0)
+        assert transient.matches({"attempt": 0})
+        assert not transient.matches({"attempt": 1})
+
+    def test_resolve_empty_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+        assert resolve_fault_plan("") is None
+
+    def test_resolve_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_FAULT_PLAN", _plan({"point": "pool.spawn"})
+        )
+        plan = resolve_fault_plan(_plan({"point": "index.load"}))
+        assert plan.specs[0].point == "index.load"
+        assert resolve_fault_plan("").specs[0].point == "pool.spawn"
+
+    def test_resolve_at_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(_plan({"point": "shard.search", "kind": "corrupt"}))
+        plan = resolve_fault_plan(f"@{path}")
+        assert plan.specs[0].kind == "corrupt"
+
+
+class TestFaultInjector:
+    def test_raise_kind(self):
+        injector = FaultInjector.from_json(_plan({"point": "serve.execute"}))
+        with pytest.raises(FaultInjected):
+            injector.fire("serve.execute")
+        assert injector.fire("index.load") is None  # other points untouched
+
+    def test_crash_kind_degrades_to_worker_crash_in_parent(self):
+        # In the parent process there is no worker to os._exit; the crash
+        # degrades to WorkerCrash so every backend sees "shard failed".
+        injector = FaultInjector.from_json(
+            _plan({"point": "shard.search", "kind": "crash"})
+        )
+        with pytest.raises(WorkerCrash):
+            injector.fire("shard.search", shard=0)
+
+    def test_delay_kind_sleeps_then_continues(self):
+        injector = FaultInjector.from_json(
+            _plan({"point": "shard.search", "kind": "delay", "delay_ms": 30})
+        )
+        started = time.perf_counter()
+        assert injector.fire("shard.search") is None
+        assert time.perf_counter() - started >= 0.025
+
+    def test_corrupt_kind_returned_to_caller(self):
+        injector = FaultInjector.from_json(
+            _plan({"point": "shard.search", "kind": "corrupt"})
+        )
+        spec = injector.fire("shard.search")
+        assert spec is not None and spec.kind == "corrupt"
+
+    def test_after_and_times_counting(self):
+        injector = FaultInjector.from_json(
+            _plan({"point": "serve.execute", "after": 1, "times": 2})
+        )
+        fired = []
+        for _ in range(5):
+            try:
+                injector.fire("serve.execute")
+                fired.append(False)
+            except FaultInjected:
+                fired.append(True)
+        # Skips the first hit, fires twice, then is exhausted.
+        assert fired == [False, True, True, False, False]
+
+    def test_first_match_wins(self):
+        injector = FaultInjector.from_json(_plan(
+            {"point": "shard.search", "kind": "corrupt", "match": {"shard": 1}},
+            {"point": "shard.search", "kind": "raise"},
+        ))
+        assert injector.fire("shard.search", shard=1).kind == "corrupt"
+        with pytest.raises(FaultInjected):
+            injector.fire("shard.search", shard=0)
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(task_timeout_s=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base_ms=100.0, backoff_max_ms=50.0)
+
+    def test_backoff_deterministic_and_seeded(self):
+        policy = RetryPolicy(backoff_base_ms=10.0, seed=5)
+        assert policy.backoff_seconds(2, 1) == policy.backoff_seconds(2, 1)
+        assert policy.backoff_seconds(2, 1) != policy.backoff_seconds(3, 1)
+        assert (
+            RetryPolicy(seed=6).backoff_seconds(2, 1)
+            != policy.backoff_seconds(2, 1)
+        )
+
+    def test_backoff_exponential_and_capped(self):
+        policy = RetryPolicy(backoff_base_ms=10.0, backoff_max_ms=40.0)
+        for attempt, cap_ms in [(0, 10.0), (1, 20.0), (2, 40.0), (5, 40.0)]:
+            seconds = policy.backoff_seconds(0, attempt)
+            # jitter keeps each delay in [cap/2, cap)
+            assert cap_ms / 2e3 <= seconds < cap_ms / 1e3
+
+
+# ----------------------------------------------------------------------
+# CircuitBreaker (injected clock: no sleeping)
+# ----------------------------------------------------------------------
+class _FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=-1.0)
+
+    def test_full_cycle(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=10.0, clock=clock)
+        assert breaker.allow() and breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED  # below threshold
+        assert breaker.record_failure() is True  # trips
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        clock.now += 9.0
+        assert not breaker.allow()  # cooldown not elapsed
+        clock.now += 1.5
+        assert breaker.allow()  # admits the probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_failure_reopens(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=5.0, clock=clock)
+        breaker.record_failure()
+        clock.now += 5.0
+        assert breaker.allow()
+        assert breaker.record_failure() is True  # probe failed: reopen
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED  # never 3 in a row
+
+    def test_snapshot(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=30.0, clock=clock)
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap["state"] == CircuitBreaker.OPEN
+        assert snap["opens"] == 1
+        assert 0.0 < snap["seconds_until_probe"] <= 30.0
+
+
+# ----------------------------------------------------------------------
+# Executor retry / crash / watchdog (the fault-instrumented task body
+# mirrors repro.parallel.shards: plan JSON travels in the payload)
+# ----------------------------------------------------------------------
+def _fault_task(payload):
+    value, task_no, fault_json = payload
+    if fault_json:
+        spec = FaultInjector.from_json(fault_json).fire(
+            "shard.search", shard=task_no, op="test"
+        )
+        if spec is not None and spec.kind == "corrupt":
+            return -value
+    return value * 2
+
+
+def _payloads(fault_json, n=4):
+    return [(i * 10, i, fault_json) for i in range(n)]
+
+
+class TestExecutorRetry:
+    def test_transient_fault_retried(self):
+        # attempt=0 makes the fault transient: the retry must succeed.
+        plan = _plan({"point": "shard.search", "attempt": 0,
+                      "match": {"shard": 1}})
+        with ShardExecutor(
+            retry=RetryPolicy(max_retries=2, backoff_base_ms=1.0)
+        ) as executor:
+            outcomes = executor.map_outcomes(_fault_task, _payloads(plan))
+        assert [o.value for o in outcomes] == [0, 20, 40, 60]
+        assert outcomes[1].attempts == 2
+        assert executor.stats.retries == 1
+        assert executor.stats.completed == 4
+
+    def test_exhausted_retries_yield_error_outcome(self):
+        plan = _plan({"point": "shard.search", "match": {"shard": 2}})
+        with ShardExecutor(
+            retry=RetryPolicy(max_retries=1, backoff_base_ms=1.0)
+        ) as executor:
+            outcomes = executor.map_outcomes(_fault_task, _payloads(plan))
+        assert [o.ok for o in outcomes] == [True, True, False, True]
+        assert isinstance(outcomes[2].error, FaultInjected)
+        assert outcomes[2].attempts == 2
+        assert executor.stats.failed == 1
+
+    def test_map_raises_first_error_in_payload_order(self):
+        plan = _plan({"point": "shard.search"})  # every task fails
+        with ShardExecutor(retry=RetryPolicy(max_retries=0)) as executor:
+            with pytest.raises(FaultInjected, match="'shard': 0"):
+                executor.map(_fault_task, _payloads(plan))
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_fault_plan_replay_identical_across_backends(self, backend):
+        plan = _plan(
+            {"point": "shard.search", "kind": "corrupt", "match": {"shard": 0}},
+            {"point": "shard.search", "attempt": 0, "match": {"shard": 2}},
+            {"point": "shard.search", "match": {"shard": 3}},
+        )
+        with ShardExecutor(
+            num_workers=2, backend=backend,
+            retry=RetryPolicy(max_retries=1, backoff_base_ms=1.0),
+        ) as executor:
+            outcomes = executor.map_outcomes(_fault_task, _payloads(plan))
+        # Same plan, same payloads => same terminal state on every backend.
+        assert [o.ok for o in outcomes] == [True, True, True, False]
+        assert [o.value for o in outcomes[:3]] == [-0, 20, 40]
+        assert [o.attempts for o in outcomes] == [1, 1, 2, 2]
+        assert isinstance(outcomes[3].error, FaultInjected)
+
+
+class TestExecutorCrash:
+    def test_worker_death_mid_map_recovers(self):
+        # A real os._exit in a pool worker: BrokenProcessPool, recycle,
+        # resubmit.  attempt=0 keeps the crash transient so every payload
+        # still completes.
+        plan = _plan({"point": "shard.search", "kind": "crash",
+                      "attempt": 0, "match": {"shard": 1}})
+        with ShardExecutor(
+            num_workers=2, backend="process",
+            retry=RetryPolicy(max_retries=2, backoff_base_ms=1.0),
+        ) as executor:
+            outcomes = executor.map_outcomes(_fault_task, _payloads(plan))
+        assert [o.value for o in outcomes] == [0, 20, 40, 60]
+        assert executor.stats.pool_recycles >= 1
+
+    def test_permanent_crash_fails_only_its_task(self):
+        plan = _plan({"point": "shard.search", "kind": "crash",
+                      "match": {"shard": 1}})
+        with ShardExecutor(
+            num_workers=2, backend="process",
+            retry=RetryPolicy(max_retries=0),
+        ) as executor:
+            outcomes = executor.map_outcomes(_fault_task, _payloads(plan))
+        assert [o.ok for o in outcomes] == [True, False, True, True]
+        # The terminal inline attempt has no worker process to kill, so
+        # the crash surfaces as WorkerCrash — same failure the serial
+        # backend reports, which is what keeps degraded merges identical.
+        assert isinstance(outcomes[1].error, WorkerCrash)
+
+
+class TestExecutorWatchdog:
+    def test_hung_worker_fails_over_and_retries(self):
+        plan = _plan({"point": "shard.search", "kind": "delay",
+                      "delay_ms": 4000, "attempt": 0, "match": {"shard": 1}})
+        policy = RetryPolicy(
+            max_retries=1, task_timeout_s=0.4, backoff_base_ms=1.0
+        )
+        started = time.perf_counter()
+        with ShardExecutor(
+            num_workers=2, backend="process", retry=policy
+        ) as executor:
+            outcomes = executor.map_outcomes(_fault_task, _payloads(plan))
+        elapsed = time.perf_counter() - started
+        assert [o.value for o in outcomes] == [0, 20, 40, 60]
+        assert executor.stats.timeouts >= 1
+        assert executor.stats.pool_recycles >= 1  # hung worker was killed
+        assert elapsed < 3.0  # failed over, never waited out the hang
+
+    def test_permanent_hang_yields_task_timeout(self):
+        plan = _plan({"point": "shard.search", "kind": "delay",
+                      "delay_ms": 4000, "match": {"shard": 0}})
+        policy = RetryPolicy(max_retries=0, task_timeout_s=0.3)
+        with ShardExecutor(
+            num_workers=2, backend="process", retry=policy
+        ) as executor:
+            outcomes = executor.map_outcomes(
+                _fault_task, _payloads(plan, n=2)
+            )
+        assert not outcomes[0].ok
+        assert isinstance(outcomes[0].error, TaskTimeout)
+        assert outcomes[1].value == 20
+
+
+# ----------------------------------------------------------------------
+# Graceful shard degradation
+# ----------------------------------------------------------------------
+def _serial(fault_plan="", max_retries=0, **kw) -> ParallelConfig:
+    return ParallelConfig(
+        backend="serial", fault_plan=fault_plan, max_retries=max_retries,
+        backoff_base_ms=1.0, **kw,
+    )
+
+
+@pytest.fixture(scope="module")
+def eight_shard():
+    """An 8-shard index + queries (the acceptance-criteria geometry)."""
+    rng = np.random.default_rng(42)
+    data = rng.standard_normal((640, 16)).astype(np.float32)
+    queries = rng.standard_normal((25, 16)).astype(np.float32)
+    index = ShardedCagraIndex.build(
+        data, 8, GraphBuildConfig(graph_degree=8, seed=3), parallel=_serial()
+    )
+    yield index, data, queries
+    index.close()
+
+
+def _with_parallel(index: ShardedCagraIndex, parallel: ParallelConfig):
+    """A view of the same shards under a different execution policy."""
+    return ShardedCagraIndex(index.shards, index.assignments, parallel=parallel)
+
+
+_CRASH_SHARD_3 = '[{"point": "shard.search", "kind": "crash", "match": {"shard": 3}}]'
+
+
+class TestDegradedShardedSearch:
+    def test_raise_mode_propagates(self, eight_shard):
+        index, _, queries = eight_shard
+        view = _with_parallel(index, _serial(_CRASH_SHARD_3))
+        try:
+            with pytest.raises(WorkerCrash):
+                view.search(queries, 10, SearchConfig(itopk=32))
+        finally:
+            view.close()
+
+    def test_partial_mode_reports_degraded(self, eight_shard):
+        index, _, queries = eight_shard
+        view = _with_parallel(index, _serial(_CRASH_SHARD_3))
+        try:
+            result = view.search(
+                queries, 10, SearchConfig(itopk=32), on_shard_failure="partial"
+            )
+        finally:
+            view.close()
+        assert result.degraded
+        assert result.failed_shards == [3]
+        assert result.skipped_shards == []
+        # No id from the dead shard (round-robin: ids ≡ 3 mod 8) can
+        # appear, and every slot is either a live id or a sentinel.
+        filled = result.indices != INDEX_MASK
+        assert not np.any(result.indices[filled] % 8 == 3)
+
+    def test_degraded_recall_within_bound(self, eight_shard):
+        """Losing 1 shard of 8 loses ~1/8 of the *candidates* by
+        construction, so recall is measured against the ground truth over
+        the rows that are still reachable: on that truth the degraded
+        search must be within 0.05 of the fault-free search's full-truth
+        recall (the surviving shards' quality is untouched)."""
+        index, data, queries = eight_shard
+        k = 10
+        clean = index.search(queries, k, SearchConfig(itopk=64))
+        truth, _ = exact_search(data, queries, k)
+        clean_recall = recall_of(clean.indices, truth)
+
+        view = _with_parallel(index, _serial(_CRASH_SHARD_3))
+        try:
+            degraded = view.search(
+                queries, k, SearchConfig(itopk=64), on_shard_failure="partial"
+            )
+        finally:
+            view.close()
+        available = np.setdiff1d(
+            np.arange(data.shape[0]), index.assignments[3]
+        )
+        avail_truth_local, _ = exact_search(data[available], queries, k)
+        avail_truth = available[avail_truth_local]
+        degraded_recall = recall_of(degraded.indices, avail_truth)
+        assert degraded_recall >= clean_recall - 0.05
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_degraded_results_identical_across_backends(
+        self, eight_shard, backend
+    ):
+        """The same seeded fault plan produces bitwise-identical degraded
+        output on every backend — crash is a real worker death under the
+        process pool and a WorkerCrash everywhere else, but the merge
+        cannot tell the difference."""
+        index, _, queries = eight_shard
+        view = _with_parallel(
+            index,
+            ParallelConfig(
+                backend=backend, num_workers=2, fault_plan=_CRASH_SHARD_3,
+                max_retries=0, backoff_base_ms=1.0,
+            ),
+        )
+        try:
+            result = view.search(
+                queries, 10, SearchConfig(itopk=32, seed=9),
+                on_shard_failure="partial",
+            )
+        finally:
+            view.close()
+        assert result.degraded and result.failed_shards == [3]
+        baseline = _with_parallel(index, _serial(_CRASH_SHARD_3))
+        try:
+            expected = baseline.search(
+                queries, 10, SearchConfig(itopk=32, seed=9),
+                on_shard_failure="partial",
+            )
+        finally:
+            baseline.close()
+        np.testing.assert_array_equal(result.indices, expected.indices)
+        np.testing.assert_array_equal(result.distances, expected.distances)
+
+    def test_corrupt_fault_masked_by_merge(self, eight_shard):
+        """A corrupt-kind fault (sentinel ids + NaN distances) never
+        leaks: the merge masks poisoned slots to (INDEX_MASK, inf)."""
+        index, _, queries = eight_shard
+        plan = _plan({"point": "shard.search", "kind": "corrupt",
+                      "match": {"shard": 5}})
+        view = _with_parallel(index, _serial(plan))
+        try:
+            result = view.search(queries, 10, SearchConfig(itopk=32))
+        finally:
+            view.close()
+        filled = result.indices != INDEX_MASK
+        assert np.isfinite(result.distances[filled]).all()
+        assert result.indices[filled].max() < index.size
+        assert not result.degraded  # poisoned, not failed
+
+    def test_executor_stats_exposed(self, eight_shard):
+        index, _, queries = eight_shard
+        view = _with_parallel(index, _serial(_CRASH_SHARD_3, max_retries=1))
+        try:
+            view.search(queries, 5, on_shard_failure="partial")
+            stats = view.executor_stats
+        finally:
+            view.close()
+        assert stats["retries"] >= 1
+        assert stats["failed"] == 1
+
+
+class TestQuorum:
+    def test_all_shards_failing_raises(self, eight_shard):
+        index, _, queries = eight_shard
+        view = _with_parallel(
+            index, _serial(_plan({"point": "shard.search", "kind": "crash"}))
+        )
+        try:
+            with pytest.raises(ShardQuorumError, match="0 of 8"):
+                view.search(queries, 10, on_shard_failure="partial")
+        finally:
+            view.close()
+
+    def test_exactly_quorum_survivors_ok(self, eight_shard):
+        index, _, queries = eight_shard
+        plan = _plan(*[
+            {"point": "shard.search", "kind": "crash", "match": {"shard": s}}
+            for s in range(7)
+        ])
+        view = _with_parallel(index, _serial(plan))
+        try:
+            result = view.search(
+                queries, 10, on_shard_failure="partial", min_shard_quorum=1
+            )
+            assert result.failed_shards == list(range(7))
+            with pytest.raises(ShardQuorumError):
+                view.search(
+                    queries, 10, on_shard_failure="partial", min_shard_quorum=2
+                )
+        finally:
+            view.close()
+
+    def test_skip_shards_counted_against_quorum(self, eight_shard):
+        index, _, queries = eight_shard
+        result = index.search(
+            queries, 10, on_shard_failure="partial", skip_shards=[1, 4]
+        )
+        assert result.degraded and result.skipped_shards == [1, 4]
+        with pytest.raises(ShardQuorumError):
+            index.search(
+                queries, 10, on_shard_failure="partial",
+                skip_shards=[0, 1, 2, 4, 5, 6, 7], min_shard_quorum=2,
+            )
+        with pytest.raises(ShardQuorumError, match="skipped"):
+            index.search(queries, 10, skip_shards=list(range(8)))
+
+    def test_parameter_validation(self, eight_shard):
+        index, _, queries = eight_shard
+        with pytest.raises(ValueError, match="on_shard_failure"):
+            index.search(queries, 5, on_shard_failure="ignore")
+        with pytest.raises(ValueError, match="min_shard_quorum"):
+            index.search(queries, 5, min_shard_quorum=0)
+        with pytest.raises(ValueError, match="out of range"):
+            index.search(queries, 5, skip_shards=[11])
+
+
+# ----------------------------------------------------------------------
+# Serving-layer resilience
+# ----------------------------------------------------------------------
+_POISON_MARK = 999.0
+
+
+class _PoisonIndex:
+    """Index wrapper that raises on any query whose first coordinate is
+    the poison marker — models one bad request inside a healthy batch."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    @property
+    def dim(self):
+        return self._inner.dim
+
+    def _check(self, queries):
+        if np.any(np.atleast_2d(queries)[:, 0] == _POISON_MARK):
+            raise RuntimeError("poisoned query")
+
+    def search(self, queries, k, **kwargs):
+        self._check(queries)
+        return self._inner.search(queries, k, **kwargs)
+
+    def search_fast(self, queries, k, **kwargs):
+        self._check(queries)
+        return self._inner.search_fast(queries, k, **kwargs)
+
+
+def _make_server(index, **overrides) -> CagraServer:
+    defaults = dict(max_batch=8, max_wait_ms=2.0, cache_capacity=0)
+    defaults.update(overrides)
+    return CagraServer(
+        index, ServeConfig(**defaults),
+        search_config=SearchConfig(itopk=32, seed=5),
+    )
+
+
+class TestServeConfigResilience:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(on_shard_failure="retry"),
+            dict(min_shard_quorum=0),
+            dict(breaker_failure_threshold=-1),
+            dict(breaker_cooldown_s=-1.0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ServeConfig(**kwargs)
+
+
+class TestServerBisection:
+    def test_poisoned_request_fails_alone(self, small_index):
+        rng = np.random.default_rng(13)
+        good = rng.standard_normal((5, small_index.dim)).astype(np.float32)
+        poisoned = good[0].copy()
+        poisoned[0] = _POISON_MARK
+        server = _make_server(_PoisonIndex(small_index), max_wait_ms=30.0)
+        handles = [server.submit(q, k=5) for q in good[:3]]
+        handles.append(server.submit(poisoned, k=5))
+        handles += [server.submit(q, k=5) for q in good[3:]]
+        with server:
+            results = []
+            for i, handle in enumerate(handles):
+                if i == 3:
+                    with pytest.raises(RuntimeError, match="poisoned"):
+                        handle.result()
+                else:
+                    results.append(handle.result())
+        assert len(results) == 5
+        assert all(np.isfinite(r.distances).all() for r in results)
+        stats = server.stats()
+        assert stats.batch_splits >= 1
+        assert stats.failed == 1 and stats.completed == 5
+
+    def test_serve_execute_fault_split_retries(self, small_index):
+        # One transient batch-level fault: bisection re-runs the halves
+        # and every request is still answered.
+        rng = np.random.default_rng(14)
+        good = rng.standard_normal((6, small_index.dim)).astype(np.float32)
+        server = _make_server(
+            small_index, max_wait_ms=30.0,
+            fault_plan=_plan({"point": "serve.execute", "times": 1}),
+        )
+        handles = [server.submit(q, k=5) for q in good]
+        with server:
+            results = [handle.result() for handle in handles]
+        assert len(results) == 6
+        assert server.stats().batch_splits >= 1
+        assert server.stats().failed == 0
+
+    def test_corrupt_result_served_but_not_cached(self, small_index):
+        rng = np.random.default_rng(15)
+        query = rng.standard_normal(small_index.dim).astype(np.float32)
+        server = _make_server(
+            small_index, cache_capacity=16,
+            fault_plan=_plan(
+                {"point": "serve.execute", "kind": "corrupt", "times": 1}
+            ),
+        )
+        with server:
+            poisoned = server.search(query, k=5)
+            clean = server.search(query, k=5)
+        assert np.all(poisoned.indices == INDEX_MASK)
+        assert np.isnan(poisoned.distances).all()
+        # The corrupt answer must not have been cached.
+        assert not clean.from_cache
+        assert np.isfinite(clean.distances).all()
+
+
+class TestServerBreaker:
+    def test_breaker_full_cycle_over_live_traffic(
+        self, eight_shard, monkeypatch
+    ):
+        """Trip a shard breaker with injected faults, watch the server
+        skip the shard while open, then recover through a half-open
+        probe once the fault is lifted."""
+        index, _, queries = eight_shard
+        view = _with_parallel(index, _serial())
+        server = _make_server(
+            view,
+            on_shard_failure="partial",
+            breaker_failure_threshold=2,
+            breaker_cooldown_s=0.05,
+        )
+        fault = _plan(
+            {"point": "shard.search", "kind": "raise", "match": {"shard": 1}}
+        )
+        monkeypatch.setenv("REPRO_FAULT_PLAN", fault)
+        try:
+            with server:
+                server.search(queries[0], k=5)
+                server.search(queries[1], k=5)  # second failure: trips
+                health = server.health()
+                assert health["status"] == "degraded"
+                assert health["open_shards"] == [1]
+                assert health["breakers"]["1"]["state"] == "open"
+                # Open breaker: shard 1 is skipped, not searched.
+                server.search(queries[2], k=5)
+                assert server.stats().shard_failures == 2
+                # Lift the fault and wait out the cooldown: the next
+                # search admits a half-open probe, which succeeds.
+                monkeypatch.delenv("REPRO_FAULT_PLAN")
+                time.sleep(0.08)
+                server.search(queries[3], k=5)
+                health = server.health()
+                assert health["open_shards"] == []
+                assert health["breakers"]["1"]["state"] == "closed"
+                assert health["breakers"]["1"]["closes"] == 1
+            stats = server.stats()
+            assert stats.breaker_trips == 1
+            assert stats.degraded_batches == 3  # 2 failures + 1 skip
+            assert stats.failed == 0  # partial mode answered everything
+        finally:
+            view.close()
+
+    def test_quorum_error_fails_batch_without_split(self, eight_shard):
+        index, _, queries = eight_shard
+        view = _with_parallel(
+            index, _serial(_plan({"point": "shard.search", "kind": "crash"}))
+        )
+        server = _make_server(view, on_shard_failure="partial", max_wait_ms=30.0)
+        handles = [server.submit(q, k=5) for q in queries[:4]]
+        try:
+            with server:
+                for handle in handles:
+                    with pytest.raises(ShardQuorumError):
+                        handle.result()
+            # Query-independent failure: no bisection attempted.
+            assert server.stats().batch_splits == 0
+            assert server.stats().failed == 4
+        finally:
+            view.close()
+
+    def test_health_snapshot_when_ok(self, small_index):
+        server = _make_server(small_index)
+        with server:
+            server.search(
+                np.zeros(small_index.dim, dtype=np.float32), k=5
+            )
+            health = server.health()
+            assert health["status"] == "ok"
+            assert health["accepting"] is True
+            assert health["breakers"] == {}
+        assert server.health()["status"] == "stopped"
+
+
+# ----------------------------------------------------------------------
+# CLI resilience surface
+# ----------------------------------------------------------------------
+class TestCLIResilience:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["search", "--index", "x.npz"])
+        assert args.on_shard_failure == "raise"
+        assert args.min_quorum == 1
+        assert args.fault_plan == ""
+        args = build_parser().parse_args(["serve"])
+        assert args.breaker_threshold == 0
+        assert args.breaker_cooldown_s == 30.0
+
+    def test_index_load_fault_point(self, tmp_path):
+        plan = _plan({"point": "index.load"})
+        with pytest.raises(FaultInjected):
+            main([
+                "search", "--index", str(tmp_path / "missing.npz"),
+                "--fault-plan", plan,
+            ])
+
+    @pytest.fixture(scope="class")
+    def cli_artifacts(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("cli-resilience")
+        rng = np.random.default_rng(23)
+        data = rng.standard_normal((320, 16)).astype(np.float32)
+        index = ShardedCagraIndex.build(
+            data, 4, GraphBuildConfig(graph_degree=8, seed=3),
+            parallel=_serial(),
+        )
+        index_path = str(root / "sharded.npz")
+        index.save(index_path)
+        index.close()
+        fvecs_path = str(root / "data.fvecs")
+        write_fvecs(fvecs_path, data)
+        return index_path, fvecs_path
+
+    def test_degraded_search_json(self, cli_artifacts, capsys):
+        index_path, fvecs = cli_artifacts
+        rc = main([
+            "search", "--index", index_path, "--fvecs", fvecs,
+            "--queries", "6", "--backend", "serial",
+            "--fault-plan",
+            _plan({"point": "shard.search", "kind": "crash",
+                   "match": {"shard": 2}}),
+            "--on-shard-failure", "partial", "--format", "json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["degraded"] is True
+        assert payload["failed_shards"] == [2]
+
+    def test_quorum_violation_fails_loudly(self, cli_artifacts):
+        index_path, fvecs = cli_artifacts
+        with pytest.raises(ShardQuorumError):
+            main([
+                "search", "--index", index_path, "--fvecs", fvecs,
+                "--queries", "4", "--backend", "serial",
+                "--fault-plan", _plan({"point": "shard.search"}),
+                "--on-shard-failure", "partial",
+            ])
+
+    def test_clean_search_not_degraded(self, cli_artifacts, capsys):
+        index_path, fvecs = cli_artifacts
+        rc = main([
+            "search", "--index", index_path, "--fvecs", fvecs,
+            "--queries", "4", "--backend", "serial", "--format", "json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["degraded"] is False
+        assert "failed_shards" not in payload
+
+    def test_serve_reports_health(self, cli_artifacts, capsys):
+        index_path, fvecs = cli_artifacts
+        rc = main([
+            "serve", "--index", index_path, "--fvecs", fvecs,
+            "--queries", "8", "--requests", "20", "--rate", "400",
+            "--backend", "serial", "--breaker-threshold", "3",
+            "--on-shard-failure", "partial", "--format", "json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["health"]["status"] in ("ok", "degraded")
+        assert set(payload["health"]["breakers"]) == {"0", "1", "2", "3"}
