@@ -1,0 +1,82 @@
+"""Unified index API: one contract for every ANN backend.
+
+The paper's evaluation (Fig. 12, Table II) is a head-to-head of CAGRA
+against HNSW, GGNN, GANNS, and NSSG; this package is the repo-side
+analogue — a single typed surface that lets the serving layer, the CLI,
+and the bench harness drive any of them interchangeably:
+
+* :class:`AnnIndex` — the runtime-checkable protocol
+  (``dim`` / ``metric`` / ``size`` /
+  ``search(queries, k, *, filter_mask=None) -> SearchResult``);
+* :class:`SearchRequest` / :class:`SearchResult` — frozen value objects
+  with the int32/float32 + trailing-``INDEX_MASK`` padding contract;
+* :func:`build_index` / :class:`BuildSpec` — the ``--index-kind``
+  factory over :data:`INDEX_KINDS`;
+* :func:`load_index` / :func:`save_index` / :func:`sniff_format` — the
+  ``.npz`` format registry (replaces the CLI's ad-hoc sharded-file
+  detection);
+* :func:`as_ann_index` + the adapter classes — wrap native indexes
+  without disturbing their paper-figure signatures;
+* :class:`StageRecorder` / :class:`StageEvent` — the
+  ``on_stage(name, seconds, counters)`` instrumentation hook threaded
+  through core, sharded, and serving search paths.
+
+See ``docs/API.md`` ("repro.api") for the full contract tables.
+"""
+
+from repro.api.adapters import (
+    AnnIndexAdapter,
+    BruteForceIndex,
+    CagraAnnIndex,
+    GannsAnnIndex,
+    GgnnAnnIndex,
+    HnswAnnIndex,
+    NssgAnnIndex,
+    ShardedCagraAnnIndex,
+    as_ann_index,
+)
+from repro.api.factory import INDEX_KINDS, BuildSpec, build_from_spec, build_index
+from repro.api.instrumentation import StageEvent, StageRecorder, stage_timer
+from repro.api.persistence import (
+    INDEX_FORMATS,
+    IndexFormat,
+    UnknownIndexFormatError,
+    load_ann_index,
+    load_index,
+    register_format,
+    save_index,
+    sniff_format,
+)
+from repro.api.protocol import AnnIndex
+from repro.api.results import SearchRequest, SearchResult, normalize_results
+
+__all__ = [
+    "AnnIndex",
+    "AnnIndexAdapter",
+    "BruteForceIndex",
+    "BuildSpec",
+    "CagraAnnIndex",
+    "GannsAnnIndex",
+    "GgnnAnnIndex",
+    "HnswAnnIndex",
+    "INDEX_FORMATS",
+    "INDEX_KINDS",
+    "IndexFormat",
+    "NssgAnnIndex",
+    "SearchRequest",
+    "SearchResult",
+    "ShardedCagraAnnIndex",
+    "StageEvent",
+    "StageRecorder",
+    "UnknownIndexFormatError",
+    "as_ann_index",
+    "build_from_spec",
+    "build_index",
+    "load_ann_index",
+    "load_index",
+    "normalize_results",
+    "register_format",
+    "save_index",
+    "sniff_format",
+    "stage_timer",
+]

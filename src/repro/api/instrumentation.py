@@ -1,0 +1,106 @@
+"""Per-stage instrumentation for the unified search path.
+
+Core, sharded/parallel, and serving code used to report timings through
+three ad-hoc mechanisms (``CostReport`` counters, ``shard_seconds``
+lists, and ``ServeStats``).  The unified surface threads **one** hook
+through all of them: any callable with the signature
+``on_stage(name, seconds, counters)``.
+
+:class:`StageRecorder` is the standard sink — pass its bound
+``on_stage`` method into :meth:`repro.api.AnnIndex.search` (or
+``build_index`` / ``CagraServer``) and read the collected
+:class:`StageEvent` list afterwards::
+
+    recorder = StageRecorder()
+    index.search(queries, k=10, on_stage=recorder.on_stage)
+    for event in recorder.events:
+        print(event.name, event.seconds, event.counters)
+
+Stage names are dotted paths identifying the layer that emitted them:
+``build.<kind>``, ``core.search``, ``baseline.<kind>.search``,
+``shard.<s>.search``, ``shard.merge``, ``serve.batch``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["StageEvent", "StageRecorder", "stage_timer"]
+
+
+@dataclass(frozen=True)
+class StageEvent:
+    """One timed stage of a build or search.
+
+    Attributes:
+        name: dotted stage name (e.g. ``"shard.2.search"``).
+        seconds: measured Python wall time of the stage.
+        counters: operation counters the stage chose to attach (for
+            searches, typically a :meth:`CostReport.as_dict` mapping).
+    """
+
+    name: str
+    seconds: float
+    counters: dict = field(default_factory=dict)
+
+
+class StageRecorder:
+    """Collects :class:`StageEvent` records; the default ``on_stage`` sink."""
+
+    def __init__(self):
+        self.events: list[StageEvent] = []
+
+    def on_stage(self, name: str, seconds: float, counters: dict | None = None) -> None:
+        """The hook itself — pass this bound method as ``on_stage=``."""
+        self.events.append(StageEvent(str(name), float(seconds), dict(counters or {})))
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def stage_seconds(self) -> dict[str, float]:
+        """Total seconds per stage name (names repeat across calls)."""
+        totals: dict[str, float] = {}
+        for event in self.events:
+            totals[event.name] = totals.get(event.name, 0.0) + event.seconds
+        return totals
+
+    def total_seconds(self, prefix: str = "") -> float:
+        """Sum of recorded stage times, optionally filtered by name prefix."""
+        return sum(e.seconds for e in self.events if e.name.startswith(prefix))
+
+    def as_records(self) -> list[dict]:
+        """JSON-friendly dump (what ``repro-cagra bench --format json`` emits)."""
+        return [
+            {"name": e.name, "seconds": e.seconds, "counters": e.counters}
+            for e in self.events
+        ]
+
+
+class stage_timer:
+    """Context manager that times a block and reports it to ``on_stage``.
+
+    A no-op when ``on_stage`` is None, so instrumented code pays nothing
+    on the common uninstrumented path::
+
+        with stage_timer(on_stage, "shard.merge") as stage:
+            merged = merge(...)
+            stage.counters["num_shards"] = n
+    """
+
+    def __init__(self, on_stage, name: str):
+        self._on_stage = on_stage
+        self._name = name
+        self._started = 0.0
+        self.counters: dict = {}
+
+    def __enter__(self) -> "stage_timer":
+        if self._on_stage is not None:
+            self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._on_stage is not None and exc_type is None:
+            self._on_stage(
+                self._name, time.perf_counter() - self._started, self.counters
+            )

@@ -1,0 +1,421 @@
+"""Save/load registry with format sniffing for every index kind.
+
+One ``.npz`` loader replaces the sharded-vs-monolithic detection that
+``repro-cagra build/search/serve`` each used to reimplement: formats
+register a *sniff* predicate over the archive's key set, and
+:func:`load_index` dispatches to the first match.
+
+Legacy files keep loading unchanged — a monolithic CAGRA ``.npz``
+(``dataset``/``neighbors``/``metric`` keys) and a sharded one (extra
+``num_shards`` key) predate the registry and carry no format tag.  Files
+written for the other kinds embed an explicit ``format`` key.
+
+The ``index.load`` fault point (see :mod:`repro.resilience.faults`)
+fires exactly once per :func:`load_index` call, preserving the CLI's
+load-failure chaos-testing contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "INDEX_FORMATS",
+    "IndexFormat",
+    "UnknownIndexFormatError",
+    "load_ann_index",
+    "load_index",
+    "register_format",
+    "save_index",
+    "sniff_format",
+]
+
+
+class UnknownIndexFormatError(ValueError):
+    """The archive matches no registered index format."""
+
+
+@dataclass(frozen=True)
+class IndexFormat:
+    """One persistable index format.
+
+    Attributes:
+        name: format (and usually index-kind) name.
+        sniff: ``sniff(keys: frozenset[str]) -> bool`` over archive keys.
+        load: ``load(path, parallel) -> native index``.
+        save: ``save(native_index, path) -> None``.
+        matches: ``matches(native_index) -> bool`` for save dispatch.
+    """
+
+    name: str
+    sniff: object
+    load: object
+    save: object
+    matches: object
+
+
+def _pack_ragged(rows) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate variable-length id rows into (values, offsets)."""
+    lengths = [len(row) for row in rows]
+    offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    if rows:
+        values = np.concatenate(
+            [np.asarray(row, dtype=np.int64) for row in rows]
+        )
+    else:
+        values = np.zeros(0, dtype=np.int64)
+    return values, offsets
+
+
+def _unpack_ragged(values: np.ndarray, offsets: np.ndarray) -> list[np.ndarray]:
+    return [
+        values[offsets[i] : offsets[i + 1]].astype(np.int64)
+        for i in range(offsets.size - 1)
+    ]
+
+
+# ----------------------------------------------------------------------
+# cagra (legacy, untagged)
+# ----------------------------------------------------------------------
+def _sniff_cagra(keys: frozenset) -> bool:
+    return {"dataset", "neighbors", "metric"} <= keys and "num_shards" not in keys
+
+
+def _load_cagra(path: str, parallel):
+    from repro.core.index import CagraIndex
+
+    return CagraIndex.load(path)
+
+
+def _save_cagra(index, path: str) -> None:
+    index.save(path)
+
+
+def _matches_cagra(index) -> bool:
+    from repro.core.index import CagraIndex
+
+    return isinstance(index, CagraIndex)
+
+
+# ----------------------------------------------------------------------
+# sharded cagra (legacy, untagged)
+# ----------------------------------------------------------------------
+def _sniff_sharded(keys: frozenset) -> bool:
+    return "num_shards" in keys
+
+
+def _load_sharded(path: str, parallel):
+    from repro.core.sharding import ShardedCagraIndex
+
+    return ShardedCagraIndex.load(path, parallel=parallel)
+
+
+def _matches_sharded(index) -> bool:
+    from repro.core.sharding import ShardedCagraIndex
+
+    return isinstance(index, ShardedCagraIndex)
+
+
+# ----------------------------------------------------------------------
+# hnsw
+# ----------------------------------------------------------------------
+def _save_hnsw(index, path: str) -> None:
+    payload = {
+        "format": np.array("hnsw"),
+        "data": index.data,
+        "m": np.array(index.m),
+        "ef_construction": np.array(index.ef_construction),
+        "metric": np.array(index.metric),
+        "entry_point": np.array(index.entry_point),
+        "max_level": np.array(index.max_level),
+        "num_layers": np.array(len(index.layers)),
+    }
+    for level, layer in enumerate(index.layers):
+        nodes = np.fromiter(layer.keys(), dtype=np.int64, count=len(layer))
+        values, offsets = _pack_ragged([layer[int(n)] for n in nodes])
+        payload[f"layer{level}_nodes"] = nodes
+        payload[f"layer{level}_values"] = values
+        payload[f"layer{level}_offsets"] = offsets
+    np.savez_compressed(path, **payload)
+
+
+def _load_hnsw(path: str, parallel):
+    from repro.baselines.hnsw import HnswIndex
+
+    with np.load(path, allow_pickle=False) as archive:
+        index = HnswIndex(
+            archive["data"],
+            m=int(archive["m"]),
+            ef_construction=int(archive["ef_construction"]),
+            metric=str(archive["metric"]),
+        )
+        index.entry_point = int(archive["entry_point"])
+        index.max_level = int(archive["max_level"])
+        index.layers = []
+        for level in range(int(archive["num_layers"])):
+            nodes = archive[f"layer{level}_nodes"]
+            rows = _unpack_ragged(
+                archive[f"layer{level}_values"], archive[f"layer{level}_offsets"]
+            )
+            index.layers.append(
+                {int(node): row for node, row in zip(nodes, rows)}
+            )
+    index._built = True
+    return index
+
+
+def _matches_hnsw(index) -> bool:
+    from repro.baselines.hnsw import HnswIndex
+
+    return isinstance(index, HnswIndex)
+
+
+# ----------------------------------------------------------------------
+# ggnn
+# ----------------------------------------------------------------------
+def _save_ggnn(index, path: str) -> None:
+    np.savez_compressed(
+        path,
+        format=np.array("ggnn"),
+        data=index.data,
+        neighbors=index.graph.neighbors,
+        coarse_ids=index.coarse_ids,
+        degree=np.array(index.degree),
+        metric=np.array(index.metric),
+    )
+
+
+def _load_ggnn(path: str, parallel):
+    from repro.baselines.ggnn import GgnnIndex
+    from repro.core.graph import FixedDegreeGraph
+
+    with np.load(path, allow_pickle=False) as archive:
+        index = GgnnIndex(
+            archive["data"],
+            degree=int(archive["degree"]),
+            metric=str(archive["metric"]),
+        )
+        index.graph = FixedDegreeGraph(archive["neighbors"])
+        index.coarse_ids = archive["coarse_ids"].astype(np.int64)
+    return index
+
+
+def _matches_ggnn(index) -> bool:
+    from repro.baselines.ggnn import GgnnIndex
+
+    return isinstance(index, GgnnIndex)
+
+
+# ----------------------------------------------------------------------
+# ganns
+# ----------------------------------------------------------------------
+def _save_ganns(index, path: str) -> None:
+    values, offsets = _pack_ragged(index.adjacency)
+    np.savez_compressed(
+        path,
+        format=np.array("ganns"),
+        data=index.data,
+        adjacency_values=values,
+        adjacency_offsets=offsets,
+        entry_point=np.array(index.entry_point),
+        degree=np.array(index.degree),
+        metric=np.array(index.metric),
+    )
+
+
+def _load_ganns(path: str, parallel):
+    from repro.baselines.ganns import GannsIndex
+
+    with np.load(path, allow_pickle=False) as archive:
+        index = GannsIndex(
+            archive["data"],
+            degree=int(archive["degree"]),
+            metric=str(archive["metric"]),
+        )
+        index.adjacency = _unpack_ragged(
+            archive["adjacency_values"], archive["adjacency_offsets"]
+        )
+        index.entry_point = int(archive["entry_point"])
+    index._built = True
+    return index
+
+
+def _matches_ganns(index) -> bool:
+    from repro.baselines.ganns import GannsIndex
+
+    return isinstance(index, GannsIndex)
+
+
+# ----------------------------------------------------------------------
+# nssg
+# ----------------------------------------------------------------------
+def _save_nssg(index, path: str) -> None:
+    values, offsets = _pack_ragged(index.adjacency)
+    np.savez_compressed(
+        path,
+        format=np.array("nssg"),
+        data=index.data,
+        adjacency_values=values,
+        adjacency_offsets=offsets,
+        degree_bound=np.array(index.degree_bound),
+        metric=np.array(index.metric),
+    )
+
+
+def _load_nssg(path: str, parallel):
+    from repro.baselines.nssg import NssgIndex
+
+    with np.load(path, allow_pickle=False) as archive:
+        # knn=None: the initial k-NN graph is build-time-only state.
+        index = NssgIndex(
+            archive["data"],
+            None,
+            degree_bound=int(archive["degree_bound"]),
+            metric=str(archive["metric"]),
+        )
+        index.adjacency = _unpack_ragged(
+            archive["adjacency_values"], archive["adjacency_offsets"]
+        )
+    index._built = True
+    return index
+
+
+def _matches_nssg(index) -> bool:
+    from repro.baselines.nssg import NssgIndex
+
+    return isinstance(index, NssgIndex)
+
+
+# ----------------------------------------------------------------------
+# bruteforce
+# ----------------------------------------------------------------------
+def _save_bruteforce(index, path: str) -> None:
+    np.savez_compressed(
+        path,
+        format=np.array("bruteforce"),
+        data=index.dataset,
+        metric=np.array(index.metric),
+    )
+
+
+def _load_bruteforce(path: str, parallel):
+    from repro.api.adapters import BruteForceIndex
+
+    with np.load(path, allow_pickle=False) as archive:
+        return BruteForceIndex(archive["data"], metric=str(archive["metric"]))
+
+
+def _matches_bruteforce(index) -> bool:
+    from repro.api.adapters import BruteForceIndex
+
+    return isinstance(index, BruteForceIndex)
+
+
+def _make_tag_sniffer(name: str):
+    # Tagged formats cannot be distinguished from key sets alone (they
+    # share the layout keys), so sniffing reads the tag value; the
+    # registry passes it in via the keys argument convention below.
+    def sniff(keys: frozenset) -> bool:
+        return f"format={name}" in keys
+
+    return sniff
+
+
+#: Registered formats, probed in order (tagged formats first).
+INDEX_FORMATS: list[IndexFormat] = [
+    IndexFormat("hnsw", _make_tag_sniffer("hnsw"), _load_hnsw, _save_hnsw, _matches_hnsw),
+    IndexFormat("ggnn", _make_tag_sniffer("ggnn"), _load_ggnn, _save_ggnn, _matches_ggnn),
+    IndexFormat("ganns", _make_tag_sniffer("ganns"), _load_ganns, _save_ganns, _matches_ganns),
+    IndexFormat("nssg", _make_tag_sniffer("nssg"), _load_nssg, _save_nssg, _matches_nssg),
+    IndexFormat(
+        "bruteforce",
+        _make_tag_sniffer("bruteforce"),
+        _load_bruteforce,
+        _save_bruteforce,
+        _matches_bruteforce,
+    ),
+    IndexFormat(
+        "sharded-cagra", _sniff_sharded, _load_sharded, _save_cagra, _matches_sharded
+    ),
+    IndexFormat("cagra", _sniff_cagra, _load_cagra, _save_cagra, _matches_cagra),
+]
+
+
+def register_format(fmt: IndexFormat, *, prepend: bool = True) -> None:
+    """Register a custom format (probed before built-ins by default)."""
+    if prepend:
+        INDEX_FORMATS.insert(0, fmt)
+    else:
+        INDEX_FORMATS.append(fmt)
+
+
+def _sniff_keys(path: str) -> frozenset:
+    """Archive key set, augmented with a ``format=<tag>`` pseudo-key."""
+    with np.load(path, allow_pickle=False) as archive:
+        keys = set(archive.files)
+        if "format" in keys:
+            keys.add(f"format={archive['format']}")
+    return frozenset(keys)
+
+
+def sniff_format(path: str) -> str:
+    """Name of the registered format that claims ``path``.
+
+    Raises :class:`UnknownIndexFormatError` when nothing matches.
+    """
+    keys = _sniff_keys(path)
+    for fmt in INDEX_FORMATS:
+        if fmt.sniff(keys):
+            return fmt.name
+    raise UnknownIndexFormatError(
+        f"{path!r} matches no registered index format "
+        f"(known: {[f.name for f in INDEX_FORMATS]})"
+    )
+
+
+def load_index(path: str, *, parallel=None, fault_plan: str = ""):
+    """Load a saved index of any kind, returning the *native* object.
+
+    ``parallel`` is forwarded to sharded loads; ``fault_plan`` (JSON or
+    ``@path``; empty defers to ``REPRO_FAULT_PLAN``) drives the
+    ``index.load`` fault point, which fires once per call.
+    """
+    from repro.resilience import FaultInjector, resolve_fault_plan
+
+    plan = resolve_fault_plan(fault_plan)
+    if plan is not None:
+        FaultInjector(plan).fire("index.load", path=path)
+    name = sniff_format(path)
+    fmt = next(f for f in INDEX_FORMATS if f.name == name)
+    return fmt.load(path, parallel)
+
+
+def load_ann_index(path: str, *, parallel=None, fault_plan: str = "", **policies):
+    """:func:`load_index` + :func:`~repro.api.adapters.as_ann_index`.
+
+    ``policies`` (``num_sms``, ``on_shard_failure``, ``min_shard_quorum``,
+    ``seed``) configure the returned adapter.
+    """
+    from repro.api.adapters import as_ann_index
+
+    raw = load_index(path, parallel=parallel, fault_plan=fault_plan)
+    return as_ann_index(raw, **policies)
+
+
+def save_index(index, path: str) -> None:
+    """Save a native index or adapter through the format registry."""
+    from repro.api.adapters import AnnIndexAdapter
+
+    raw = index
+    if isinstance(index, AnnIndexAdapter) and index.inner is not index:
+        raw = index.inner
+    for fmt in INDEX_FORMATS:
+        if fmt.matches(raw):
+            fmt.save(raw, path)
+            return
+    raise UnknownIndexFormatError(
+        f"no registered format can save {type(raw).__name__}"
+    )

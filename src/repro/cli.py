@@ -16,11 +16,17 @@ Subcommands::
 accept ``--format json`` for machine-readable output (consistent with
 ``lint --format json``); text stays the default.
 
+``build``, ``search``, ``serve`` and ``bench`` take ``--index-kind
+{cagra,hnsw,ggnn,ganns,nssg,bruteforce}`` and route construction through
+the :func:`repro.api.build_index` factory; saved files of every kind are
+recognised by the :mod:`repro.api.persistence` format registry, so
+``search --index`` and ``serve --index`` load whatever kind the file
+holds.
+
 ``build`` and ``serve`` take ``--shards N`` to build a sharded index
 (one independent CAGRA sub-index per simulated GPU), with
 ``--num-workers`` / ``--backend`` controlling the :mod:`repro.parallel`
-worker pool that runs shard builds and searches concurrently; ``search``
-auto-detects sharded ``.npz`` files and accepts the same two knobs.
+worker pool that runs shard builds and searches concurrently.
 
 Resilience (``docs/resilience.md``): ``search`` and ``serve`` take
 ``--on-shard-failure raise|partial`` and ``--min-quorum`` to serve
@@ -42,6 +48,7 @@ import time
 import numpy as np
 
 from repro import CagraIndex, GraphBuildConfig, SearchConfig
+from repro.api import INDEX_KINDS, as_ann_index, build_index
 from repro.baselines import exact_search
 from repro.core.metrics import recall as recall_of
 from repro.datasets import DATASETS, load_dataset, read_fvecs
@@ -91,24 +98,20 @@ def _parallel_config(args):
 
 
 def _load_index(path: str, args=None):
-    """Load a saved index, detecting sharded vs monolithic files.
+    """Load a saved index of any kind through the repro.api registry.
 
-    Instrumented with the ``index.load`` fault point so load-path failure
-    handling (bad file, missing volume) is testable via a fault plan.
+    Format detection (sharded vs monolithic CAGRA, the baseline kinds)
+    lives in :func:`repro.api.sniff_format`; the ``index.load`` fault
+    point fires once per load so load-path failure handling (bad file,
+    missing volume) stays testable via a fault plan.
     """
-    from repro.resilience import FaultInjector, resolve_fault_plan
+    from repro.api import load_index
 
-    plan = resolve_fault_plan(getattr(args, "fault_plan", "") if args else "")
-    if plan is not None:
-        FaultInjector(plan).fire("index.load", path=path)
-    with np.load(path, allow_pickle=False) as archive:
-        sharded = "num_shards" in archive.files
-    if sharded:
-        from repro.core.sharding import ShardedCagraIndex
-
-        parallel = _parallel_config(args) if args is not None else None
-        return ShardedCagraIndex.load(path, parallel=parallel)
-    return CagraIndex.load(path)
+    return load_index(
+        path,
+        parallel=_parallel_config(args) if args is not None else None,
+        fault_plan=getattr(args, "fault_plan", "") if args is not None else "",
+    )
 
 
 def _load(args) -> tuple[np.ndarray, np.ndarray, str, int]:
@@ -134,6 +137,20 @@ def _cmd_info(args) -> int:
 
 def _cmd_build(args) -> int:
     data, _, metric, degree = _load(args)
+    if args.index_kind != "cagra":
+        from repro.api import save_index
+
+        started = time.perf_counter()
+        adapter = build_index(
+            args.index_kind, data,
+            metric=metric, degree=args.degree, seed=args.seed,
+            parallel=_parallel_config(args),
+        )
+        elapsed = time.perf_counter() - started
+        save_index(adapter, args.out)
+        print(f"built {adapter!r} in {elapsed:.2f}s")
+        print(f"saved to {args.out}")
+        return 0
     config = GraphBuildConfig(
         graph_degree=args.degree or degree,
         metric=metric,
@@ -166,37 +183,45 @@ def _cmd_build(args) -> int:
 
 
 def _cmd_search(args) -> int:
-    index = _load_index(args.index, args)
-    _, queries, metric, _ = _load(args)
-    config = SearchConfig(itopk=args.itopk, algo=args.algo)
-    kwargs = {}
-    if hasattr(index, "num_shards"):  # degradation knobs are shard-level
-        kwargs = dict(
+    data, queries, metric, degree = _load(args)
+    if args.index:
+        ann = as_ann_index(
+            _load_index(args.index, args),
             on_shard_failure=args.on_shard_failure,
             min_shard_quorum=args.min_quorum,
         )
+    elif args.index_kind:
+        ann = build_index(
+            args.index_kind, data,
+            metric=metric, degree=args.degree, seed=args.seed,
+            parallel=_parallel_config(args),
+            on_shard_failure=args.on_shard_failure,
+            min_shard_quorum=args.min_quorum,
+        )
+    else:
+        print("search needs --index (saved file) or --index-kind (build fresh)",
+              file=sys.stderr)
+        return 2
+    config = SearchConfig(itopk=args.itopk, algo=args.algo)
     started = time.perf_counter()
-    if args.fast:
-        result = index.search_fast(queries, args.k, config=config, **kwargs)
-    else:
-        result = index.search(queries, args.k, config=config, **kwargs)
+    result = ann.search(
+        queries, args.k, config=config,
+        mode="fast" if args.fast else "reference",
+    )
     elapsed = time.perf_counter() - started
-    truth, _ = exact_search(index.dataset, queries, args.k, metric=index.metric)
+    truth, _ = exact_search(ann.dataset, queries, args.k, metric=ann.metric)
     measured_recall = recall_of(result.indices, truth)
-    if hasattr(result, "shard_reports"):
-        algo = result.shard_reports[0].algo
-        total_dc = sum(r.distance_computations for r in result.shard_reports)
-    else:
-        algo = result.report.algo
-        total_dc = result.report.distance_computations
+    algo = result.counters.get("algo", "unknown")
+    total_dc = result.counters.get("distance_computations", 0)
     per_query = total_dc / queries.shape[0]
-    degraded = bool(getattr(result, "degraded", False))
+    degraded = bool(result.degraded)
     if args.format == "json":
         payload = {
             "queries": int(queries.shape[0]),
             "k": args.k,
             "itopk": args.itopk,
             "algo": algo,
+            "index_kind": getattr(ann, "kind", "unknown"),
             "fast_path": bool(args.fast),
             "elapsed_seconds": elapsed,
             "recall": measured_recall,
@@ -204,24 +229,73 @@ def _cmd_search(args) -> int:
             "degraded": degraded,
         }
         if degraded:
-            payload["failed_shards"] = list(getattr(result, "failed_shards", []))
-            payload["skipped_shards"] = list(getattr(result, "skipped_shards", []))
+            payload["failed_shards"] = list(result.failed_shards)
+            payload["skipped_shards"] = list(result.skipped_shards)
         print(json.dumps(payload, indent=2))
         return 0
     print(f"searched {queries.shape[0]} queries in {elapsed:.3f}s (python wall time)")
     print(f"recall@{args.k}: {measured_recall:.4f}")
     print(f"distance computations/query: {per_query:.0f}")
     if degraded:
-        print(f"DEGRADED: failed shards {list(getattr(result, 'failed_shards', []))}, "
-              f"skipped shards {list(getattr(result, 'skipped_shards', []))}")
+        print(f"DEGRADED: failed shards {list(result.failed_shards)}, "
+              f"skipped shards {list(result.skipped_shards)}")
     return 0
 
 
+def _subject_curve(args, subject, data, queries, truth, sweep):
+    """Recall–QPS curve for the ``--index-kind`` subject index."""
+    from repro.bench import (
+        MethodCurve,
+        SweepPoint,
+        run_beam_sweep_cpu,
+        run_beam_sweep_gpu,
+        run_cagra_sweep,
+        run_hnsw_sweep,
+    )
+
+    kind = args.index_kind
+    inner = subject.inner
+    if kind == "cagra":
+        return run_cagra_sweep(inner, queries, truth, args.k, sweep, args.batch)
+    if kind == "hnsw":
+        return run_hnsw_sweep(inner, queries, truth, args.k, sweep, args.batch)
+    if kind in ("ggnn", "ganns"):
+        return run_beam_sweep_gpu(
+            kind.upper(),
+            lambda q, k, beam: inner.search(q, k, beam_width=beam),
+            queries, truth, args.k, sweep, args.batch,
+            dim=data.shape[1], degree=getattr(inner, "degree", 24),
+        )
+    if kind == "nssg":
+        return run_beam_sweep_cpu(
+            "NSSG",
+            lambda q, k, beam: inner.search(q, k, beam_width=beam),
+            queries, truth, args.k, sweep, args.batch,
+            dim=data.shape[1],
+        )
+    # Brute force is exact: one point, recall 1.0, CPU-scan pricing.
+    from repro.gpusim import CpuCostModel
+
+    result = subject.search(queries, args.k)
+    dc = int(result.counters["distance_computations"])
+    factor = args.batch / queries.shape[0]
+    timing = CpuCostModel().search_time(
+        int(dc * factor), 0, data.shape[1], args.batch
+    )
+    return MethodCurve(method="BruteForce", points=[SweepPoint(
+        param=args.k,
+        recall=recall_of(result.indices, truth),
+        qps=timing.qps(args.batch),
+        seconds=timing.seconds,
+        distance_computations_per_query=dc / queries.shape[0],
+    )])
+
+
 def _cmd_bench(args) -> int:
+    from repro.api import StageRecorder
     from repro.baselines import HnswIndex
     from repro.bench import (
         format_curve_table,
-        run_cagra_sweep,
         run_hnsw_sweep,
         speedup_at_recall,
     )
@@ -230,27 +304,38 @@ def _cmd_bench(args) -> int:
     truth, _ = exact_search(data, queries, args.k, metric=metric)
     if args.format == "text":
         print(f"dataset: {args.dataset} n={data.shape[0]} dim={data.shape[1]} metric={metric}")
-    index = CagraIndex.build(
-        data, GraphBuildConfig(graph_degree=args.degree or degree, metric=metric)
+    recorder = StageRecorder()
+    subject = build_index(
+        args.index_kind, data,
+        metric=metric, degree=args.degree or degree,
+        on_stage=recorder.on_stage,
     )
-    hnsw = HnswIndex(
-        data, m=args.hnsw_m, ef_construction=args.hnsw_efc, metric=metric
-    ).build()
+    # One instrumented probe search so the report carries per-stage
+    # search timings next to the build stage (sweeps below use the
+    # native paths the cost models price).
+    subject.search(queries, args.k, on_stage=recorder.on_stage)
     sweep = [max(args.k, v) for v in (10, 16, 32, 64, 128)]
-    curves = [
-        run_cagra_sweep(index, queries, truth, args.k, sweep, args.batch),
-        run_hnsw_sweep(hnsw, queries, truth, args.k, sweep, args.batch),
-    ]
+    curves = [_subject_curve(args, subject, data, queries, truth, sweep)]
+    # The paper's CPU comparator; redundant when it *is* the subject.
+    if args.index_kind != "hnsw":
+        hnsw = HnswIndex(
+            data, m=args.hnsw_m, ef_construction=args.hnsw_efc, metric=metric
+        ).build()
+        curves.append(
+            run_hnsw_sweep(hnsw, queries, truth, args.k, sweep, args.batch)
+        )
     if args.format == "json":
         from dataclasses import asdict
 
-        cagra_curve = curves[0]
+        subject_curve = curves[0]
         speedups = {}
-        for target in (0.90, 0.95):
-            ours, theirs = cagra_curve.qps_at_recall(target), curves[1].qps_at_recall(target)
-            speedups[f"{target:.2f}"] = (
-                ours / theirs if ours is not None and theirs is not None else None
-            )
+        if len(curves) > 1:
+            for target in (0.90, 0.95):
+                ours = subject_curve.qps_at_recall(target)
+                theirs = curves[1].qps_at_recall(target)
+                speedups[f"{target:.2f}"] = (
+                    ours / theirs if ours is not None and theirs is not None else None
+                )
         print(json.dumps({
             "dataset": args.dataset,
             "n": int(data.shape[0]),
@@ -258,14 +343,17 @@ def _cmd_bench(args) -> int:
             "metric": metric,
             "batch": args.batch,
             "k": args.k,
+            "index_kind": args.index_kind,
             "hnsw": {"m": args.hnsw_m, "ef_construction": args.hnsw_efc},
             "curves": [asdict(curve) for curve in curves],
             "speedup_vs_hnsw_at_recall": speedups,
+            "stages": recorder.as_records(),
         }, indent=2))
         return 0
     print(format_curve_table(curves, f"batch={args.batch} recall@{args.k}"))
-    print()
-    print(speedup_at_recall(curves, "HNSW", [0.90, 0.95]))
+    if len(curves) > 1:
+        print()
+        print(speedup_at_recall(curves, "HNSW", [0.90, 0.95]))
     return 0
 
 
@@ -280,6 +368,12 @@ def _cmd_serve(args) -> int:
     data, queries, metric, degree = _load(args)
     if args.index:
         index = _load_index(args.index, args)
+    elif args.index_kind != "cagra":
+        index = build_index(
+            args.index_kind, data,
+            metric=metric, degree=args.degree,
+            parallel=_parallel_config(args),
+        )
     elif args.shards > 1:
         from repro.core.sharding import ShardedCagraIndex
 
@@ -322,7 +416,9 @@ def _cmd_serve(args) -> int:
         health = server.health()  # before stop: reflects the run, not shutdown
     stats = server.stats()
 
-    truth, _ = exact_search(index.dataset, queries, args.k, metric=index.metric)
+    # The AnnIndex surface gives dataset/metric uniformly for any kind.
+    ann = server.ann_index
+    truth, _ = exact_search(ann.dataset, queries, args.k, metric=ann.metric)
     if report.results:
         rows = np.array([row for row, _ in report.results], dtype=np.int64)
         found = np.stack([found_ids for _, found_ids in report.results])
@@ -425,17 +521,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("info", help="list registered datasets")
 
-    p_build = sub.add_parser("build", help="build a CAGRA index")
+    p_build = sub.add_parser("build", help="build an ANN index")
     _add_dataset_args(p_build)
     p_build.add_argument("--out", required=True, help="output .npz path")
+    p_build.add_argument("--index-kind", choices=INDEX_KINDS, default="cagra",
+                         help="index family to build (repro.api factory)")
     p_build.add_argument("--degree", type=int, default=0, help="graph degree (0 = dataset default)")
     p_build.add_argument("--reordering", choices=("rank", "distance", "none"), default="rank")
     p_build.add_argument("--dtype", choices=("float32", "float16"), default="float32")
     _add_parallel_args(p_build)
 
-    p_search = sub.add_parser("search", help="search a saved index")
+    p_search = sub.add_parser("search", help="search a saved (or freshly built) index")
     _add_dataset_args(p_search)
-    p_search.add_argument("--index", required=True, help="index .npz path")
+    p_search.add_argument("--index", default="",
+                          help="index .npz path (omit to build one with --index-kind)")
+    p_search.add_argument("--index-kind", choices=INDEX_KINDS, default="",
+                          help="build this kind fresh when no --index is given")
+    p_search.add_argument("--degree", type=int, default=0,
+                          help="graph degree for --index-kind builds (0 = kind default)")
     p_search.add_argument("-k", type=int, default=10)
     p_search.add_argument("--itopk", type=int, default=64)
     p_search.add_argument("--algo", choices=("auto", "single_cta", "multi_cta"), default="auto")
@@ -445,8 +548,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parallel_args(p_search, shards=False)
     _add_degradation_args(p_search)
 
-    p_bench = sub.add_parser("bench", help="quick CAGRA-vs-HNSW recall/QPS sweep")
+    p_bench = sub.add_parser("bench", help="recall/QPS sweep of any index kind vs HNSW")
     _add_dataset_args(p_bench)
+    p_bench.add_argument("--index-kind", choices=INDEX_KINDS, default="cagra",
+                         help="subject index family for the sweep")
     p_bench.add_argument("-k", type=int, default=10)
     p_bench.add_argument("--degree", type=int, default=0)
     p_bench.add_argument("--batch", type=int, default=10000, help="simulated batch size")
@@ -462,6 +567,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_args(p_serve)
     p_serve.add_argument("--index", default="",
                          help="serve a saved index .npz instead of building one")
+    p_serve.add_argument("--index-kind", choices=INDEX_KINDS, default="cagra",
+                         help="index family to build and serve")
     p_serve.add_argument("-k", type=int, default=10)
     p_serve.add_argument("--degree", type=int, default=0)
     p_serve.add_argument("--itopk", type=int, default=64)

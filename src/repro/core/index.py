@@ -192,13 +192,17 @@ class CagraIndex:
         config: SearchConfig | None = None,
         num_sms: int = 108,
         filter_mask: np.ndarray | None = None,
+        on_stage=None,
     ) -> SearchResult:
         """k-ANN search for a batch of queries (see :func:`search_batch`).
 
         ``filter_mask`` (length-N bool) restricts results to rows whose
-        entry is True (pre-filtered search).
+        entry is True (pre-filtered search).  ``on_stage(name, seconds,
+        counters)`` is the unified instrumentation hook (one
+        ``core.search`` event per call; see :mod:`repro.api`).
         """
-        return search_batch(
+        started = time.perf_counter() if on_stage is not None else 0.0
+        result = search_batch(
             self.dataset,
             self.graph,
             queries,
@@ -208,6 +212,13 @@ class CagraIndex:
             num_sms=num_sms,
             filter_mask=filter_mask,
         )
+        if on_stage is not None:
+            on_stage(
+                "core.search",
+                time.perf_counter() - started,
+                result.report.as_dict(),
+            )
+        return result
 
     def search_fast(
         self,
@@ -215,13 +226,17 @@ class CagraIndex:
         k: int = 10,
         config: SearchConfig | None = None,
         filter_mask: np.ndarray | None = None,
+        on_stage=None,
     ) -> SearchResult:
         """Vectorized lockstep batch search (single-CTA semantics, exact
         visited tracking) — typically ~10x faster in Python than
-        :meth:`search`; see :mod:`repro.core.batch_search`."""
+        :meth:`search`; see :mod:`repro.core.batch_search`.  ``on_stage``
+        is the unified instrumentation hook (one ``core.search_fast``
+        event per call)."""
         from repro.core.batch_search import search_batch_fast
 
-        return search_batch_fast(
+        started = time.perf_counter() if on_stage is not None else 0.0
+        result = search_batch_fast(
             self.dataset,
             self.graph,
             queries,
@@ -230,6 +245,13 @@ class CagraIndex:
             metric=self.metric,
             filter_mask=filter_mask,
         )
+        if on_stage is not None:
+            on_stage(
+                "core.search_fast",
+                time.perf_counter() - started,
+                result.report.as_dict(),
+            )
+        return result
 
     # ------------------------------------------------------------------
     # incremental insertion

@@ -76,6 +76,36 @@ class CostReport:
     kernel_launches: int = 1
     extras: dict = field(default_factory=dict)
 
+    def as_dict(self) -> dict:
+        """Flat counter mapping for the unified ``repro.api`` surface.
+
+        Keys match the field names; ``extras`` is folded in last so ad-hoc
+        counters appear alongside the standard ones.
+        """
+        out = {
+            "algo": self.algo,
+            "batch_size": self.batch_size,
+            "cta_count": self.cta_count,
+            "iterations": self.iterations,
+            "distance_computations": self.distance_computations,
+            "skipped_distance_computations": self.skipped_distance_computations,
+            "recomputed_distances": self.recomputed_distances,
+            "candidate_gathers": self.candidate_gathers,
+            "sort_comparator_ops": self.sort_comparator_ops,
+            "radix_sorted_elements": self.radix_sorted_elements,
+            "serial_queue_ops": self.serial_queue_ops,
+            "hash_lookups": self.hash_lookups,
+            "hash_probes": self.hash_probes,
+            "hash_insertions": self.hash_insertions,
+            "hash_resets": self.hash_resets,
+            "hash_in_shared": self.hash_in_shared,
+            "hash_log2_size": self.hash_log2_size,
+            "random_inits": self.random_inits,
+            "kernel_launches": self.kernel_launches,
+        }
+        out.update(self.extras)
+        return out
+
     def merge_from(self, other: "CostReport") -> None:
         """Accumulate another report's counters (per-query → batch)."""
         self.cta_count += other.cta_count

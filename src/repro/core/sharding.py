@@ -35,18 +35,22 @@ shards answered (otherwise :class:`ShardQuorumError`).
 
 from __future__ import annotations
 
+import time
+import warnings
 import weakref
-from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api.results import SearchResult as AnnSearchResult
 from repro.core.config import GraphBuildConfig, SearchConfig
 from repro.core.graph import INDEX_MASK
 from repro.core.index import CagraIndex
 from repro.core.search import CostReport, SearchResult
 from repro.parallel.config import ParallelConfig
 
-__all__ = ["ShardQuorumError", "ShardedCagraIndex", "ShardedSearchResult"]
+# ShardedSearchResult is a module-__getattr__ deprecation alias for
+# repro.api.SearchResult, not a module-level definition.
+__all__ = ["ShardQuorumError", "ShardedCagraIndex", "ShardedSearchResult"]  # repro-lint: disable=RL005 — deprecation alias via module __getattr__
 
 #: Accepted ``on_shard_failure`` policies.
 _FAILURE_MODES = ("raise", "partial")
@@ -61,37 +65,19 @@ class ShardQuorumError(RuntimeError):
     """
 
 
-@dataclass
-class ShardedSearchResult:
-    """Merged result of a sharded search.
-
-    Attributes:
-        indices: ``(batch, k)`` *global* dataset ids; ``INDEX_MASK`` marks
-            unfilled slots (only in trailing positions), which happens
-            when fewer than ``k`` results exist across all shards — e.g.
-            tiny shards or a very selective ``filter_mask``.
-        distances: matching distances (``inf`` on unfilled slots).
-        shard_reports: one :class:`CostReport` per shard — the cost model
-            prices each on its own GPU; wall time is their max.
-        shard_seconds: measured per-shard Python wall time (what the
-            worker pool overlaps; the critical path of a parallel search
-            is their max).
-        degraded: ``True`` when any shard failed or was skipped, i.e. the
-            merge covers only part of the index.
-        failed_shards: global shard numbers whose search failed after all
-            retries (``on_shard_failure="partial"`` only).
-        skipped_shards: shards excluded up front by the caller (e.g. a
-            serving layer's open circuit breakers), as opposed to shards
-            that failed while searching.
-    """
-
-    indices: np.ndarray
-    distances: np.ndarray
-    shard_reports: list[CostReport]
-    shard_seconds: list[float] = field(default_factory=list)
-    degraded: bool = False
-    failed_shards: list[int] = field(default_factory=list)
-    skipped_shards: list[int] = field(default_factory=list)
+def __getattr__(name: str):
+    """Deprecation shim: ``ShardedSearchResult`` became the unified
+    :class:`repro.api.SearchResult` (same fields plus ``counters``)."""
+    if name == "ShardedSearchResult":
+        warnings.warn(
+            "ShardedSearchResult is deprecated; sharded searches now return "
+            "repro.api.SearchResult (same shard_reports/shard_seconds/"
+            "degraded/failed_shards/skipped_shards fields)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return AnnSearchResult
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class _ShardRuntime:
@@ -345,8 +331,8 @@ class ShardedCagraIndex:
         k: int,
         failed: list[int] | None = None,
         skipped: list[int] | None = None,
-    ) -> ShardedSearchResult:
-        """Merge per-shard top-k into global top-k.
+    ) -> AnnSearchResult:
+        """Merge per-shard top-k into a global top-k ``repro.api.SearchResult``.
 
         ``INDEX_MASK`` entries and non-finite distances mark unfilled or
         filtered-out slots (see :class:`~repro.core.search.SearchResult`);
@@ -370,15 +356,51 @@ class ShardedCagraIndex:
         order = np.argsort(all_dists, axis=1, kind="stable")[:, :k]
         failed = list(failed or [])
         skipped = list(skipped or [])
-        return ShardedSearchResult(
+        reports = [result.report for result, _ in per_shard]
+        counters: dict = {}
+        for report in reports:
+            for key, value in report.as_dict().items():
+                if isinstance(value, (bool, str)):
+                    continue
+                counters[key] = counters.get(key, 0) + value
+        # Whole-index identity counters, not per-shard sums.
+        counters["algo"] = reports[0].algo
+        counters["batch_size"] = reports[0].batch_size
+        return AnnSearchResult(
             indices=np.take_along_axis(all_ids, order, axis=1),
             distances=np.take_along_axis(all_dists, order, axis=1),
-            shard_reports=[result.report for result, _ in per_shard],
+            counters=counters,
+            shard_reports=reports,
             shard_seconds=[seconds for _, seconds in per_shard],
             degraded=bool(failed or skipped),
             failed_shards=failed,
             skipped_shards=skipped,
         )
+
+    def _timed_merge(
+        self,
+        per_shard: list[tuple[SearchResult, float]],
+        k: int,
+        failed: list[int],
+        skipped: list[int],
+        on_stage,
+    ) -> AnnSearchResult:
+        """:meth:`_merge` plus the unified instrumentation events."""
+        if on_stage is None:
+            return self._merge(per_shard, k, failed, skipped)
+        dead = set(failed) | set(skipped)
+        for s, (result, seconds) in enumerate(per_shard):
+            if s not in dead:
+                on_stage(f"shard.{s}.search", seconds, result.report.as_dict())
+        started = time.perf_counter()
+        merged = self._merge(per_shard, k, failed, skipped)
+        on_stage(
+            "shard.merge",
+            time.perf_counter() - started,
+            {"num_shards": self.num_shards, "failed": len(failed),
+             "skipped": len(skipped)},
+        )
+        return merged
 
     def search(
         self,
@@ -391,7 +413,8 @@ class ShardedCagraIndex:
         on_shard_failure: str = "raise",
         min_shard_quorum: int = 1,
         skip_shards=(),
-    ) -> ShardedSearchResult:
+        on_stage=None,
+    ) -> AnnSearchResult:
         """Search every shard and merge per-query top-k by distance.
 
         Shard searches run concurrently on the index's worker pool
@@ -406,13 +429,16 @@ class ShardedCagraIndex:
         ``min_shard_quorum`` survivors raises :class:`ShardQuorumError`.
         ``skip_shards`` excludes shards up front (a serving layer's open
         circuit breakers) — they count against the quorum too.
+        ``on_stage(name, seconds, counters)`` receives one
+        ``shard.<s>.search`` event per answering shard plus a final
+        ``shard.merge`` event (see :mod:`repro.api`).
         """
         queries = np.atleast_2d(queries)
         per_shard, failed, skipped = self._run_shard_searches(
             queries, k, config, num_sms, False, filter_mask, parallel,
             on_shard_failure, min_shard_quorum, skip_shards,
         )
-        return self._merge(per_shard, k, failed, skipped)
+        return self._timed_merge(per_shard, k, failed, skipped, on_stage)
 
     def search_fast(
         self,
@@ -424,20 +450,22 @@ class ShardedCagraIndex:
         on_shard_failure: str = "raise",
         min_shard_quorum: int = 1,
         skip_shards=(),
-    ) -> ShardedSearchResult:
+        on_stage=None,
+    ) -> AnnSearchResult:
         """Vectorized per-shard :meth:`CagraIndex.search_fast` + merge.
 
         The batch-throughput path (and what :class:`repro.serve.CagraServer`
         uses for coalesced batches when serving a sharded index).  Failure
         handling matches :meth:`search` (``on_shard_failure`` /
-        ``min_shard_quorum`` / ``skip_shards``).
+        ``min_shard_quorum`` / ``skip_shards``), as does the ``on_stage``
+        instrumentation hook.
         """
         queries = np.atleast_2d(queries)
         per_shard, failed, skipped = self._run_shard_searches(
             queries, k, config, 108, True, filter_mask, parallel,
             on_shard_failure, min_shard_quorum, skip_shards,
         )
-        return self._merge(per_shard, k, failed, skipped)
+        return self._timed_merge(per_shard, k, failed, skipped, on_stage)
 
     # ------------------------------------------------------------------
     # persistence

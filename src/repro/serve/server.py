@@ -1,4 +1,4 @@
-"""Online serving: dynamic micro-batching over a :class:`CagraIndex`.
+"""Online serving: dynamic micro-batching over any :class:`repro.api.AnnIndex`.
 
 The paper's serving trade-off is batch geometry: single-CTA search wins at
 large batches (Fig. 13) and multi-CTA at batch 1 (Fig. 14, Table II), but
@@ -7,12 +7,19 @@ the two regimes: callers submit single queries through a synchronous API,
 a bounded queue feeds a scheduler thread that *coalesces* them into
 micro-batches — flushing when the batch reaches ``max_batch`` requests or
 ``max_wait_ms`` after its first request, whichever comes first — and each
-flush is dispatched by size, mirroring Table II:
+flush runs through the served index's unified ``search(...)`` surface
+with ``mode="auto"``, which applies the Table II dispatch for CAGRA:
 
 * coalesced batches (size > 1) run the vectorized single-CTA fast path
   (:func:`repro.core.batch_search.search_batch_fast`);
 * batch-of-1 flushes run the multi-CTA reference path
   (:meth:`CagraIndex.search` with ``algo="multi_cta"``).
+
+Baseline indexes (HNSW, GGNN, GANNS, NSSG, brute force) have one
+execution path, so the same server serves them unchanged — the index is
+wrapped via :func:`repro.api.as_ann_index` at construction, and every
+batch answer carries the int32/float32 + trailing-``INDEX_MASK`` result
+contract of :class:`repro.api.SearchResult`.
 
 Around that core sit the production concerns: admission control (full
 queue ⇒ :class:`ServerOverloaded`), per-request deadlines (expired ⇒
@@ -51,10 +58,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api import AnnIndex, as_ann_index
 from repro.core.config import SearchConfig
 from repro.core.graph import INDEX_MASK
-from repro.core.index import CagraIndex
-from repro.core.sharding import ShardQuorumError, ShardedCagraIndex
+from repro.core.sharding import ShardQuorumError
 from repro.resilience import CircuitBreaker, FaultInjector, resolve_fault_plan
 from repro.serve.cache import ResultCache
 from repro.serve.config import ServeConfig
@@ -227,23 +234,30 @@ class CagraServer:
     up (subject to the same admission control) and are served once the
     scheduler runs.
 
-    The served index may be a single :class:`CagraIndex` or a
-    :class:`~repro.core.sharding.ShardedCagraIndex` — both expose the
-    ``dim`` / ``search`` / ``search_fast`` surface the scheduler uses,
-    and a sharded index fans each flush out across its own
-    :mod:`repro.parallel` worker pool, so micro-batching and per-shard
-    parallelism compose.
+    The served index may be anything :func:`repro.api.as_ann_index`
+    accepts — a :class:`~repro.core.index.CagraIndex`, a
+    :class:`~repro.core.sharding.ShardedCagraIndex` (whose per-shard
+    :mod:`repro.parallel` fan-out composes with micro-batching), any of
+    the baseline indexes (HNSW, GGNN, GANNS, NSSG), a
+    :class:`repro.api.BruteForceIndex`, or a pre-built adapter / foreign
+    :class:`~repro.api.AnnIndex` implementation.  ``on_stage(name,
+    seconds, counters)`` receives one ``serve.batch`` event per executed
+    micro-batch plus whatever the underlying search path emits.
     """
 
     def __init__(
         self,
-        index: CagraIndex | ShardedCagraIndex,
+        index,
         config: ServeConfig | None = None,
         search_config: SearchConfig | None = None,
+        on_stage=None,
     ):
         self.config = config or ServeConfig()
         self.search_config = search_config or SearchConfig()
-        self._index = index
+        self._ann = self._wrap(index)
+        # Foreign AnnIndex implementations are their own "native" index.
+        self._index = getattr(self._ann, "inner", self._ann)
+        self._on_stage = on_stage
         self._generation = 0
         self._swap_lock = threading.Lock()
         self._queue: queue.Queue = queue.Queue(maxsize=self.config.queue_capacity)
@@ -257,23 +271,31 @@ class CagraServer:
         # One injector for the server's lifetime: ``serve.execute`` is a
         # stateful site, so after/times hit counting is meaningful here.
         self._fault = FaultInjector(plan) if plan is not None else None
-        self._breakers = self._make_breakers(index)
+        self._breakers = self._make_breakers(self._ann)
         self._thread: threading.Thread | None = None
         self._accepting = True
         self._closed = False
 
-    def _make_breakers(self, index) -> dict[int, CircuitBreaker]:
+    def _wrap(self, index) -> AnnIndex:
+        """Adapt ``index`` with the server's deployment policy baked in."""
+        return as_ann_index(
+            index,
+            num_sms=self.config.num_sms,
+            on_shard_failure=self.config.on_shard_failure,
+            min_shard_quorum=self.config.min_shard_quorum,
+        )
+
+    def _make_breakers(self, ann) -> dict[int, CircuitBreaker]:
         """One breaker per shard; empty when disabled or not sharded."""
-        if self.config.breaker_failure_threshold < 1 or not isinstance(
-            index, ShardedCagraIndex
-        ):
+        num_shards = getattr(ann, "num_shards", 1)
+        if self.config.breaker_failure_threshold < 1 or num_shards < 2:
             return {}
         return {
             s: CircuitBreaker(
                 failure_threshold=self.config.breaker_failure_threshold,
                 cooldown_s=self.config.breaker_cooldown_s,
             )
-            for s in range(index.num_shards)
+            for s in range(num_shards)
         }
 
     # ------------------------------------------------------------------
@@ -335,7 +357,7 @@ class CagraServer:
         if not self._accepting:
             raise ServerClosed("server is not accepting requests")
         query = np.asarray(query, dtype=np.float32).reshape(-1)
-        dim = self.index.dim
+        dim = self.ann_index.dim
         if query.shape[0] != dim:
             raise ValueError(f"query has dim {query.shape[0]}, index has {dim}")
         k = int(k) if k else self.config.default_k
@@ -380,29 +402,40 @@ class CagraServer:
     # hot swap
     # ------------------------------------------------------------------
     @property
-    def index(self) -> CagraIndex | ShardedCagraIndex:
-        """The currently published index snapshot."""
+    def index(self):
+        """The currently published native index snapshot (unwrapped)."""
         with self._swap_lock:
             return self._index
 
-    def swap_index(self, new_index: CagraIndex | ShardedCagraIndex) -> None:
+    @property
+    def ann_index(self) -> AnnIndex:
+        """The currently published :class:`~repro.api.AnnIndex` snapshot."""
+        with self._swap_lock:
+            return self._ann
+
+    def swap_index(self, new_index) -> None:
         """Atomically publish ``new_index`` without dropping traffic.
 
-        The batch being executed keeps the snapshot it captured; every
-        later batch sees the new index.  The result cache is invalidated
+        Accepts anything :func:`repro.api.as_ann_index` does — the new
+        index need not even be the same kind as the old one (e.g. CAGRA
+        swapped out for HNSW mid-traffic), only the same ``dim``.  The
+        batch being executed keeps the snapshot it captured; every later
+        batch sees the new index.  The result cache is invalidated
         (generation bump + clear) so no stale result is ever served.
         """
+        ann = self._wrap(new_index)
         with self._swap_lock:
-            if new_index.dim != self._index.dim:
+            if ann.dim != self._ann.dim:
                 raise ValueError(
-                    f"new index has dim {new_index.dim}, server serves "
-                    f"dim {self._index.dim}"
+                    f"new index has dim {ann.dim}, server serves "
+                    f"dim {self._ann.dim}"
                 )
-            self._index = new_index
+            self._ann = ann
+            self._index = getattr(ann, "inner", ann)
             self._generation += 1
             # Fresh index, fresh breaker state: failures of the old
             # index's shards say nothing about the new one's.
-            self._breakers = self._make_breakers(new_index)
+            self._breakers = self._make_breakers(ann)
         if self._cache is not None:
             self._cache.clear()
         self._stats.record_swap()
@@ -516,7 +549,7 @@ class CagraServer:
         help — so it fails the whole batch immediately.
         """
         with self._swap_lock:
-            index = self._index
+            ann = self._ann
             generation = self._generation
             breakers = self._breakers
         k_max = max(request.k for request in live)
@@ -524,37 +557,29 @@ class CagraServer:
         if config.itopk < k_max:
             config = config.with_overrides(itopk=k_max)
         queries = np.stack([request.query for request in live])
-        sharded = isinstance(index, ShardedCagraIndex)
+        sharded = getattr(ann, "num_shards", 1) > 1
         skip: list[int] = []
         if sharded and breakers:
             skip = [s for s in sorted(breakers) if not breakers[s].allow()]
 
         corrupt = None
+        started = time.monotonic()
         try:
             if self._fault is not None:
                 corrupt = self._fault.fire("serve.execute", batch=len(live))
-            kwargs = {}
-            if sharded:
-                kwargs = dict(
-                    on_shard_failure=self.config.on_shard_failure,
-                    min_shard_quorum=self.config.min_shard_quorum,
-                    skip_shards=skip,
-                )
-            if len(live) == 1:
-                # Table II batch-1 rule: one query spread over many CTAs.
-                result = index.search(
-                    queries,
-                    k_max,
-                    config=config.with_overrides(algo="multi_cta"),
-                    num_sms=self.config.num_sms,
-                    **kwargs,
-                )
-                path = "multi_cta"
-            else:
-                result = index.search_fast(
-                    queries, k_max, config=config, **kwargs
-                )
-                path = "single_cta"
+            # ``mode="auto"`` is the Table II dispatch: a batch of 1 runs
+            # the multi-CTA reference path, a coalesced batch the
+            # vectorized single-CTA fast path (no-op for baselines).
+            kwargs = {"skip_shards": skip} if sharded else {}
+            result = ann.search(
+                queries,
+                k_max,
+                config=config,
+                mode="auto",
+                on_stage=self._on_stage,
+                **kwargs,
+            )
+            path = "multi_cta" if len(live) == 1 else "single_cta"
         except ShardQuorumError as exc:
             self._fail_batch(live, exc)
             return
@@ -574,20 +599,26 @@ class CagraServer:
             for s in failed_shards:
                 if breakers[s].record_failure():
                     self._stats.record_breaker_trip()
-            for s in range(index.num_shards):
+            for s in range(ann.num_shards):
                 if s not in failed_shards and s not in skip:
                     breakers[s].record_success()
         if degraded:
             self._stats.record_degraded(len(failed_shards))
 
         self._stats.record_batch(len(live), path)
+        if self._on_stage is not None:
+            self._on_stage(
+                "serve.batch",
+                time.monotonic() - started,
+                {"batch": len(live), "path": path, "degraded": degraded},
+            )
         # Degraded or fault-corrupted answers are served but never cached:
         # a partial result must not outlive the failure that caused it.
         cacheable = self._cache is not None and not degraded and corrupt is None
         for row, request in enumerate(live):
             if corrupt is not None:
-                ids = np.full(request.k, INDEX_MASK, dtype=np.uint32)
-                dists = np.full(request.k, np.nan)
+                ids = np.full(request.k, INDEX_MASK, dtype=np.int32)
+                dists = np.full(request.k, np.nan, dtype=np.float32)
             else:
                 ids = result.indices[row, : request.k].copy()
                 dists = result.distances[row, : request.k].copy()

@@ -1,0 +1,342 @@
+"""repro.api: the unified AnnIndex protocol, factory, and persistence.
+
+Covers the acceptance criteria of the protocol refactor:
+
+* all seven index kinds pass one shared conformance suite (protocol
+  check, int32/float32 dtype + shape contract, trailing-``INDEX_MASK``
+  padding invariant, determinism, ``filter_mask``);
+* ``save``/``load`` round-trips through the format registry with sniff
+  detection for every kind;
+* CAGRA search results stay bitwise identical to the pre-refactor
+  seeded regression fixture (reference, fast, multi-CTA, and sharded
+  paths);
+* the ``ShardedSearchResult`` deprecation shim warns and aliases.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    AnnIndex,
+    BruteForceIndex,
+    BuildSpec,
+    SearchRequest,
+    SearchResult,
+    StageRecorder,
+    UnknownIndexFormatError,
+    as_ann_index,
+    build_index,
+    load_ann_index,
+    load_index,
+    normalize_results,
+    save_index,
+    sniff_format,
+    stage_timer,
+)
+from repro.core.config import GraphBuildConfig, SearchConfig
+from repro.core.graph import INDEX_MASK
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures", "cagra_regression.npz")
+
+ALL_KINDS = ("cagra", "hnsw", "ggnn", "ganns", "nssg", "bruteforce")
+
+
+@pytest.fixture(scope="module")
+def api_data() -> np.ndarray:
+    rng = np.random.default_rng(11)
+    return rng.standard_normal((300, 16)).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def api_queries(api_data) -> np.ndarray:
+    rng = np.random.default_rng(12)
+    return (api_data[:6] + 0.05 * rng.standard_normal((6, 16))).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def adapters(api_data) -> dict:
+    """One adapter per kind (plus a 2-shard CAGRA), built once."""
+    built = {
+        kind: build_index(kind, api_data, degree=8, seed=0) for kind in ALL_KINDS
+    }
+    built["sharded-cagra"] = build_index(
+        "cagra", api_data, degree=8, seed=0, shards=2
+    )
+    return built
+
+
+ALL_SURFACES = ALL_KINDS + ("sharded-cagra",)
+
+
+class TestConformance:
+    """The shared contract every adapter must satisfy."""
+
+    @pytest.mark.parametrize("kind", ALL_SURFACES)
+    def test_satisfies_protocol(self, adapters, kind):
+        ann = adapters[kind]
+        assert isinstance(ann, AnnIndex)
+        assert ann.kind == kind
+
+    @pytest.mark.parametrize("kind", ALL_SURFACES)
+    def test_introspection(self, adapters, api_data, kind):
+        ann = adapters[kind]
+        assert ann.dim == api_data.shape[1]
+        assert ann.size == api_data.shape[0]
+        assert ann.metric == "sqeuclidean"
+        assert ann.num_shards == (2 if kind == "sharded-cagra" else 1)
+
+    @pytest.mark.parametrize("kind", ALL_SURFACES)
+    def test_dtype_and_shape_contract(self, adapters, api_queries, kind):
+        result = adapters[kind].search(api_queries, 5)
+        assert isinstance(result, SearchResult)
+        assert result.indices.dtype == np.int32
+        assert result.distances.dtype == np.float32
+        assert result.indices.shape == (api_queries.shape[0], 5)
+        assert result.distances.shape == (api_queries.shape[0], 5)
+        assert result.batch == api_queries.shape[0] and result.k == 5
+        assert not result.degraded
+        assert result.counters.get("distance_computations", 0) > 0
+
+    @pytest.mark.parametrize("kind", ALL_SURFACES)
+    def test_index_mask_trailing_invariant(self, adapters, api_queries, kind):
+        """Unfilled slots are (INDEX_MASK, +inf) and only ever trailing."""
+        result = adapters[kind].search(api_queries, 5)
+        unfilled = result.indices == int(INDEX_MASK)
+        assert np.array_equal(unfilled, ~np.isfinite(result.distances))
+        # Trailing only: once a row goes unfilled it stays unfilled.
+        assert np.array_equal(unfilled, np.logical_or.accumulate(unfilled, axis=1))
+        filled = result.indices[~unfilled]
+        assert filled.size > 0
+        assert (filled >= 0).all() and (filled < adapters[kind].size).all()
+
+    @pytest.mark.parametrize("kind", ALL_SURFACES)
+    def test_deterministic(self, adapters, api_queries, kind):
+        first = adapters[kind].search(api_queries, 5)
+        second = adapters[kind].search(api_queries, 5)
+        assert np.array_equal(first.indices, second.indices)
+        assert np.array_equal(first.distances, second.distances)
+
+    @pytest.mark.parametrize("kind", ALL_SURFACES)
+    def test_filter_mask(self, adapters, api_queries, kind):
+        ann = adapters[kind]
+        mask = np.zeros(ann.size, dtype=bool)
+        mask[: ann.size // 2] = True
+        result = ann.search(api_queries, 5, filter_mask=mask)
+        hits = result.indices[result.indices != int(INDEX_MASK)]
+        assert hits.size > 0
+        assert (hits < ann.size // 2).all()
+
+    @pytest.mark.parametrize("kind", ALL_SURFACES)
+    def test_single_query_1d_input(self, adapters, api_queries, kind):
+        result = adapters[kind].search(api_queries[0], 3)
+        assert result.indices.shape == (1, 3)
+
+    @pytest.mark.parametrize("kind", ALL_SURFACES)
+    def test_search_request_object(self, adapters, api_queries, kind):
+        request = SearchRequest(queries=api_queries, k=4)
+        result = adapters[kind].search_request(request)
+        direct = adapters[kind].search(api_queries, 4)
+        assert np.array_equal(result.indices, direct.indices)
+
+
+class TestPersistenceRegistry:
+    @pytest.mark.parametrize("kind", ALL_SURFACES)
+    def test_save_sniff_load_roundtrip(self, adapters, api_queries, tmp_path, kind):
+        path = str(tmp_path / f"{kind}.npz")
+        save_index(adapters[kind], path)
+        assert sniff_format(path) == kind
+        reloaded = load_ann_index(path)
+        assert reloaded.kind == kind
+        before = adapters[kind].search(api_queries, 5)
+        after = reloaded.search(api_queries, 5)
+        assert np.array_equal(before.indices, after.indices)
+        assert np.array_equal(before.distances, after.distances)
+
+    def test_load_index_returns_native_cagra(self, adapters, tmp_path):
+        from repro.core.index import CagraIndex
+
+        path = str(tmp_path / "native.npz")
+        save_index(adapters["cagra"], path)
+        assert isinstance(load_index(path), CagraIndex)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = str(tmp_path / "garbage.npz")
+        np.savez(path, whatever=np.arange(3))
+        with pytest.raises(UnknownIndexFormatError):
+            sniff_format(path)
+        with pytest.raises(UnknownIndexFormatError):
+            load_index(path)
+
+    def test_load_fault_point_fires(self, adapters, tmp_path):
+        import json
+
+        from repro.resilience.faults import FaultInjected
+
+        path = str(tmp_path / "faulty.npz")
+        save_index(adapters["cagra"], path)
+        plan = json.dumps([{"point": "index.load"}])
+        with pytest.raises(FaultInjected):
+            load_index(path, fault_plan=plan)
+        # Without a plan the same file loads cleanly.
+        assert load_index(path, fault_plan="") is not None
+
+
+class TestFactory:
+    def test_unknown_kind(self, api_data):
+        with pytest.raises(ValueError, match="kind"):
+            build_index("faiss", api_data)
+
+    def test_sharded_non_cagra_rejected(self, api_data):
+        with pytest.raises(ValueError, match="cagra"):
+            BuildSpec(kind="hnsw", shards=2)
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ValueError, match="degree"):
+            BuildSpec(kind="cagra", degree=-1)
+
+    def test_build_emits_stage(self, api_data):
+        recorder = StageRecorder()
+        build_index("bruteforce", api_data, on_stage=recorder.on_stage)
+        assert [e.name for e in recorder.events] == ["build.bruteforce"]
+        assert recorder.events[0].counters["size"] == api_data.shape[0]
+
+    def test_as_ann_index_idempotent(self, adapters):
+        for kind in ALL_SURFACES:
+            rewrapped = as_ann_index(adapters[kind])
+            assert rewrapped.kind == kind
+
+    def test_as_ann_index_rejects_unknown(self):
+        with pytest.raises(TypeError, match="cannot adapt"):
+            as_ann_index(object())
+
+
+class TestValueObjects:
+    def test_search_request_validation(self, api_queries):
+        with pytest.raises(ValueError, match="k"):
+            SearchRequest(queries=api_queries, k=0)
+        request = SearchRequest(queries=api_queries[0])
+        assert request.queries.ndim == 2 and request.batch == 1
+
+    def test_normalize_results_moves_unfilled_to_tail(self):
+        ids = np.array([[int(INDEX_MASK), 3, 7]], dtype=np.int64)
+        dists = np.array([[np.inf, 0.5, 0.25]])
+        out_ids, out_dists = normalize_results(ids, dists)
+        assert out_ids.dtype == np.int32 and out_dists.dtype == np.float32
+        assert out_ids.tolist() == [[3, 7, int(INDEX_MASK)]]
+        assert out_dists[0, 2] == np.inf
+
+    def test_stage_timer_and_recorder(self):
+        recorder = StageRecorder()
+        with stage_timer(recorder.on_stage, "unit.test") as stage:
+            stage.counters = {"work": 1}
+        with stage_timer(None, "ignored"):
+            pass
+        assert [e.name for e in recorder.events] == ["unit.test"]
+        assert recorder.stage_seconds()["unit.test"] >= 0.0
+        records = recorder.as_records()
+        assert records[0]["name"] == "unit.test"
+        assert records[0]["counters"] == {"work": 1}
+
+    def test_on_stage_threaded_through_unified_search(self, adapters, api_queries):
+        recorder = StageRecorder()
+        adapters["cagra"].search(
+            api_queries, 5, mode="fast", on_stage=recorder.on_stage
+        )
+        adapters["sharded-cagra"].search(
+            api_queries, 5, mode="fast", on_stage=recorder.on_stage
+        )
+        adapters["hnsw"].search(api_queries, 5, on_stage=recorder.on_stage)
+        names = [e.name for e in recorder.events]
+        assert names[0] == "core.search_fast"
+        assert "shard.0.search" in names and "shard.merge" in names
+        assert names[-1] == "baseline.hnsw.search"
+
+
+class TestDeprecationShim:
+    def test_sharded_search_result_alias_warns(self):
+        import repro.core.sharding as sharding
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            alias = sharding.ShardedSearchResult
+        assert alias is SearchResult
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.core.sharding as sharding
+
+        with pytest.raises(AttributeError):
+            sharding.no_such_name
+
+
+class TestCagraRegressionFixture:
+    """Search results must be bitwise identical to the pre-refactor runs."""
+
+    @pytest.fixture(scope="class")
+    def regression(self):
+        rng = np.random.default_rng(7)
+        data = rng.standard_normal((600, 24)).astype(np.float32)
+        queries = rng.standard_normal((32, 24)).astype(np.float32)
+        from repro.core.index import CagraIndex
+
+        index = CagraIndex.build(data, GraphBuildConfig(graph_degree=16, seed=0))
+        with np.load(FIXTURE) as archive:
+            expected = {key: archive[key] for key in archive.files}
+        return data, queries, index, expected
+
+    def test_reference_path_bitwise(self, regression):
+        _, queries, index, expected = regression
+        result = index.search(queries, 10, config=SearchConfig(itopk=64, seed=0))
+        np.testing.assert_array_equal(result.indices, expected["ref_indices"])
+        np.testing.assert_array_equal(result.distances, expected["ref_distances"])
+
+    def test_fast_path_bitwise(self, regression):
+        _, queries, index, expected = regression
+        result = index.search_fast(queries, 10, config=SearchConfig(itopk=64, seed=0))
+        np.testing.assert_array_equal(result.indices, expected["fast_indices"])
+        np.testing.assert_array_equal(result.distances, expected["fast_distances"])
+
+    def test_multi_cta_bitwise(self, regression):
+        _, queries, index, expected = regression
+        result = index.search(
+            queries[:1], 10,
+            config=SearchConfig(itopk=64, seed=0, algo="multi_cta"),
+        )
+        np.testing.assert_array_equal(result.indices, expected["multi_indices"])
+        np.testing.assert_array_equal(result.distances, expected["multi_distances"])
+
+    def test_sharded_fast_bitwise(self, regression):
+        data, queries, _, expected = regression
+        from repro.core.sharding import ShardedCagraIndex
+
+        sharded = ShardedCagraIndex.build(
+            data, 3, GraphBuildConfig(graph_degree=16, seed=0)
+        )
+        try:
+            result = sharded.search_fast(
+                queries, 10, config=SearchConfig(itopk=64, seed=0)
+            )
+        finally:
+            sharded.close()
+        np.testing.assert_array_equal(result.indices, expected["sharded_indices"])
+        np.testing.assert_array_equal(result.distances, expected["sharded_distances"])
+
+    def test_adapter_preserves_values(self, regression):
+        """The int32/float32 adapter surface narrows dtype, never values."""
+        _, queries, index, expected = regression
+        result = as_ann_index(index).search(
+            queries, 10, config=SearchConfig(itopk=64, seed=0), mode="reference"
+        )
+        np.testing.assert_array_equal(
+            result.indices, expected["ref_indices"].astype(np.int32)
+        )
+        np.testing.assert_array_equal(
+            result.distances, expected["ref_distances"].astype(np.float32)
+        )

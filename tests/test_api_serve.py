@@ -1,0 +1,144 @@
+"""CagraServer over baseline AnnIndex backends (the protocol refactor).
+
+The serving layer must be backend-agnostic: serving an HNSW or NSSG
+index through micro-batching answers bitwise identically to calling the
+adapter's ``search()`` directly, the result cache and hot swap work over
+baselines, and an index can be swapped for a *different kind* mid-traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CagraIndex, GraphBuildConfig, SearchConfig
+from repro.api import as_ann_index, build_index
+from repro.serve import CagraServer, ServeConfig
+
+
+@pytest.fixture(scope="module")
+def serve_data() -> np.ndarray:
+    rng = np.random.default_rng(31)
+    return rng.standard_normal((350, 20)).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def serve_queries(serve_data) -> np.ndarray:
+    rng = np.random.default_rng(32)
+    return (serve_data[:16] + 0.05 * rng.standard_normal((16, 20))).astype(
+        np.float32
+    )
+
+
+def _serve_all(index, queries, k, **config_overrides):
+    """Serve every query one request at a time; returns stacked results."""
+    defaults = dict(max_batch=4, max_wait_ms=1.0, cache_capacity=0)
+    defaults.update(config_overrides)
+    ids, dists = [], []
+    with CagraServer(
+        index, ServeConfig(**defaults), search_config=SearchConfig(itopk=32)
+    ) as server:
+        handles = [server.submit(q, k=k) for q in queries]
+        for handle in handles:
+            result = handle.result()
+            ids.append(result.indices)
+            dists.append(result.distances)
+    return np.stack(ids), np.stack(dists)
+
+
+class TestBaselineParity:
+    """Served results == direct adapter results, bitwise."""
+
+    @pytest.mark.parametrize("kind", ["hnsw", "nssg"])
+    def test_served_matches_direct(self, serve_data, serve_queries, kind):
+        ann = build_index(kind, serve_data, degree=8, seed=0)
+        direct = ann.search(serve_queries, 5, config=SearchConfig(itopk=32))
+        served_ids, served_dists = _serve_all(ann.inner, serve_queries, 5)
+        np.testing.assert_array_equal(served_ids, direct.indices)
+        np.testing.assert_array_equal(served_dists, direct.distances)
+
+    def test_served_matches_direct_cagra_fast(self, serve_data, serve_queries):
+        """CAGRA coalesced batches still hit the fast path bitwise."""
+        index = CagraIndex.build(
+            serve_data, GraphBuildConfig(graph_degree=8, seed=0)
+        )
+        direct = as_ann_index(index).search(
+            serve_queries[:1], 5, config=SearchConfig(itopk=32), mode="auto"
+        )
+        served_ids, served_dists = _serve_all(index, serve_queries[:1], 5)
+        np.testing.assert_array_equal(served_ids, direct.indices)
+        np.testing.assert_array_equal(served_dists, direct.distances)
+
+
+class TestBaselineServingFeatures:
+    def test_cache_hit_on_baseline(self, serve_data, serve_queries):
+        ann = build_index("hnsw", serve_data, degree=8, seed=0)
+        with CagraServer(
+            ann, ServeConfig(max_batch=4, max_wait_ms=1.0, cache_capacity=64),
+            search_config=SearchConfig(itopk=32),
+        ) as server:
+            first = server.search(serve_queries[0], k=5)
+            second = server.search(serve_queries[0], k=5)
+            assert not first.from_cache
+            assert second.from_cache
+            np.testing.assert_array_equal(first.indices, second.indices)
+            assert server.stats().cache_hits == 1
+
+    def test_hot_swap_invalidates_cache(self, serve_data, serve_queries):
+        hnsw = build_index("hnsw", serve_data, degree=8, seed=0)
+        with CagraServer(
+            hnsw, ServeConfig(max_batch=4, max_wait_ms=1.0, cache_capacity=64),
+            search_config=SearchConfig(itopk=32),
+        ) as server:
+            server.search(serve_queries[0], k=5)
+            server.swap_index(build_index("hnsw", serve_data, degree=10, seed=1))
+            after = server.search(serve_queries[0], k=5)
+            assert not after.from_cache  # generation bump: no stale result
+            assert server.stats().index_swaps == 1
+
+    def test_mid_traffic_swap_cagra_to_hnsw(self, serve_data, serve_queries):
+        """Swap to a different index *kind* without dropping traffic."""
+        cagra = CagraIndex.build(
+            serve_data, GraphBuildConfig(graph_degree=8, seed=0)
+        )
+        hnsw = build_index("hnsw", serve_data, degree=8, seed=0)
+        with CagraServer(
+            cagra, ServeConfig(max_batch=4, max_wait_ms=1.0, cache_capacity=0),
+            search_config=SearchConfig(itopk=32),
+        ) as server:
+            before = [server.submit(q, k=5) for q in serve_queries[:8]]
+            server.swap_index(hnsw)
+            assert server.ann_index.kind == "hnsw"
+            assert server.index is hnsw.inner
+            after = [server.submit(q, k=5) for q in serve_queries[8:]]
+            results = [h.result() for h in before + after]
+        assert len(results) == len(serve_queries)
+        assert all(np.isfinite(r.distances).all() for r in results)
+        # Post-swap answers match the HNSW adapter directly.
+        direct = hnsw.search(serve_queries[8:], 5, config=SearchConfig(itopk=32))
+        np.testing.assert_array_equal(
+            np.stack([r.indices for r in results[8:]]), direct.indices
+        )
+
+    def test_swap_dim_mismatch_rejected(self, serve_data):
+        hnsw = build_index("hnsw", serve_data, degree=8, seed=0)
+        other = np.random.default_rng(0).standard_normal((50, 8)).astype(np.float32)
+        with CagraServer(hnsw, ServeConfig(max_batch=2)) as server:
+            with pytest.raises(ValueError, match="dim"):
+                server.swap_index(build_index("bruteforce", other))
+
+    def test_serve_batch_stage_events(self, serve_data, serve_queries):
+        from repro.api import StageRecorder
+
+        recorder = StageRecorder()
+        ann = build_index("hnsw", serve_data, degree=8, seed=0)
+        with CagraServer(
+            ann, ServeConfig(max_batch=4, max_wait_ms=1.0, cache_capacity=0),
+            search_config=SearchConfig(itopk=32),
+            on_stage=recorder.on_stage,
+        ) as server:
+            for q in serve_queries[:4]:
+                server.search(q, k=5)
+        names = {e.name for e in recorder.events}
+        assert "serve.batch" in names
+        assert "baseline.hnsw.search" in names

@@ -31,6 +31,7 @@ def _load_example(name):
         ("online_serving", dict(scale=500, num_queries=8)),
         ("fp16_and_persistence", dict(scale=400, num_queries=10)),
         ("sharded_and_filtered", dict(scale=600, num_queries=15)),
+        ("serve_baseline", dict(scale=500, num_queries=8)),
     ],
 )
 def test_example_runs(name, kwargs, capsys):

@@ -605,27 +605,30 @@ _POISON_MARK = 999.0
 
 
 class _PoisonIndex:
-    """Index wrapper that raises on any query whose first coordinate is
+    """AnnIndex wrapper that raises on any query whose first coordinate is
     the poison marker — models one bad request inside a healthy batch."""
 
     def __init__(self, inner):
-        self._inner = inner
+        from repro.api import as_ann_index
+
+        self._inner = as_ann_index(inner)
 
     @property
     def dim(self):
         return self._inner.dim
 
-    def _check(self, queries):
+    @property
+    def metric(self):
+        return self._inner.metric
+
+    @property
+    def size(self):
+        return self._inner.size
+
+    def search(self, queries, k=10, **kwargs):
         if np.any(np.atleast_2d(queries)[:, 0] == _POISON_MARK):
             raise RuntimeError("poisoned query")
-
-    def search(self, queries, k, **kwargs):
-        self._check(queries)
         return self._inner.search(queries, k, **kwargs)
-
-    def search_fast(self, queries, k, **kwargs):
-        self._check(queries)
-        return self._inner.search_fast(queries, k, **kwargs)
 
 
 def _make_server(index, **overrides) -> CagraServer:
