@@ -481,11 +481,26 @@ def _cmd_validate(args) -> int:
 
 
 def _cmd_lint(args) -> int:
+    """Exit-code contract: 0 clean (or violations without ``--strict``),
+    1 violations under ``--strict`` / any sanitizer report, 2 internal
+    error (unreadable path, parse failure, crashed rule).  The report —
+    including ``--format json`` — is emitted in every case."""
     from repro.lint import format_json, format_text, lint_paths
 
-    result = lint_paths(args.paths or None)
-    formatter = format_json if args.format == "json" else format_text
-    print(formatter(result.violations, result.files_checked))
+    if args.sanitize:
+        return _run_sanitized(args)
+    try:
+        result = lint_paths(args.paths or None)
+    except Exception as exc:  # crashed rule/engine: still honour --format
+        if args.format == "json":
+            print(json.dumps({"error": f"{type(exc).__name__}: {exc}"}, indent=2))
+        print(f"internal error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(format_json(result.violations, result.files_checked,
+                          result.parse_errors))
+    else:
+        print(format_text(result.violations, result.files_checked))
     for error in result.parse_errors:
         print(f"parse error: {error}", file=sys.stderr)
     if result.parse_errors:
@@ -493,6 +508,36 @@ def _cmd_lint(args) -> int:
     if args.strict and result.violations:
         return 1
     return 0
+
+
+def _run_sanitized(args) -> int:
+    """``lint --sanitize``: run pytest in-process under the
+    thread-sanitizer-lite instrumentation and report RL301/RL302.
+
+    Positional PATH arguments are forwarded to pytest.  Always strict:
+    any potential-deadlock or tagged-race report exits 1; a failing or
+    unrunnable test session exits 2 (the run proved nothing).
+    """
+    from repro.lint import format_json, format_text
+    from repro.lint.sanitizer import ThreadSanitizer
+
+    try:
+        import pytest
+    except ImportError:
+        print("internal error: --sanitize needs pytest", file=sys.stderr)
+        return 2
+    sanitizer = ThreadSanitizer()
+    with sanitizer:
+        test_exit = pytest.main(["-q", *args.paths])
+    violations = sanitizer.violations()
+    if args.format == "json":
+        print(format_json(violations, files_checked=0))
+    else:
+        print(format_text(violations, files_checked=0))
+    if int(test_exit) != 0:
+        print(f"internal error: pytest exited {int(test_exit)}", file=sys.stderr)
+        return 2
+    return 1 if violations else 0
 
 
 def _cmd_report(args) -> int:
@@ -602,12 +647,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_validate.add_argument("--sample", type=int, default=1000,
                             help="node sample for 2-hop statistics")
 
-    p_lint = sub.add_parser("lint", help="run the repro invariant linter (RL001-RL005)")
+    p_lint = sub.add_parser(
+        "lint", help="run the repro invariant linter (RL001-RL005, "
+                     "RL101-RL104, RL201-RL203; --sanitize for RL301/RL302)")
     p_lint.add_argument("paths", nargs="*", metavar="PATH",
-                        help="files/directories to lint (default: the repro source tree)")
+                        help="files/directories to lint (default: the repro "
+                             "source tree); with --sanitize: pytest paths")
     p_lint.add_argument("--format", choices=("text", "json"), default="text")
     p_lint.add_argument("--strict", action="store_true",
                         help="exit non-zero if any violation is found")
+    p_lint.add_argument("--sanitize", action="store_true",
+                        help="run pytest over PATH args under the "
+                             "thread-sanitizer-lite (RL301 lock-order "
+                             "cycles, RL302 write races); always strict")
 
     p_report = sub.add_parser("report", help="print all regenerated bench tables")
     p_report.add_argument("--results", default="benchmarks/results",

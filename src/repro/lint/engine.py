@@ -30,6 +30,7 @@ from repro.lint.report import Violation
 __all__ = [
     "FileContext",
     "LintResult",
+    "build_context",
     "default_root",
     "dotted_name",
     "iter_python_files",
@@ -54,6 +55,8 @@ class FileContext:
     path: str
     source: str
     tree: ast.Module
+    line_waivers: dict[int, set[str]] = field(default_factory=dict)
+    file_waivers: set[str] = field(default_factory=set)
 
     @property
     def posix_path(self) -> str:
@@ -63,6 +66,19 @@ class FileContext:
         """True if any of ``parts`` appears as a path component."""
         components = self.posix_path.split("/")
         return any(part in components for part in parts)
+
+
+def build_context(source: str, path: str = "<string>") -> FileContext:
+    """Parse one source blob into a :class:`FileContext` with its waivers."""
+    tree = ast.parse(source, filename=path)
+    line_waivers, file_waivers = parse_waivers(source)
+    return FileContext(
+        path=path,
+        source=source,
+        tree=tree,
+        line_waivers=line_waivers,
+        file_waivers=file_waivers,
+    )
 
 
 @dataclass
@@ -178,17 +194,43 @@ def _is_waived(
 # ----------------------------------------------------------------------
 # drivers
 # ----------------------------------------------------------------------
-def lint_source(source: str, path: str = "<string>") -> list[Violation]:
-    """Lint one in-memory source blob; raises ``SyntaxError`` on bad input."""
+def _run_file_rules(ctx: FileContext) -> list[Violation]:
     from repro.lint.rules import RULES
 
-    tree = ast.parse(source, filename=path)
-    ctx = FileContext(path=path, source=source, tree=tree)
-    line_waivers, file_waivers = parse_waivers(source)
     violations: list[Violation] = []
     for checker in RULES.values():
         violations.extend(checker.check(ctx))
-    return [v for v in violations if not _is_waived(v, line_waivers, file_waivers)]
+    return [
+        v for v in violations if not _is_waived(v, ctx.line_waivers, ctx.file_waivers)
+    ]
+
+
+def _run_project_rules(contexts: list[FileContext]) -> list[Violation]:
+    """Run the cross-file rules (e.g. RL203 registry drift) over a set of
+    parsed files, applying each violation's own file's waivers."""
+    from repro.lint.rules import PROJECT_RULES
+
+    by_path = {ctx.path: ctx for ctx in contexts}
+    violations: list[Violation] = []
+    for checker in PROJECT_RULES.values():
+        for violation in checker.check(contexts):
+            ctx = by_path.get(violation.path)
+            if ctx is not None and _is_waived(
+                violation, ctx.line_waivers, ctx.file_waivers
+            ):
+                continue
+            violations.append(violation)
+    return violations
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Violation]:
+    """Lint one in-memory source blob; raises ``SyntaxError`` on bad input.
+
+    Runs the per-file rules plus the cross-file rules over the single
+    file, so self-contained registry-drift fixtures still report RL203.
+    """
+    ctx = build_context(source, path)
+    return _run_file_rules(ctx) + _run_project_rules([ctx])
 
 
 def lint_file(path: str | Path, result: LintResult) -> None:
@@ -226,13 +268,28 @@ def default_root() -> Path:
 
 
 def lint_paths(paths: Iterable[str | Path] | None = None) -> LintResult:
-    """Lint files/directories (default: the whole ``repro`` source tree)."""
+    """Lint files/directories (default: the whole ``repro`` source tree).
+
+    Per-file rules run on each file; cross-file rules (``PROJECT_RULES``)
+    run once over every file that parsed, so registry drift between e.g.
+    ``factory.py`` and ``persistence.py`` is visible.
+    """
     result = LintResult()
+    contexts: list[FileContext] = []
     roots = list(paths) if paths else [default_root()]
     for root in roots:
         if not Path(root).exists():
             result.parse_errors.append(f"{root}: no such file or directory")
             continue
         for path in iter_python_files(root):
-            lint_file(path, result)
+            try:
+                source = path.read_text(encoding="utf-8")
+                ctx = build_context(source, str(path))
+            except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+                result.parse_errors.append(f"{path}: {exc}")
+                continue
+            contexts.append(ctx)
+            result.files_checked += 1
+            result.violations.extend(_run_file_rules(ctx))
+    result.violations.extend(_run_project_rules(contexts))
     return result

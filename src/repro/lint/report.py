@@ -46,11 +46,22 @@ def format_text(violations: list[Violation], files_checked: int) -> str:
     return "\n".join(lines)
 
 
-def format_json(violations: list[Violation], files_checked: int) -> str:
-    """Machine-readable report: violation dicts plus counts."""
+def format_json(
+    violations: list[Violation],
+    files_checked: int,
+    parse_errors: list[str] | None = None,
+) -> str:
+    """Machine-readable report: violation dicts plus counts.
+
+    Schema (documented in ``docs/static_analysis.md``)::
+
+        {"violations": [{"path", "line", "col", "rule", "message"}, ...],
+         "count": <int>, "files_checked": <int>, "parse_errors": [<str>, ...]}
+    """
     payload = {
         "violations": [asdict(v) for v in sorted(violations)],
         "count": len(violations),
         "files_checked": files_checked,
+        "parse_errors": list(parse_errors or ()),
     }
     return json.dumps(payload, indent=2)

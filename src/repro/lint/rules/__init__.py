@@ -1,8 +1,12 @@
 """Rule registry for the repro invariant linter.
 
-Each rule module exposes ``RULE_ID``, ``TITLE`` and
-``check(ctx: FileContext) -> list[Violation]``; this package collects them
-into the ``RULES`` mapping the engine iterates.
+A rule module exposes either the single-rule interface (``RULE_ID``,
+``TITLE``, ``check(ctx: FileContext) -> list[Violation]``) or the
+multi-rule interface (``CHECKERS``, a sequence of ``(rule_id, title,
+check)`` tuples).  Cross-file rules — whose check functions receive the
+full list of parsed :class:`~repro.lint.engine.FileContext` objects —
+are declared via ``PROJECT_CHECKERS`` and collected into
+``PROJECT_RULES``, which the engine runs once per lint invocation.
 """
 
 from __future__ import annotations
@@ -11,9 +15,19 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.lint.report import Violation
-from repro.lint.rules import accounting, api, determinism, dtypes, flags
+from repro.lint.rules import (
+    accounting,
+    api,
+    concurrency,
+    contracts,
+    determinism,
+    dtypes,
+    flags,
+)
 
-__all__ = ["RULES", "RuleChecker"]
+__all__ = ["PROJECT_RULES", "RULES", "RuleChecker"]
+
+_MODULES = (flags, dtypes, determinism, accounting, api, concurrency, contracts)
 
 
 @dataclass(frozen=True)
@@ -25,14 +39,28 @@ class RuleChecker:
     check: Callable[..., list[Violation]]
 
 
-def _register(module) -> RuleChecker:
-    return RuleChecker(
-        rule_id=module.RULE_ID, title=module.TITLE, check=module.check
-    )
+def _file_checkers(module) -> list[RuleChecker]:
+    if hasattr(module, "CHECKERS"):
+        return [RuleChecker(*entry) for entry in module.CHECKERS]
+    return [RuleChecker(module.RULE_ID, module.TITLE, module.check)]
 
 
-#: Rule id → checker, in rule-id order.
+def _project_checkers(module) -> list[RuleChecker]:
+    return [RuleChecker(*entry) for entry in getattr(module, "PROJECT_CHECKERS", ())]
+
+
+#: Rule id → per-file checker, in rule-id order.
 RULES: dict[str, RuleChecker] = {
-    module.RULE_ID: _register(module)
-    for module in (flags, dtypes, determinism, accounting, api)
+    checker.rule_id: checker
+    for module in _MODULES
+    for checker in _file_checkers(module)
 }
+RULES = dict(sorted(RULES.items()))
+
+#: Rule id → cross-file checker (check receives ``list[FileContext]``).
+PROJECT_RULES: dict[str, RuleChecker] = {
+    checker.rule_id: checker
+    for module in _MODULES
+    for checker in _project_checkers(module)
+}
+PROJECT_RULES = dict(sorted(PROJECT_RULES.items()))

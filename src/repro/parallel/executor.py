@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 import time
 import warnings
 from concurrent.futures import (
@@ -44,7 +45,7 @@ from concurrent.futures import (
     wait,
 )
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.parallel.config import ParallelConfig
@@ -105,9 +106,21 @@ class TaskOutcome:
         return self.error is None
 
 
+_STAT_NAMES = (
+    "tasks", "completed", "failed", "retries",
+    "timeouts", "pool_recycles", "serial_fallbacks",
+)
+
+
 @dataclass
 class ExecutorStats:
-    """Failure-path counters for one executor (cumulative across maps)."""
+    """Failure-path counters for one executor (cumulative across maps).
+
+    A single executor can serve concurrent ``map`` calls (e.g. a sharded
+    index shared by server scheduler threads), so every counter bump goes
+    through :meth:`increment`, which serializes on an internal lock —
+    unlocked ``stats.completed += 1`` from two threads loses updates.
+    """
 
     tasks: int = 0
     completed: int = 0
@@ -116,15 +129,22 @@ class ExecutorStats:
     timeouts: int = 0
     pool_recycles: int = 0
     serial_fallbacks: int = 0
+    # Resolve threading.Lock at instance-creation time (not class-def
+    # time) so runtime lock instrumentation sees this lock too.
+    _lock: threading.Lock = field(
+        default_factory=lambda: threading.Lock(), repr=False, compare=False
+    )
+
+    def increment(self, name: str, n: int = 1) -> None:
+        """Atomically add ``n`` to the counter called ``name``."""
+        if name not in _STAT_NAMES:
+            raise AttributeError(f"unknown ExecutorStats counter {name!r}")
+        with self._lock:
+            setattr(self, name, getattr(self, name) + n)
 
     def as_dict(self) -> dict:
-        return {
-            name: getattr(self, name)
-            for name in (
-                "tasks", "completed", "failed", "retries",
-                "timeouts", "pool_recycles", "serial_fallbacks",
-            )
-        }
+        with self._lock:
+            return {name: getattr(self, name) for name in _STAT_NAMES}
 
 
 @dataclass
@@ -228,7 +248,7 @@ class ShardExecutor:
         self._pool_epoch += 1
         if pool is None:
             return
-        self.stats.pool_recycles += 1
+        self.stats.increment("pool_recycles")
         if kill:
             processes = getattr(pool, "_processes", None) or {}
             for process in list(processes.values()):
@@ -280,7 +300,7 @@ class ShardExecutor:
         if n == 0:
             return []
         policy = policy or self.retry
-        self.stats.tasks += n
+        self.stats.increment("tasks", n)
         # The watchdog needs a pool even for a single task (the calling
         # thread cannot interrupt itself).
         use_pool = self.backend != "serial" and (n > 1 or policy.task_timeout_s > 0)
@@ -308,15 +328,15 @@ class ShardExecutor:
                     value = _run_task(fn, payload, attempt)
                 except Exception as exc:
                     if attempt < policy.max_retries:
-                        self.stats.retries += 1
+                        self.stats.increment("retries")
                         time.sleep(policy.backoff_seconds(index, attempt))
                         attempt += 1
                         continue
                     slots[index] = TaskOutcome(error=exc, attempts=attempt + 1)
-                    self.stats.failed += 1
+                    self.stats.increment("failed")
                 else:
                     slots[index] = TaskOutcome(value=value, attempts=attempt + 1)
-                    self.stats.completed += 1
+                    self.stats.increment("completed")
                 break
         return slots
 
@@ -348,15 +368,15 @@ class ShardExecutor:
 
         def run_inline(index: int, attempt: int) -> None:
             """Last resort after repeated pool breakage: one inline try."""
-            self.stats.serial_fallbacks += 1
+            self.stats.increment("serial_fallbacks")
             try:
                 value = _run_task(fn, payloads[index], attempt)
             except Exception as exc:
                 slots[index] = TaskOutcome(error=exc, attempts=attempt + 1)
-                self.stats.failed += 1
+                self.stats.increment("failed")
             else:
                 slots[index] = TaskOutcome(value=value, attempts=attempt + 1)
-                self.stats.completed += 1
+                self.stats.increment("completed")
 
         for i in range(n):
             if not submit(i, 0):
@@ -402,7 +422,7 @@ class ShardExecutor:
                         recycles_left -= 1
                         self._recycle_pool()
                     if meta.attempt < policy.max_retries:
-                        self.stats.retries += 1
+                        self.stats.increment("retries")
                         submit(meta.index, meta.attempt + 1)
                     else:
                         run_inline(meta.index, meta.attempt + 1)
@@ -410,7 +430,7 @@ class ShardExecutor:
                     infra_error = exc
                 except Exception as exc:
                     if meta.attempt < policy.max_retries:
-                        self.stats.retries += 1
+                        self.stats.increment("retries")
                         waiting.append(_Waiting(
                             now + policy.backoff_seconds(meta.index, meta.attempt),
                             meta.index,
@@ -420,12 +440,12 @@ class ShardExecutor:
                         slots[meta.index] = TaskOutcome(
                             error=exc, attempts=meta.attempt + 1
                         )
-                        self.stats.failed += 1
+                        self.stats.increment("failed")
                 else:
                     slots[meta.index] = TaskOutcome(
                         value=value, attempts=meta.attempt + 1
                     )
-                    self.stats.completed += 1
+                    self.stats.increment("completed")
 
             if infra_error is not None:
                 break
@@ -439,7 +459,7 @@ class ShardExecutor:
                 ]
             }
             if expired:
-                self.stats.timeouts += len(expired)
+                self.stats.increment("timeouts", len(expired))
                 carryover: list[_Pending] = []
                 if self.backend == "process":
                     # Terminating the hung worker kills the whole pool;
@@ -453,7 +473,7 @@ class ShardExecutor:
                     if slots[meta.index] is not None:
                         continue
                     if meta.attempt < policy.max_retries:
-                        self.stats.retries += 1
+                        self.stats.increment("retries")
                         if not submit(meta.index, meta.attempt + 1):
                             break
                     else:
@@ -465,7 +485,7 @@ class ShardExecutor:
                             ),
                             attempts=meta.attempt + 1,
                         )
-                        self.stats.failed += 1
+                        self.stats.increment("failed")
                 for meta in carryover:
                     if slots[meta.index] is None:
                         if not submit(meta.index, meta.attempt):
@@ -488,7 +508,7 @@ class ShardExecutor:
                     slots[meta.index] = TaskOutcome(
                         value=value, attempts=meta.attempt + 1
                     )
-                    self.stats.completed += 1
+                    self.stats.increment("completed")
                 for future in not_done:
                     future.cancel()
             unfinished = sum(1 for slot in slots if slot is None)
@@ -498,7 +518,7 @@ class ShardExecutor:
                 RuntimeWarning,
                 stacklevel=3,
             )
-            self.stats.serial_fallbacks += unfinished
+            self.stats.increment("serial_fallbacks", unfinished)
             self._downgrade_to_serial()
             return self._serial_outcomes(fn, payloads, policy, slots=slots)
         return slots

@@ -365,7 +365,9 @@ class CagraServer:
             raise ValueError("k must be >= 1")
 
         if self._cache is not None:
-            key = (query.tobytes(), k, self._generation)
+            with self._swap_lock:
+                generation = self._generation
+            key = (query.tobytes(), k, generation)
             hit = self._cache.get(key)
             if hit is not None:
                 self._stats.record_cache_hit()

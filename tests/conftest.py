@@ -56,3 +56,30 @@ def tiny_data() -> np.ndarray:
     """120 vectors for brute-force-comparable unit tests."""
     rng = np.random.default_rng(4)
     return rng.standard_normal((120, 16)).astype(np.float32)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _repro_sanitize_session():
+    """Opt-in thread-sanitizer-lite for the whole test session.
+
+    ``REPRO_SANITIZE=1 python -m pytest ...`` wraps every test in the
+    runtime sanitizer (see ``repro.lint.sanitizer``); any potential
+    deadlock (RL301) or tagged write race (RL302) fails the session at
+    teardown.  CI runs the serve + parallel subset this way.
+    """
+    import os
+
+    if os.environ.get("REPRO_SANITIZE", "") != "1":
+        yield
+        return
+    from repro.lint import format_text
+    from repro.lint.sanitizer import ThreadSanitizer
+
+    sanitizer = ThreadSanitizer()
+    sanitizer.enable()
+    try:
+        yield
+    finally:
+        sanitizer.disable()
+    reports = sanitizer.violations()
+    assert not reports, "\n" + format_text(reports, files_checked=0)

@@ -1,0 +1,14 @@
+"""RL201 fixture: adapter search returns raw tuples, skips the contract."""
+
+__all__ = ["FlatAnnIndex"]
+
+
+class FlatAnnIndex:
+    kind = "flat"
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def search(self, queries, k):
+        ids, dists = self._inner.raw_topk(queries, k)
+        return ids, dists  # RL201: AnnIndex search must return SearchResult

@@ -1,0 +1,18 @@
+"""RL202 fixture: int64 ids fed to SearchResult, float == on result path."""
+
+import numpy as np
+
+from repro.api.results import SearchResult
+
+__all__ = ["Flat64AnnIndex"]
+
+
+class Flat64AnnIndex:
+    kind = "flat64"
+
+    def search(self, queries, k):
+        ids = np.zeros((len(queries), k), dtype=np.int64)
+        dists = np.full((len(queries), k), np.inf, dtype=np.float32)
+        exact = dists == 0.0  # RL202: float equality on the result path
+        del exact
+        return SearchResult(indices=ids, distances=dists)  # RL202: int64 ids

@@ -1,0 +1,13 @@
+"""RL203 fixture: INDEX_KINDS lists a kind the builder registry lacks."""
+
+__all__ = ["INDEX_KINDS", "build"]
+
+INDEX_KINDS = ("cagra", "flat")
+
+_BUILDERS = {
+    "cagra": None,
+}
+
+
+def build(kind):
+    return _BUILDERS[kind]

@@ -1,0 +1,21 @@
+"""RL101 fixture: lock-guarded attribute accessed without its lock."""
+
+import threading
+
+__all__ = ["Counter"]
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def safe_add(self, n):
+        with self._lock:
+            self.total = self.total + n
+
+    def unsafe_add(self, n):
+        self.total = self.total + n  # RL101: write outside the lock
+
+    def unsafe_read(self):
+        return self.total  # RL101: read outside the lock

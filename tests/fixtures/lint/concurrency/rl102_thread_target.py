@@ -1,0 +1,17 @@
+"""RL102 fixture: thread target mutates shared state without a lock."""
+
+import threading
+
+__all__ = ["spawn"]
+
+results = []
+
+
+def _worker(n):
+    results.append(n)  # RL102: shared container, no lock held
+
+
+def spawn():
+    thread = threading.Thread(target=_worker, args=(1,))
+    thread.start()
+    return thread

@@ -1,0 +1,15 @@
+"""RL103 fixture: fork-unsafe operations inside a process-pool task."""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+__all__ = ["run"]
+
+
+def _crash_task(payload):
+    os._exit(1)  # RL103: kills the forked worker without cleanup
+
+
+def run(payloads):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return [pool.submit(_crash_task, p) for p in payloads]

@@ -1,0 +1,20 @@
+"""RL104 fixture: blocking calls while holding a lock (deadlock shape)."""
+
+import queue
+import threading
+
+__all__ = ["Pipeline"]
+
+
+class Pipeline:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._queue = queue.Queue()
+
+    def drain(self):
+        with self._lock:
+            return self._queue.get()  # RL104: unbounded wait under the lock
+
+    def wait_result(self, future):
+        with self._lock:
+            return future.result()  # RL104: unbounded wait under the lock

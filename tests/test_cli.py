@@ -164,3 +164,79 @@ class TestServeCommand:
         assert payload["failed"] == 0
         assert payload["completed"] > 0
         assert payload["stats"]["batches"] > 0
+
+
+class TestLintExitCodes:
+    """The lint subcommand's exit-code contract: 0 clean (or violations
+    without --strict), 1 violations under --strict, 2 internal error.
+    The report is emitted in every case, including --format json."""
+
+    CLEAN = '__all__ = ["add"]\n\n\ndef add(a, b):\n    return a + b\n'
+    DIRTY = (
+        "import threading\n\n"
+        "__all__ = ['C']\n\n\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.total = 0\n\n"
+        "    def add(self, n):\n"
+        "        with self._lock:\n"
+        "            self.total += n\n\n"
+        "    def peek(self):\n"
+        "        return self.total\n"
+    )
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text(self.CLEAN)
+        assert main(["lint", str(target), "--strict"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violations_without_strict_exit_zero(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text(self.DIRTY)
+        assert main(["lint", str(target)]) == 0
+        assert "RL101" in capsys.readouterr().out
+
+    def test_violations_with_strict_exit_one(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text(self.DIRTY)
+        assert main(["lint", str(target), "--strict"]) == 1
+        assert "RL101" in capsys.readouterr().out
+
+    def test_json_report_emitted_even_with_violations(self, tmp_path, capsys):
+        import json as json_mod
+
+        target = tmp_path / "dirty.py"
+        target.write_text(self.DIRTY)
+        assert main(["lint", str(target), "--strict", "--format", "json"]) == 1
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["count"] >= 1
+        assert payload["parse_errors"] == []
+        assert any(v["rule"] == "RL101" for v in payload["violations"])
+
+    def test_missing_path_exits_two_with_json_report(self, capsys):
+        import json as json_mod
+
+        assert main(["lint", "/no/such/file.py", "--format", "json"]) == 2
+        out = capsys.readouterr().out
+        payload = json_mod.loads(out)
+        assert payload["parse_errors"]
+
+    def test_unparseable_file_exits_two(self, tmp_path, capsys):
+        target = tmp_path / "broken.py"
+        target.write_text("def oops(:\n")
+        assert main(["lint", str(target)]) == 2
+        assert "parse error" in capsys.readouterr().err
+
+    def test_internal_error_exits_two(self, tmp_path, monkeypatch, capsys):
+        import repro.lint
+
+        def explode(paths=None):
+            raise RuntimeError("rule crashed")
+
+        monkeypatch.setattr(repro.lint, "lint_paths", explode)
+        assert main(["lint", str(tmp_path), "--format", "json"]) == 2
+        captured = capsys.readouterr()
+        assert "rule crashed" in captured.out  # JSON error object
+        assert "internal error" in captured.err

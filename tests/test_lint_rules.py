@@ -249,8 +249,17 @@ class TestWaivers:
 # registry + CLI over the committed fixtures
 # ----------------------------------------------------------------------
 class TestRegistryAndCli:
-    def test_all_five_rules_registered(self):
-        assert sorted(RULES) == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+    def test_all_rules_registered(self):
+        assert sorted(RULES) == [
+            "RL001", "RL002", "RL003", "RL004", "RL005",
+            "RL101", "RL102", "RL103", "RL104",
+            "RL201", "RL202",
+        ]
+
+    def test_project_rules_registered(self):
+        from repro.lint import PROJECT_RULES
+
+        assert sorted(PROJECT_RULES) == ["RL203"]
 
     @pytest.mark.parametrize("rule_id", ["RL001", "RL002", "RL003", "RL004", "RL005"])
     def test_each_fixture_fails_strict_lint(self, rule_id, capsys):

@@ -28,3 +28,34 @@ def test_default_root_is_the_src_tree():
 def test_cli_strict_lint_exits_zero(capsys):
     assert main(["lint", "--strict"]) == 0
     assert "clean" in capsys.readouterr().out
+
+
+def test_concurrency_hotspots_clean_under_rl1xx():
+    """serve/ and parallel/ are the lock-heavy packages RL101–RL104 were
+    written for; they must stay clean (or carry explicit waivers)."""
+    root = default_root()
+    result = lint_paths([
+        str(root / "repro" / "serve"),
+        str(root / "repro" / "parallel"),
+        str(root / "repro" / "resilience"),
+    ])
+    assert result.files_checked >= 10
+    assert not result.violations, "\n" + format_text(
+        result.violations, result.files_checked
+    )
+
+
+def test_registry_sync_holds_across_project():
+    """RL203 sees INDEX_KINDS / _BUILDERS / INDEX_FORMATS / adapter kinds
+    from different files; the full-tree run proves they are in sync."""
+    result = lint_paths()
+    assert not any(v.rule == "RL203" for v in result.violations)
+
+
+def test_linter_package_is_self_clean():
+    root = default_root()
+    result = lint_paths([str(root / "repro" / "lint")])
+    assert result.files_checked >= 8
+    assert not result.violations, "\n" + format_text(
+        result.violations, result.files_checked
+    )

@@ -277,3 +277,80 @@ class TestServeShardedIndex:
         assert result.indices.shape == (5,)
         assert int(result.indices[0]) == 3  # self-match on its own row
         index.close()
+
+
+def _fail_on_even(payload):
+    if payload % 2 == 0:
+        raise ValueError(f"even payload {payload}")
+    return payload
+
+
+class TestExecutorStats:
+    """The stats counters are bumped from scheduler threads; they must be
+    internally consistent and safe under concurrent increments."""
+
+    def test_totals_consistent_after_mixed_outcomes(self):
+        from repro.resilience import RetryPolicy
+
+        with ShardExecutor(
+            num_workers=4, backend="thread",
+            retry=RetryPolicy(max_retries=0),
+        ) as executor:
+            outcomes = executor.map_outcomes(_fail_on_even, list(range(16)))
+        stats = executor.stats
+        assert len(outcomes) == 16
+        assert stats.tasks == 16
+        assert stats.completed + stats.failed == stats.tasks
+        assert stats.failed == 8
+
+    def test_retry_accounting_stays_consistent(self):
+        from repro.resilience import RetryPolicy
+
+        with ShardExecutor(
+            num_workers=2, backend="thread",
+            retry=RetryPolicy(
+                max_retries=1, backoff_base_ms=0.0, backoff_max_ms=0.0
+            ),
+        ) as executor:
+            outcomes = executor.map_outcomes(_fail_on_even, list(range(8)))
+        stats = executor.stats
+        assert len(outcomes) == 8
+        assert stats.completed + stats.failed == stats.tasks
+        assert stats.retries == 4  # each even payload retried exactly once
+
+    def test_increment_is_atomic_under_threads(self):
+        import threading
+
+        from repro.parallel.executor import ExecutorStats
+
+        stats = ExecutorStats()
+        barrier = threading.Barrier(8)
+
+        def bump():
+            barrier.wait()
+            for _ in range(1000):
+                stats.increment("completed")
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert stats.completed == 8000
+
+    def test_increment_rejects_unknown_counter(self):
+        from repro.parallel.executor import ExecutorStats
+
+        stats = ExecutorStats()
+        with pytest.raises(AttributeError):
+            stats.increment("not_a_counter")
+
+    def test_as_dict_excludes_internals(self):
+        from repro.parallel.executor import ExecutorStats
+
+        snapshot = ExecutorStats().as_dict()
+        assert "_lock" not in snapshot
+        assert set(snapshot) == {
+            "tasks", "completed", "failed", "retries", "timeouts",
+            "pool_recycles", "serial_fallbacks",
+        }
