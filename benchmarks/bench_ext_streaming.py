@@ -1,0 +1,220 @@
+"""Extension bench: streaming ingest — freshness strategy break-even.
+
+A mutable index has three ways to absorb a write burst:
+
+(a) **memtable only** — leave the rows in the exact brute-force segment
+    (zero maintenance, but every search pays an extra exact scan);
+(b) **incremental repair** — fold the memtable through
+    ``CagraIndex.extend`` (cost grows with the batch);
+(c) **full rebuild** — rebuild the graph from the live rows (cost grows
+    with the *total* size, amortizes any amount of churn).
+
+This bench measures real Python wall time: per-query search p95 and
+recall-vs-live-oracle after absorbing increasing write-burst sizes under
+each strategy, plus the measured per-row costs the
+:class:`~repro.stream.policy.StalenessPolicy` feeds on.  The break-even
+burst size (where a full rebuild starts beating repair,
+``live_rows * c_build / c_extend``) is derived from those measurements
+and recorded — the same arithmetic the policy runs online.
+
+Alongside the human-readable table in ``benchmarks/results/``, the run
+appends a machine-readable entry to ``BENCH_streaming.json`` at the repo
+root — the first perf-trajectory file (ROADMAP item 4 asks for these):
+re-running the bench on a later checkout appends a new entry, so the
+cost of the streaming layer is tracked across PRs.
+"""
+
+import json
+import os
+import time
+from datetime import date
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro import CagraIndex, GraphBuildConfig
+from repro.api import BruteForceIndex
+from repro.bench import format_table
+from repro.core.metrics import recall
+from repro.datasets.synthetic import clustered_gaussian, make_queries
+from repro.stream import CostModel, MutableIndex, StalenessPolicy
+
+TRAJECTORY_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_streaming.json"
+)
+
+BASE_ROWS = 600
+DIM = 32
+DEGREE = 16
+NUM_QUERIES = 40
+K = 10
+SEED = 23
+#: Write-burst sizes absorbed before measuring (rows inserted; one
+#: quarter of each burst is deleted again to exercise tombstones).
+BURSTS = (16, 64, 160)
+MODES = ("memtable", "incremental", "full")
+
+
+@pytest.fixture(scope="module")
+def stream_setup():
+    data = clustered_gaussian(BASE_ROWS + max(BURSTS), DIM, seed=SEED)
+    base = CagraIndex.build(
+        data[:BASE_ROWS], GraphBuildConfig(graph_degree=DEGREE, seed=SEED)
+    )
+    queries = make_queries(data[:BASE_ROWS], NUM_QUERIES, seed=SEED + 1)
+    return data, base, queries
+
+
+def _absorb_burst(index: MutableIndex, pool: np.ndarray, burst: int) -> None:
+    rng = np.random.default_rng(SEED + burst)
+    index.insert(pool[:burst])
+    assigned = np.arange(BASE_ROWS, BASE_ROWS + burst)
+    victims = rng.choice(assigned, size=burst // 4, replace=False)
+    deletable = sorted(int(v) for v in victims)
+    index.delete(deletable)
+    # Some base-row churn too, so tombstones touch the graph leg.
+    index.delete([int(i) for i in rng.choice(BASE_ROWS, size=burst // 8,
+                                             replace=False)])
+
+
+def _measure(index: MutableIndex, queries: np.ndarray):
+    """(recall vs live oracle, per-query p95 ms, mean ms)."""
+    oracle = BruteForceIndex(index.dataset, metric=index.metric)
+    truth = oracle.search(queries, K, filter_mask=index.live_mask())
+    latencies = []
+    found = []
+    for query in queries:
+        started = time.perf_counter()
+        result = index.search(query, k=K)
+        latencies.append((time.perf_counter() - started) * 1e3)
+        found.append(result.indices[0])
+    measured = recall(np.stack(found), truth.indices)
+    return measured, float(np.percentile(latencies, 95)), float(np.mean(latencies))
+
+
+def test_streaming_write_absorption_sweep(stream_setup, benchmark):
+    """Recall + p95 vs burst size for the three freshness strategies."""
+    data, base, queries = stream_setup
+    pool = data[BASE_ROWS:]
+
+    def run():
+        rows = []
+        costs = CostModel()
+        cells = {}
+        for burst in BURSTS:
+            for mode in MODES:
+                index = MutableIndex(base)
+                _absorb_burst(index, pool, burst)
+                maintenance_s = 0.0
+                if mode == "incremental":
+                    report = index.repair_incremental(seed=SEED)
+                    maintenance_s = report.build_seconds
+                    costs.note_extend(report.rows_built, report.build_seconds)
+                elif mode == "full":
+                    report = index.rebuild_full()
+                    maintenance_s = report.build_seconds
+                    costs.note_build(report.rows_built, report.build_seconds)
+                measured, p95_ms, mean_ms = _measure(index, queries)
+                fresh = index.freshness()
+                cells[(burst, mode)] = {
+                    "recall": round(measured, 4),
+                    "p95_ms": round(p95_ms, 3),
+                    "mean_ms": round(mean_ms, 3),
+                    "maintenance_s": round(maintenance_s, 3),
+                }
+                rows.append([
+                    burst,
+                    mode,
+                    f"{measured:.4f}",
+                    f"{p95_ms:.2f}",
+                    f"{mean_ms:.2f}",
+                    f"{maintenance_s:.2f}",
+                    fresh.memtable_rows,
+                    f"{fresh.tombstone_ratio:.3f}",
+                ])
+        return rows, cells, costs.as_dict()
+
+    rows, cells, measured_costs = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    c_extend = measured_costs["extend_seconds_per_row"]
+    c_build = measured_costs["build_seconds_per_row"]
+    live_rows = BASE_ROWS + BURSTS[-1]
+    break_even_rows = int(live_rows * c_build / c_extend) if c_extend else 0
+    footer = (
+        f"measured c_extend={c_extend * 1e3:.2f} ms/row, "
+        f"c_build={c_build * 1e3:.2f} ms/row -> repair beats rebuild below "
+        f"~{break_even_rows} buffered rows at {live_rows} live rows "
+        f"(the StalenessPolicy arithmetic, idle-query case)"
+    )
+    emit(
+        "ext_streaming",
+        format_table(
+            ["burst", "strategy", "recall@10", "p95 (ms)", "mean (ms)",
+             "maintenance (s)", "memtable", "tombstones"],
+            rows,
+            title=(
+                f"Extension: streaming freshness strategies "
+                f"({BASE_ROWS}-row degree-{DEGREE} base, {NUM_QUERIES} queries, "
+                f"burst = inserts then 25% deletes, real wall time)"
+            ),
+        )
+        + "\n" + footer,
+    )
+
+    entry = {
+        "recorded": date.today().isoformat(),
+        "bench": "ext_streaming",
+        "config": {
+            "base_rows": BASE_ROWS, "dim": DIM, "degree": DEGREE,
+            "bursts": list(BURSTS), "k": K, "seed": SEED,
+        },
+        "cells": {f"{burst}/{mode}": cell for (burst, mode), cell in cells.items()},
+        "costs": {
+            "extend_seconds_per_row": c_extend,
+            "build_seconds_per_row": c_build,
+            "break_even_buffered_rows": break_even_rows,
+        },
+    }
+    trajectory = {"schema": 1, "entries": []}
+    if os.path.exists(TRAJECTORY_PATH):
+        with open(TRAJECTORY_PATH, encoding="utf-8") as handle:
+            trajectory = json.load(handle)
+    trajectory["entries"].append(entry)
+    with open(TRAJECTORY_PATH, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    # Sanity floor: every strategy must keep serving good results.
+    for (burst, mode), cell in cells.items():
+        assert cell["recall"] >= 0.90, (burst, mode, cell)
+
+
+def test_streaming_policy_uses_measured_break_even(stream_setup, benchmark):
+    """The online policy must reproduce the offline crossover: repair for
+    small bursts, rebuild once tombstone overhead + batch size pay for it."""
+    data, base, queries = stream_setup
+    pool = data[BASE_ROWS:]
+
+    def run():
+        index = MutableIndex(base)
+        policy = StalenessPolicy(min_memtable_rows=8)
+        # Measure both sides once (what Rebuilder.run_once does for real).
+        probe = MutableIndex(base)
+        _absorb_burst(probe, pool, BURSTS[0])
+        policy.note_report(probe.repair_incremental(seed=SEED))
+        policy.note_report(probe.rebuild_full())
+        _absorb_burst(index, pool, BURSTS[1])
+        small = policy.decide(index.freshness())
+        # A hot query stream over a tombstone-heavy index tips it.
+        heavy = index.freshness()
+        heavy = type(heavy)(
+            **{**heavy.__dict__, "tombstone_rows": heavy.base_rows // 2,
+               "query_rate_qps": 2000.0, "search_seconds_per_query": 0.05}
+        )
+        return small, policy.decide(heavy)
+
+    small, heavy = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert small.action == "incremental"
+    assert np.isfinite(small.est_incremental_s)
+    assert heavy.action == "full"

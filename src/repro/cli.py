@@ -7,8 +7,9 @@ Subcommands::
     repro-cagra search --index idx.npz --dataset deep-1m --scale 4000 -k 10
     repro-cagra bench  --dataset deep-1m --scale 3000 --batch 10000
     repro-cagra serve  --dataset deep-1m --scale 2000 --rate 500 --duration 2
+    repro-cagra stream --dataset deep-1m --scale 2000 --ops 500
     repro-cagra validate --index idx.npz      # integrity + reachability audit
-    repro-cagra lint --strict                 # repo invariant linter (RL001-RL005)
+    repro-cagra lint --strict                 # repo invariant linter (RL001-RL006)
     repro-cagra report                        # aggregate benchmarks/results/
 
 ``build``/``search`` work on the synthetic registry datasets or on real
@@ -36,6 +37,13 @@ environment variable) to inject deterministic faults for chaos testing.
 Degraded searches surface ``degraded`` / ``failed_shards`` in ``--format
 json``, and ``serve --format json`` includes the server ``health()``
 snapshot (circuit-breaker states, rolling failure rate).
+
+Mutability (``docs/streaming.md``): ``serve --mutable`` wraps the index
+in a :class:`repro.stream.MutableIndex` (and ``--auto-rebuild`` starts
+the background :class:`~repro.stream.rebuild.Rebuilder`); ``stream``
+drives a mixed insert/delete/search closed loop at a mutable server and
+reports freshness, served recall against a live brute-force oracle, and
+every staleness-policy decision the rebuilder took.
 """
 
 from __future__ import annotations
@@ -386,6 +394,11 @@ def _cmd_serve(args) -> int:
         index = CagraIndex.build(
             data, GraphBuildConfig(graph_degree=args.degree or degree, metric=metric)
         )
+    if args.mutable:
+        from repro.stream import MutableIndex
+
+        index = MutableIndex(index, wal_dir=args.wal_dir or None,
+                             fault_plan=args.fault_plan)
     config = ServeConfig(
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
@@ -398,6 +411,9 @@ def _cmd_serve(args) -> int:
         breaker_failure_threshold=args.breaker_threshold,
         breaker_cooldown_s=args.breaker_cooldown_s,
         fault_plan=args.fault_plan,
+        auto_rebuild=args.mutable and args.auto_rebuild,
+        rebuild_interval_s=args.rebuild_interval_s,
+        rebuild_calibrate=args.rebuild_calibrate,
     )
     num_requests = args.requests or max(1, int(args.rate * args.duration))
     server = CagraServer(index, config, search_config=SearchConfig(itopk=args.itopk, seed=args.seed))
@@ -461,6 +477,131 @@ def _cmd_serve(args) -> int:
                   f"open_shards={health['open_shards']}  "
                   f"failure_rate={health['recent_failure_rate']:.3f}")
     return 1 if report.failed > 0 else 0
+
+
+def _cmd_stream(args) -> int:
+    """Mutable-index lifecycle demo: mixed writes against a live server.
+
+    Reserves the tail of the dataset as an insert pool, builds the CAGRA
+    base from the rest, wraps it in a :class:`~repro.stream.MutableIndex`
+    and drives a seeded closed loop of interleaved searches, inserts and
+    deletes while the background rebuilder folds the memtable back into
+    the graph.  Reports freshness, final recall against a brute-force
+    oracle over the *live* rows, and every policy decision taken.
+    """
+    from repro.api import BruteForceIndex
+    from repro.core.graph import INDEX_MASK
+    from repro.serve import CagraServer, ServeConfig
+    from repro.stream import MutableIndex, run_mixed_closed_loop
+
+    data, queries, metric, degree = _load(args)
+    pool_rows = min(max(args.clients, args.insert_pool), data.shape[0] // 2)
+    base_data, pool = data[:-pool_rows], data[-pool_rows:]
+    core = CagraIndex.build(
+        base_data,
+        GraphBuildConfig(graph_degree=args.degree or degree, metric=metric,
+                         seed=args.seed),
+    )
+    index = MutableIndex(core, wal_dir=args.wal_dir or None,
+                         fault_plan=args.fault_plan)
+    config = ServeConfig(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        default_k=args.k,
+        cache_capacity=args.cache_capacity,
+        auto_rebuild=args.auto_rebuild,
+        rebuild_interval_s=args.rebuild_interval_s,
+        rebuild_min_memtable_rows=args.rebuild_min_rows,
+        rebuild_calibrate=args.rebuild_calibrate,
+    )
+    server = CagraServer(
+        index, config, search_config=SearchConfig(itopk=args.itopk, seed=args.seed)
+    )
+    with server:
+        report = run_mixed_closed_loop(
+            server, queries, pool,
+            num_clients=args.clients,
+            ops_per_client=max(1, args.ops // args.clients),
+            write_fraction=args.write_fraction,
+            delete_fraction=args.delete_fraction,
+            seed=args.seed,
+        )
+        rebuilder = server.rebuilder
+        decisions = list(rebuilder.history()) if rebuilder is not None else []
+    stats = server.stats()
+    freshness = index.freshness()
+
+    # Score the final state against an exact oracle over the live rows.
+    oracle = BruteForceIndex(index.dataset, metric=index.metric)
+    live = index.live_mask()
+    truth = oracle.search(queries, args.k, filter_mask=live)
+    got = index.search(queries, args.k)
+    final_recall = recall_of(got.indices, truth.indices)
+    served = {int(i) for row in got.indices for i in row if int(i) != int(INDEX_MASK)}
+    dead_served = sorted(i for i in served if not live[i])
+    decision_rows = [
+        {
+            "action": decision.action,
+            "reason": decision.reason,
+            "memtable_rows": decision.memtable_rows,
+            "tombstone_ratio": decision.tombstone_ratio,
+            "est_incremental_s": decision.est_incremental_s,
+            "est_full_s": decision.est_full_s,
+            "applied": report_.action if report_ is not None else None,
+            "promote_latency_ms": latency * 1e3,
+        }
+        for decision, report_, latency in decisions
+    ]
+    if args.format == "json":
+        payload = {
+            "ops": report.ops,
+            "searches": report.searches,
+            "inserts": report.inserts,
+            "deletes": report.deletes,
+            "failures": report.failures,
+            "duration_seconds": report.duration_seconds,
+            "search_latency_ms": {
+                "p50": report.latency_percentile_ms(50),
+                "p95": report.latency_percentile_ms(95),
+            },
+            "final_recall_vs_live_oracle": final_recall,
+            "deleted_ids_served_after_run": dead_served,
+            "freshness": {
+                "base_rows": freshness.base_rows,
+                "memtable_rows": freshness.memtable_rows,
+                "tombstone_rows": freshness.tombstone_rows,
+                "live_rows": freshness.live_rows,
+                "tombstone_ratio": freshness.tombstone_ratio,
+                "epoch": freshness.epoch,
+                "wal_seq": freshness.wal_seq,
+            },
+            "decisions": decision_rows,
+            "stats": stats.to_dict(),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"streaming over {core!r} (+{pool_rows}-row insert pool)")
+        print(report.summary())
+        print(f"final recall@{args.k} vs live brute-force oracle: {final_recall:.4f}")
+        print(f"freshness: base={freshness.base_rows} "
+              f"memtable={freshness.memtable_rows} "
+              f"tombstones={freshness.tombstone_rows} "
+              f"live={freshness.live_rows} epoch={freshness.epoch} "
+              f"wal_seq={freshness.wal_seq}")
+        if decision_rows:
+            print("rebuilder decisions:")
+            for row in decision_rows:
+                applied = row["applied"] or "skipped"
+                print(f"  {row['action']:<12} -> {applied:<12} "
+                      f"({row['reason']}; memtable={row['memtable_rows']} "
+                      f"tombstones={row['tombstone_ratio']:.2f} "
+                      f"promote={row['promote_latency_ms']:.1f}ms)")
+        print(stats.summary())
+    if dead_served:
+        print(f"ERROR: deleted ids served after the run: {dead_served}",
+              file=sys.stderr)
+        return 1
+    return 1 if report.failures > 0 else 0
 
 
 def _cmd_validate(args) -> int:
@@ -641,6 +782,60 @@ def build_parser() -> argparse.ArgumentParser:
                               "circuit breaker (0 disables breakers)")
     p_serve.add_argument("--breaker-cooldown-s", type=float, default=30.0,
                          help="open-breaker cooldown before a half-open probe")
+    p_serve.add_argument("--mutable", action="store_true",
+                         help="wrap the index in repro.stream.MutableIndex so "
+                              "the server accepts insert/delete")
+    p_serve.add_argument("--wal-dir", default="",
+                         help="write-ahead-log directory for --mutable "
+                              "(empty = no durability)")
+    p_serve.add_argument("--auto-rebuild", action="store_true",
+                         help="with --mutable: run the background rebuilder "
+                              "(staleness policy + atomic promotion)")
+    p_serve.add_argument("--rebuild-interval-s", type=float, default=0.5,
+                         help="staleness-policy evaluation period")
+    p_serve.add_argument("--rebuild-calibrate", action="store_true",
+                         help="seed the rebuild cost model with micro-probes")
+
+    p_stream = sub.add_parser(
+        "stream",
+        help="drive mixed insert/delete/search load at a mutable index "
+             "with background rebuild (docs/streaming.md)",
+    )
+    _add_dataset_args(p_stream)
+    p_stream.add_argument("-k", type=int, default=10)
+    p_stream.add_argument("--degree", type=int, default=0)
+    p_stream.add_argument("--itopk", type=int, default=64)
+    p_stream.add_argument("--ops", type=int, default=500,
+                          help="total mixed operations across all clients")
+    p_stream.add_argument("--clients", type=int, default=4,
+                          help="closed-loop concurrent clients")
+    p_stream.add_argument("--write-fraction", type=float, default=0.3,
+                          help="probability an op is a write")
+    p_stream.add_argument("--delete-fraction", type=float, default=0.3,
+                          help="probability a write deletes one of the "
+                               "client's own inserts")
+    p_stream.add_argument("--insert-pool", type=int, default=256,
+                          help="dataset rows reserved as fresh insert vectors")
+    p_stream.add_argument("--wal-dir", default="",
+                          help="write-ahead-log directory (empty = in-memory)")
+    p_stream.add_argument("--no-rebuild", dest="auto_rebuild",
+                          action="store_false",
+                          help="disable the background rebuilder (memtable "
+                               "and tombstones only grow)")
+    p_stream.add_argument("--rebuild-interval-s", type=float, default=0.2,
+                          help="staleness-policy evaluation period")
+    p_stream.add_argument("--rebuild-min-rows", type=int, default=32,
+                          help="memtable rows below which the policy "
+                               "never acts (churn floor)")
+    p_stream.add_argument("--rebuild-calibrate", action="store_true",
+                          help="seed the rebuild cost model with micro-probes")
+    p_stream.add_argument("--max-batch", type=int, default=64)
+    p_stream.add_argument("--max-wait-ms", type=float, default=1.0)
+    p_stream.add_argument("--cache-capacity", type=int, default=1024)
+    p_stream.add_argument("--fault-plan", default="",
+                          help="deterministic fault-injection plan, JSON or "
+                               "@path (e.g. at stream.wal.append)")
+    p_stream.add_argument("--format", choices=("text", "json"), default="text")
 
     p_validate = sub.add_parser("validate", help="audit a saved index")
     p_validate.add_argument("--index", required=True, help="index .npz path")
@@ -648,7 +843,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="node sample for 2-hop statistics")
 
     p_lint = sub.add_parser(
-        "lint", help="run the repro invariant linter (RL001-RL005, "
+        "lint", help="run the repro invariant linter (RL001-RL006, "
                      "RL101-RL104, RL201-RL203; --sanitize for RL301/RL302)")
     p_lint.add_argument("paths", nargs="*", metavar="PATH",
                         help="files/directories to lint (default: the repro "
@@ -675,6 +870,7 @@ def main(argv: list[str] | None = None) -> int:
         "search": _cmd_search,
         "bench": _cmd_bench,
         "serve": _cmd_serve,
+        "stream": _cmd_stream,
         "validate": _cmd_validate,
         "lint": _cmd_lint,
         "report": _cmd_report,

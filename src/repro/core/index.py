@@ -50,7 +50,7 @@ class BuildReport:
 
 def _repair_unfilled_edges(
     edges: np.ndarray, distances: np.ndarray, num_nodes: int, seed: int
-) -> np.ndarray:
+) -> tuple[np.ndarray, dict]:
     """Replace unfilled search slots in ``edges`` with valid neighbor ids.
 
     ``SearchResult.indices`` marks unfilled slots with ``INDEX_MASK`` (and
@@ -59,23 +59,38 @@ def _repair_unfilled_edges(
     create dangling edges to a nonexistent node, so each one is re-drawn
     as a random valid node id, avoiding duplicates within the row when the
     index is large enough to allow it.
+
+    Returns ``(repaired_edges, stats)`` where ``stats`` counts the repair
+    work (rows touched, edges re-drawn, total RNG draws) so callers can
+    surface repair cost through ``on_stage``.
     """
     edges = edges.copy()
     unfilled = (edges == INDEX_MASK) | ~np.isfinite(distances)
-    for i in np.nonzero(unfilled.any(axis=1))[0]:
+    repaired_edges = 0
+    rng_draws = 0
+    rows = np.nonzero(unfilled.any(axis=1))[0]
+    for i in rows:
         # A distinct stream per row, disjoint from the search's
         # ``[seed, query]`` streams (three-element spawn key).
         rng = np.random.default_rng([seed, int(i), 0x0E11])
         present = {int(x) for x in edges[i][~unfilled[i]]}
         for j in np.nonzero(unfilled[i])[0]:
             candidate = int(rng.integers(0, num_nodes))
+            rng_draws += 1
             for _ in range(32):
                 if candidate not in present or len(present) >= num_nodes:
                     break
                 candidate = int(rng.integers(0, num_nodes))
+                rng_draws += 1
             present.add(candidate)
             edges[i, j] = np.uint32(candidate)
-    return edges
+            repaired_edges += 1
+    stats = {
+        "repaired_rows": int(len(rows)),
+        "repaired_edges": repaired_edges,
+        "repair_rng_draws": rng_draws,
+    }
+    return edges, stats
 
 
 class CagraIndex:
@@ -257,7 +272,7 @@ class CagraIndex:
     # incremental insertion
     # ------------------------------------------------------------------
     def extend(
-        self, new_vectors: np.ndarray, itopk: int = 0, seed: int = 0
+        self, new_vectors: np.ndarray, itopk: int = 0, seed: int = 0, on_stage=None
     ) -> "CagraIndex":
         """Insert new vectors without rebuilding (cuVS CAGRA ``extend``).
 
@@ -277,7 +292,15 @@ class CagraIndex:
         random valid neighbors instead of being written as dangling
         edges; :func:`~repro.core.validation.validate_index` flags any
         graph where such a sentinel survived.
+
+        ``on_stage(name, seconds, counters)`` receives one ``core.extend``
+        event covering the whole insertion, with counters for the
+        neighbor-search cost (``distance_computations``), rows added, and
+        the edge-repair work (``repaired_rows`` / ``repaired_edges`` /
+        ``repair_rng_draws`` / ``reverse_links_planted``) so streaming
+        policies can observe the measured repair cost per batch.
         """
+        started = time.perf_counter() if on_stage is not None else 0.0
         new_vectors = np.atleast_2d(np.asarray(new_vectors))
         if new_vectors.shape[1] != self.dim:
             raise ValueError(
@@ -294,18 +317,26 @@ class CagraIndex:
 
         n = self.size
         m = new_vectors.shape[0]
-        new_edges = _repair_unfilled_edges(
+        new_edges, repair_stats = _repair_unfilled_edges(
             result.indices.astype(np.uint32), result.distances, n, seed
         )
         neighbors = np.vstack([self.graph.neighbors, new_edges])
         # Reverse links: the new node replaces the last slot of its first
         # degree/2 targets (unless already present).
+        reverse_links = 0
         for i in range(m):
             new_id = np.uint32(n + i)
             for target in new_edges[i][: degree // 2]:
                 row = neighbors[int(target)]
                 if new_id not in row:
                     row[-1] = new_id
+                    reverse_links += 1
+        if on_stage is not None:
+            counters = dict(result.report.as_dict())
+            counters.update(repair_stats)
+            counters["rows_added"] = m
+            counters["reverse_links_planted"] = reverse_links
+            on_stage("core.extend", time.perf_counter() - started, counters)
         return CagraIndex(
             np.vstack([self.dataset, new_vectors]),
             FixedDegreeGraph(neighbors),

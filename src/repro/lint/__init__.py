@@ -10,6 +10,9 @@ about (see ``docs/static_analysis.md`` for the full catalogue):
 * **RL004** distance math in ``core/`` / ``baselines/`` flows through the
   counted :mod:`repro.core.distances` wrappers;
 * **RL005** no exact float equality on distances, no ``__all__`` drift;
+* **RL006** tombstone / mask / liveness arrays (the streaming layer's
+  concurrent-visibility state) change only under the owning class's
+  lock — guarded by name, not by observed convention;
 * **RL101–RL104** lock discipline: guarded attributes accessed without
   their lock, unlocked mutation in thread targets, fork-unsafety in
   pool task bodies, blocking calls while holding a lock;

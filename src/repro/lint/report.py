@@ -20,7 +20,7 @@ class Violation:
         path: file the violation was found in (as given to the engine).
         line: 1-based source line.
         col: 0-based column of the offending node.
-        rule: rule id (``RL001`` ... ``RL005``).
+        rule: rule id (``RL001`` ... ``RL302``).
         message: human-readable description of the broken invariant.
     """
 

@@ -23,11 +23,14 @@ from repro.lint.rules import (
     determinism,
     dtypes,
     flags,
+    streaming,
 )
 
 __all__ = ["PROJECT_RULES", "RULES", "RuleChecker"]
 
-_MODULES = (flags, dtypes, determinism, accounting, api, concurrency, contracts)
+_MODULES = (
+    flags, dtypes, determinism, accounting, api, streaming, concurrency, contracts,
+)
 
 
 @dataclass(frozen=True)

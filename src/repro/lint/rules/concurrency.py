@@ -10,7 +10,9 @@ class's locking convention from the code itself and flag departures:
   *written* under ``with self._lock`` somewhere is treated as
   lock-guarded; writes **or reads** of that attribute from other methods
   without the lock held are flagged (torn reads of swap-guarded state
-  are as real a race as torn writes).
+  are as real a race as torn writes).  Methods whose name ends in
+  ``_locked`` declare "caller holds the lock" and are analyzed as if
+  every class lock were held (the streaming layer's helper convention).
 * **RL102 — unlocked mutation of shared state in a thread target.**
   Functions handed to ``threading.Thread(target=...)``, submitted to a
   pool/executor, or registered via ``add_done_callback`` run on another
@@ -118,6 +120,11 @@ def _iter_block(stmts, held, enter, leave, visit_stmt):
 # ----------------------------------------------------------------------
 # RL101 — lock-guarded attribute accessed without the lock
 # ----------------------------------------------------------------------
+def _caller_holds_lock(method: ast.AST) -> bool:
+    """``*_locked`` methods declare that the caller holds the class lock."""
+    return getattr(method, "name", "").endswith("_locked")
+
+
 def _class_lock_attrs(cls: ast.ClassDef) -> set[str]:
     locks: set[str] = set()
     for method in cls.body:
@@ -209,7 +216,8 @@ def _check_rl101(ctx: FileContext) -> list[Violation]:
                 continue
             if method.name in _INIT_METHODS:
                 continue
-            _iter_block(method.body, frozenset(), enter, None, visit_stmt)
+            held0 = frozenset(lock_attrs) if _caller_holds_lock(method) else frozenset()
+            _iter_block(method.body, held0, enter, None, visit_stmt)
 
         # Only *binding* writes (self.X = ...) establish the guarded set;
         # locked container mutation (self.X.clear()) does not, so read-mostly

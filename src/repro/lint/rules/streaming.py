@@ -1,0 +1,128 @@
+"""RL006 — tombstone/mask state must only change under the class lock.
+
+The streaming layer's correctness contract (``docs/streaming.md``) hangs
+on one invariant: *visibility arrays* — tombstone bitmaps, filter/live
+masks, liveness flags — are read by concurrent searches, so every write
+must happen inside the owning class's lock.  A single unlocked
+``self._tombstones[ids] = True`` can resurrect a deleted row for a
+racing reader, which is exactly the "no deleted id is ever served"
+guarantee the integration tests pin down.
+
+The rule reuses RL101's lock-discipline machinery but is *stricter* for
+this one attribute family: RL101 only guards attributes it has seen
+written under a lock somewhere (the convention is learned), while RL006
+treats any ``self`` attribute whose name says "tombstone" / "mask" /
+"live" as guarded **by declaration** in every class that owns a
+``threading.Lock``.  A class that forgot to lock such writes entirely —
+invisible to RL101 — is still flagged.
+
+Flags, outside a ``with self.<lock>`` block:
+
+* rebinding writes: ``self._tombstones = ...``, ``self._live_mask = ...``
+* element stores:   ``self._tombstones[ids] = True``
+* augmented stores: ``self._live_mask &= other``
+* container/array mutators: ``self._tombstones.fill(...)``,
+  ``.append`` / ``.update`` / ... (the RL101 mutator set plus the
+  in-place numpy verbs ``fill``, ``put``, ``sort``, ``partition``)
+
+``__init__``-family methods are exempt (construction happens before the
+object is shared), as are methods named ``*_locked`` (RL101's
+caller-holds-the-lock convention) — only ``self`` attributes touched on
+a path that may run lock-free carry the invariant.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import FileContext
+from repro.lint.report import Violation
+from repro.lint.rules.concurrency import (
+    _CONTAINER_MUTATORS,
+    _INIT_METHODS,
+    _caller_holds_lock,
+    _class_lock_attrs,
+    _is_self_attr,
+    _iter_block,
+    _own_exprs,
+    _self_attr_writes,
+    _violation,
+)
+
+__all__ = ["RULE_ID", "TITLE", "check"]
+
+RULE_ID = "RL006"
+TITLE = "tombstone/mask array written outside the owning class's lock"
+
+#: Substrings that mark a self attribute as concurrent-visibility state.
+_GUARDED_NAME_PARTS = ("tombstone", "mask", "live")
+
+#: In-place numpy verbs that mutate the receiver array.
+_ARRAY_MUTATORS = _CONTAINER_MUTATORS | {"fill", "put", "sort", "partition"}
+
+
+def _is_guarded_name(attr: str) -> bool:
+    lowered = attr.lower()
+    return any(part in lowered for part in _GUARDED_NAME_PARTS)
+
+
+def check(ctx: FileContext) -> list[Violation]:
+    violations: list[Violation] = []
+    for cls in ast.walk(ctx.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        lock_attrs = _class_lock_attrs(cls)
+        if not lock_attrs:
+            continue
+
+        def enter(with_stmt, held):
+            return {
+                item.context_expr.attr
+                for item in with_stmt.items
+                if isinstance(item.context_expr, ast.Attribute)
+                and _is_self_attr(item.context_expr)
+                and item.context_expr.attr in lock_attrs
+            }
+
+        def visit_stmt(stmt, held):
+            if held:
+                return
+            targets: list[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+                targets = [stmt.target]
+            for target in targets:
+                for node, attr in _self_attr_writes(target):
+                    if _is_guarded_name(attr):
+                        violations.append(_violation(
+                            ctx, node, RULE_ID,
+                            f"visibility state '{attr}' of class "
+                            f"'{cls.name}' written without holding its "
+                            "lock (concurrent searches read it)",
+                        ))
+            for root in _own_exprs(stmt):
+                for node in ast.walk(root):
+                    if (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _ARRAY_MUTATORS
+                        and _is_self_attr(node.func.value)
+                        and _is_guarded_name(node.func.value.attr)
+                    ):
+                        violations.append(_violation(
+                            ctx, node, RULE_ID,
+                            f"visibility state '{node.func.value.attr}' of "
+                            f"class '{cls.name}' mutated in place without "
+                            "holding its lock (concurrent searches read it)",
+                        ))
+
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name in _INIT_METHODS:
+                continue
+            if _caller_holds_lock(method):
+                continue
+            _iter_block(method.body, frozenset(), enter, None, visit_stmt)
+    return violations

@@ -60,6 +60,9 @@ DEFAULT_SHARED_CLASSES = (
     ("repro.serve.stats", "StatsCollector"),
     ("repro.serve.cache", "ResultCache"),
     ("repro.resilience.breaker", "CircuitBreaker"),
+    ("repro.stream.memtable", "ExactMemtable"),
+    ("repro.stream.mutable", "MutableIndex"),
+    ("repro.stream.policy", "CostModel"),
 )
 
 _ACTIVE: "ThreadSanitizer | None" = None

@@ -20,6 +20,9 @@ Injection points (:data:`FAULT_POINTS`):
 ``serve.execute``         in :meth:`CagraServer._execute`, before the batch
                           search dispatch
 ``index.load``            when the CLI loads a saved index from disk
+``stream.wal.append``     in :class:`repro.stream.WriteAheadLog`, after the
+                          payload segment is written but before the commit
+                          record is appended (the crash-consistency window)
 ========================  ====================================================
 
 Fault kinds (:data:`FAULT_KINDS`):
@@ -84,6 +87,7 @@ FAULT_POINTS = (
     "pool.spawn",
     "serve.execute",
     "index.load",
+    "stream.wal.append",
 )
 
 #: Recognised fault kinds.

@@ -66,6 +66,22 @@ class ServeConfig:
             fault injection at ``serve.execute``; empty defers to the
             ``REPRO_FAULT_PLAN`` environment variable (see
             :mod:`repro.resilience.faults`).
+        auto_rebuild: when serving a
+            :class:`~repro.stream.mutable.MutableIndex`, start a
+            background :class:`~repro.stream.rebuild.Rebuilder` with the
+            server that evaluates the staleness policy every
+            ``rebuild_interval_s`` and promotes fresh bases through
+            ``swap_index``.  Ignored for static indexes.
+        rebuild_interval_s: staleness-policy evaluation period.
+        rebuild_min_memtable_rows / rebuild_min_tombstone_ratio: churn
+            floor below which the policy never acts (see
+            :class:`~repro.stream.policy.StalenessPolicy`; the
+            repair-vs-rebuild choice itself is a measured break-even, not
+            a threshold).
+        rebuild_horizon_s: amortization horizon for the measured
+            tombstone-overhead term of the break-even model.
+        rebuild_calibrate: run measured micro-probes (one tiny extend +
+            one tiny build) at rebuilder startup to seed the cost model.
     """
 
     max_batch: int = 64
@@ -81,6 +97,12 @@ class ServeConfig:
     breaker_failure_threshold: int = 0
     breaker_cooldown_s: float = 30.0
     fault_plan: str = ""
+    auto_rebuild: bool = False
+    rebuild_interval_s: float = 0.5
+    rebuild_min_memtable_rows: int = 64
+    rebuild_min_tombstone_ratio: float = 0.05
+    rebuild_horizon_s: float = 30.0
+    rebuild_calibrate: bool = False
 
     def __post_init__(self) -> None:
         _require(self.max_batch >= 1, "max_batch must be >= 1")
@@ -101,3 +123,13 @@ class ServeConfig:
             "breaker_failure_threshold must be >= 0 (0 = disabled)",
         )
         _require(self.breaker_cooldown_s >= 0.0, "breaker_cooldown_s must be >= 0")
+        _require(self.rebuild_interval_s > 0.0, "rebuild_interval_s must be > 0")
+        _require(
+            self.rebuild_min_memtable_rows >= 1,
+            "rebuild_min_memtable_rows must be >= 1",
+        )
+        _require(
+            0.0 <= self.rebuild_min_tombstone_ratio < 1.0,
+            "rebuild_min_tombstone_ratio must be in [0, 1)",
+        )
+        _require(self.rebuild_horizon_s > 0.0, "rebuild_horizon_s must be > 0")

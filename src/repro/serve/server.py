@@ -40,6 +40,15 @@ breaker states plus a rolling failure rate.  The ``serve.execute`` fault
 point (:mod:`repro.resilience.faults`, ``ServeConfig.fault_plan`` or
 ``REPRO_FAULT_PLAN``) makes all of it deterministically testable.
 
+Mutability (``docs/streaming.md``): serve a
+:class:`repro.stream.MutableIndex` and the server grows ``insert`` /
+``delete`` entry points, freshness gauges in :meth:`CagraServer.stats`,
+and (with ``ServeConfig.auto_rebuild``) a background
+:class:`~repro.stream.rebuild.Rebuilder` that promotes repaired/rebuilt
+bases through :meth:`swap_index` mid-traffic.  Every mutation invalidates
+the result cache through the index's mutation listener, so a cached
+answer can never resurrect a deleted row or hide a fresh insert.
+
 Typical use::
 
     with CagraServer(index, ServeConfig(max_batch=64, max_wait_ms=2.0)) as server:
@@ -273,8 +282,13 @@ class CagraServer:
         self._fault = FaultInjector(plan) if plan is not None else None
         self._breakers = self._make_breakers(self._ann)
         self._thread: threading.Thread | None = None
+        self._rebuilder = None
         self._accepting = True
         self._closed = False
+        # A mutable index invalidates the cache on every visible state
+        # change (insert/delete/promotion), whichever path mutated it.
+        if hasattr(self._ann, "set_mutation_listener"):
+            self._ann.set_mutation_listener(self._invalidate_cache)
 
     def _wrap(self, index) -> AnnIndex:
         """Adapt ``index`` with the server's deployment policy baked in."""
@@ -310,7 +324,40 @@ class CagraServer:
                 target=self._run, name="cagra-serve-scheduler", daemon=True
             )
             self._thread.start()
+        with self._swap_lock:
+            ann = self._ann
+        if (
+            self.config.auto_rebuild
+            and self._rebuilder is None
+            and hasattr(ann, "repair_incremental")
+        ):
+            self._rebuilder = self._make_rebuilder(ann)
+            self._rebuilder.start()
         return self
+
+    def _make_rebuilder(self, mutable):
+        """Background staleness loop promoting through :meth:`swap_index`."""
+        from repro.stream import Rebuilder, StalenessPolicy
+
+        policy = StalenessPolicy(
+            min_memtable_rows=self.config.rebuild_min_memtable_rows,
+            min_tombstone_ratio=self.config.rebuild_min_tombstone_ratio,
+            horizon_s=self.config.rebuild_horizon_s,
+        )
+        rebuilder = Rebuilder(
+            mutable,
+            policy,
+            interval_s=self.config.rebuild_interval_s,
+            promote=self.swap_index,
+            calibrate=self.config.rebuild_calibrate,
+            on_stage=self._on_stage,
+        )
+        rebuilder.add_listener(
+            lambda decision, report, latency: self._stats.record_rebuild(
+                report.action, latency
+            )
+        )
+        return rebuilder
 
     def stop(self, drain: bool = True) -> None:
         """Stop the server.
@@ -324,6 +371,9 @@ class CagraServer:
             return
         self._accepting = False
         self._closed = True
+        rebuilder, self._rebuilder = self._rebuilder, None
+        if rebuilder is not None:
+            rebuilder.stop()
         if not drain:
             self._fail_queued()
         if self._thread is not None:
@@ -401,6 +451,55 @@ class CagraServer:
         return self.submit(query, k=k, timeout_ms=timeout_ms).result()
 
     # ------------------------------------------------------------------
+    # writes (mutable index only)
+    # ------------------------------------------------------------------
+    def _mutable(self):
+        ann = self.ann_index
+        if not hasattr(ann, "insert"):
+            raise ServeError(
+                "served index is not mutable; wrap it in "
+                "repro.stream.MutableIndex to accept writes"
+            )
+        return ann
+
+    def insert(self, vectors, ids=None) -> np.ndarray:
+        """Write ``vectors`` into the served mutable index; returns ids.
+
+        The rows are searchable as soon as this returns (exact memtable
+        merge); the result cache is invalidated through the index's
+        mutation listener so no stale answer survives the write.
+        """
+        if not self._accepting:
+            raise ServerClosed("server is not accepting requests")
+        assigned = self._mutable().insert(vectors, ids)
+        self._stats.record_insert(int(np.atleast_1d(assigned).shape[0]))
+        return assigned
+
+    def delete(self, ids, strict: bool = True) -> int:
+        """Tombstone ``ids`` in the served mutable index.
+
+        Once this returns, the deleted rows can never appear in a result
+        (tombstones AND into every base-leg filter mask; the cache is
+        invalidated)."""
+        if not self._accepting:
+            raise ServerClosed("server is not accepting requests")
+        removed = self._mutable().delete(ids, strict=strict)
+        self._stats.record_delete(int(removed))
+        return removed
+
+    def _invalidate_cache(self) -> None:
+        """Generation bump + clear: mutation listener target."""
+        with self._swap_lock:
+            self._generation += 1
+        if self._cache is not None:
+            self._cache.clear()
+
+    @property
+    def rebuilder(self):
+        """The auto-started background rebuilder (None when disabled)."""
+        return self._rebuilder
+
+    # ------------------------------------------------------------------
     # hot swap
     # ------------------------------------------------------------------
     @property
@@ -440,6 +539,8 @@ class CagraServer:
             self._breakers = self._make_breakers(ann)
         if self._cache is not None:
             self._cache.clear()
+        if hasattr(ann, "set_mutation_listener"):
+            ann.set_mutation_listener(self._invalidate_cache)
         self._stats.record_swap()
 
     # ------------------------------------------------------------------
@@ -447,7 +548,11 @@ class CagraServer:
     # ------------------------------------------------------------------
     def stats(self) -> ServeStats:
         """Snapshot of the metrics surface (see :class:`ServeStats`)."""
-        return self._stats.snapshot(queue_depth=self._queue.qsize())
+        ann = self.ann_index
+        freshness = ann.freshness() if hasattr(ann, "freshness") else None
+        return self._stats.snapshot(
+            queue_depth=self._queue.qsize(), freshness=freshness
+        )
 
     #: ``health()`` reports ``"degraded"`` above this rolling failure rate.
     _UNHEALTHY_FAILURE_RATE = 0.5

@@ -63,6 +63,15 @@ class ServeStats:
             :meth:`CagraServer.health` signal).
         latency_*_ms: enqueue-to-completion latency percentiles over the
             sliding window (cache hits excluded; they are ~0).
+        inserts / insert_rows: accepted write calls / rows (mutable
+            index only).
+        deletes / delete_rows: accepted delete calls / rows.
+        rebuilds_incremental / rebuilds_full: background maintenance runs
+            promoted through the server.
+        last_promotion_ms: promotion latency (index swap + state install)
+            of the most recent maintenance run.
+        memtable_rows / tombstone_ratio: freshness gauges sampled from
+            the mutable index at snapshot time (0 for static indexes).
     """
 
     submitted: int = 0
@@ -85,6 +94,15 @@ class ServeStats:
     retried_batches: int = 0
     breaker_trips: int = 0
     recent_failure_rate: float = 0.0
+    inserts: int = 0
+    insert_rows: int = 0
+    deletes: int = 0
+    delete_rows: int = 0
+    rebuilds_incremental: int = 0
+    rebuilds_full: int = 0
+    last_promotion_ms: float = 0.0
+    memtable_rows: int = 0
+    tombstone_ratio: float = 0.0
     latency_mean_ms: float = 0.0
     latency_p50_ms: float = 0.0
     latency_p95_ms: float = 0.0
@@ -111,7 +129,10 @@ class ServeStats:
                 "coalesced_batches", "single_query_batches", "queue_depth",
                 "max_queue_depth", "index_swaps", "degraded_batches",
                 "shard_failures", "batch_splits", "retried_batches",
-                "breaker_trips", "recent_failure_rate", "latency_mean_ms",
+                "breaker_trips", "recent_failure_rate", "inserts",
+                "insert_rows", "deletes", "delete_rows",
+                "rebuilds_incremental", "rebuilds_full", "last_promotion_ms",
+                "memtable_rows", "tombstone_ratio", "latency_mean_ms",
                 "latency_p50_ms", "latency_p95_ms", "latency_p99_ms",
                 "latency_max_ms",
             )
@@ -167,6 +188,18 @@ class ServeStats:
                 f"breaker_trips={self.breaker_trips}  "
                 f"recent_failure_rate={self.recent_failure_rate:.3f}"
             )
+        if self.inserts or self.deletes or self.rebuilds_incremental or self.rebuilds_full:
+            lines.append(
+                f"  freshness   inserts={self.inserts}({self.insert_rows} rows)  "
+                f"deletes={self.deletes}({self.delete_rows} rows)  "
+                f"memtable={self.memtable_rows}  "
+                f"tombstones={self.tombstone_ratio:.3f}"
+            )
+            lines.append(
+                f"  rebuilds    incremental={self.rebuilds_incremental}  "
+                f"full={self.rebuilds_full}  "
+                f"last_promotion={self.last_promotion_ms:.2f}ms"
+            )
         return "\n".join(lines)
 
 
@@ -180,6 +213,7 @@ class StatsCollector:
         self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
         self._outcomes: deque[int] = deque(maxlen=OUTCOME_WINDOW)  # 1 = failed
         self._max_queue_depth = 0
+        self._last_promotion_ms = 0.0
 
     # ------------------------------------------------------------------
     # recording (one method per event so call sites read like a log line)
@@ -243,8 +277,27 @@ class StatsCollector:
         with self._lock:
             self._counts["index_swaps"] += 1
 
+    def record_insert(self, rows: int) -> None:
+        with self._lock:
+            self._counts["inserts"] += 1
+            self._counts["insert_rows"] += rows
+
+    def record_delete(self, rows: int) -> None:
+        with self._lock:
+            self._counts["deletes"] += 1
+            self._counts["delete_rows"] += rows
+
+    def record_rebuild(self, action: str, promote_latency_s: float) -> None:
+        """One completed maintenance run promoted through the server."""
+        with self._lock:
+            if action == "incremental":
+                self._counts["rebuilds_incremental"] += 1
+            else:
+                self._counts["rebuilds_full"] += 1
+            self._last_promotion_ms = promote_latency_s * 1e3
+
     # ------------------------------------------------------------------
-    def snapshot(self, queue_depth: int = 0) -> ServeStats:
+    def snapshot(self, queue_depth: int = 0, freshness=None) -> ServeStats:
         with self._lock:
             latencies = np.asarray(self._latencies, dtype=np.float64)
             if latencies.size:
@@ -276,6 +329,19 @@ class StatsCollector:
                     sum(self._outcomes) / len(self._outcomes)
                     if self._outcomes
                     else 0.0
+                ),
+                inserts=self._counts["inserts"],
+                insert_rows=self._counts["insert_rows"],
+                deletes=self._counts["deletes"],
+                delete_rows=self._counts["delete_rows"],
+                rebuilds_incremental=self._counts["rebuilds_incremental"],
+                rebuilds_full=self._counts["rebuilds_full"],
+                last_promotion_ms=self._last_promotion_ms,
+                memtable_rows=(
+                    int(freshness.memtable_rows) if freshness is not None else 0
+                ),
+                tombstone_ratio=(
+                    float(freshness.tombstone_ratio) if freshness is not None else 0.0
                 ),
                 latency_mean_ms=mean,
                 latency_p50_ms=float(p50),

@@ -1,0 +1,188 @@
+"""Exact brute-force "memtable" segment for freshly inserted vectors.
+
+New vectors land here first: an append-only row store scanned exactly on
+every search, so a write is findable the moment :meth:`ExactMemtable.insert`
+returns — no graph surgery on the write path.  The background
+:class:`~repro.stream.rebuild.Rebuilder` periodically drains a prefix of
+these rows into the base graph (``CagraIndex.extend`` or a full rebuild)
+and calls :meth:`drop_prefix`.
+
+Rows are addressed by *external id* (the mutable index's stable id
+space), never by position.  Deletes just flip a live flag — the row (and
+its vector) stays in place so a later checkpoint/rebuild can account for
+it, and so prefix-draining arithmetic stays trivial.
+
+Not thread-safe on its own: :class:`~repro.stream.mutable.MutableIndex`
+serializes every call under its lock and hands immutable snapshots to
+search code running outside the lock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.adapters import BruteForceIndex
+from repro.core.graph import INDEX_MASK
+
+__all__ = ["ExactMemtable", "MemtableSnapshot"]
+
+
+class MemtableSnapshot:
+    """Immutable view of the live memtable rows at one instant.
+
+    ``ids`` are external ids aligned with ``vectors`` rows.  Safe to
+    search outside the index lock (arrays are copies).
+    """
+
+    __slots__ = ("ids", "vectors", "metric")
+
+    def __init__(self, ids: np.ndarray, vectors: np.ndarray, metric: str):
+        self.ids = ids
+        self.vectors = vectors
+        self.metric = metric
+
+    def __len__(self) -> int:
+        return int(self.ids.shape[0])
+
+    def search(self, queries: np.ndarray, k: int, allowed_ids=None):
+        """Exact top-k over the snapshot; returns ``(ext_ids, distances)``.
+
+        ``allowed_ids`` is an optional boolean mask over the *external id
+        space* (the caller's filter), applied before scanning.  Rows per
+        query may be fewer than ``k``; callers merge + pad downstream.
+        """
+        ids, vectors = self.ids, self.vectors
+        if allowed_ids is not None:
+            keep = allowed_ids[ids]
+            ids, vectors = ids[keep], vectors[keep]
+        queries = np.atleast_2d(np.asarray(queries))
+        if ids.shape[0] == 0:
+            empty_ids = np.empty((queries.shape[0], 0), dtype=np.int64)
+            empty_dists = np.empty((queries.shape[0], 0), dtype=np.float64)
+            return empty_ids, empty_dists
+        oracle = BruteForceIndex(vectors, metric=self.metric)
+        result = oracle.search(queries, k=min(int(k), ids.shape[0]))
+        local = result.indices.astype(np.int64)
+        valid = local != int(INDEX_MASK)
+        ext = np.where(
+            valid, ids[np.clip(local, 0, ids.shape[0] - 1)], np.int64(INDEX_MASK)
+        )
+        return ext, result.distances.astype(np.float64)
+
+
+class ExactMemtable:
+    """Append-only buffered rows with per-row live flags (see module doc)."""
+
+    def __init__(self, dim: int, metric: str = "sqeuclidean"):
+        self.dim = int(dim)
+        self.metric = metric
+        self._vectors = np.empty((0, self.dim), dtype=np.float32)
+        self._ids = np.empty((0,), dtype=np.int64)
+        self._live = np.empty((0,), dtype=bool)
+        self._pos = {}  # external id -> row position
+        self._filled = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        """All buffered rows, live or not (prefix-drain granularity)."""
+        return self._filled
+
+    @property
+    def num_live(self) -> int:
+        return int(np.count_nonzero(self._live[: self._filled]))
+
+    def contains(self, external_id: int) -> bool:
+        return int(external_id) in self._pos
+
+    def is_live(self, external_id: int) -> bool:
+        pos = self._pos.get(int(external_id))
+        return pos is not None and bool(self._live[pos])
+
+    # ------------------------------------------------------------------
+    def insert(self, ids, vectors) -> None:
+        ids = np.asarray(ids, dtype=np.int64)
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
+        if vectors.shape[1] != self.dim:
+            raise ValueError(f"vectors have dim {vectors.shape[1]}, memtable {self.dim}")
+        if ids.shape[0] != vectors.shape[0]:
+            raise ValueError("ids and vectors must have the same length")
+        for external_id in ids:
+            if int(external_id) in self._pos:
+                raise ValueError(f"id {int(external_id)} already buffered")
+        n = ids.shape[0]
+        self._reserve(self._filled + n)
+        start = self._filled
+        self._vectors[start : start + n] = vectors
+        self._ids[start : start + n] = ids
+        self._live[start : start + n] = True
+        for offset, external_id in enumerate(ids):
+            self._pos[int(external_id)] = start + offset
+        self._filled = start + n
+
+    def delete(self, external_id: int) -> bool:
+        """Flip the live flag; True iff the id was present and live."""
+        pos = self._pos.get(int(external_id))
+        if pos is None or not self._live[pos]:
+            return False
+        self._live[pos] = False
+        return True
+
+    def _reserve(self, rows: int) -> None:
+        capacity = self._vectors.shape[0]
+        if rows <= capacity:
+            return
+        new_capacity = max(rows, max(16, capacity * 2))
+        grown = np.empty((new_capacity, self.dim), dtype=np.float32)
+        grown[:capacity] = self._vectors
+        self._vectors = grown
+        grown_ids = np.empty((new_capacity,), dtype=np.int64)
+        grown_ids[:capacity] = self._ids
+        self._ids = grown_ids
+        grown_live = np.zeros((new_capacity,), dtype=bool)
+        grown_live[:capacity] = self._live
+        self._live = grown_live
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> MemtableSnapshot:
+        """Copy of the live rows (search outside the lock)."""
+        live = self._live[: self._filled]
+        return MemtableSnapshot(
+            self._ids[: self._filled][live].copy(),
+            self._vectors[: self._filled][live].copy(),
+            self.metric,
+        )
+
+    def prefix(self, count: int):
+        """``(ids, vectors, live)`` copies of the first ``count`` rows —
+        the unit the rebuilder drains into the base index."""
+        count = min(int(count), self._filled)
+        return (
+            self._ids[:count].copy(),
+            self._vectors[:count].copy(),
+            self._live[:count].copy(),
+        )
+
+    def drop_prefix(self, count: int) -> None:
+        """Discard the first ``count`` rows (they now live in the base)."""
+        count = min(int(count), self._filled)
+        if count <= 0:
+            return
+        remaining = self._filled - count
+        self._vectors[:remaining] = self._vectors[count : self._filled]
+        self._ids[:remaining] = self._ids[count : self._filled]
+        self._live[:remaining] = self._live[count : self._filled]
+        self._filled = remaining
+        self._pos = {
+            int(self._ids[i]): i for i in range(remaining)
+        }
+
+    def ids(self) -> np.ndarray:
+        """External ids of all buffered rows (live and dead), in order."""
+        return self._ids[: self._filled].copy()
+
+    def __repr__(self) -> str:
+        return (
+            f"ExactMemtable(rows={self.num_rows}, live={self.num_live}, "
+            f"dim={self.dim}, metric={self.metric!r})"
+        )

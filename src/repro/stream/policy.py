@@ -1,0 +1,214 @@
+"""Staleness policy: measured break-even between repair and rebuild.
+
+The policy never hardcodes "rebuild at X% tombstones".  It keeps a
+:class:`CostModel` of *measured* per-row costs — incremental repair
+(``CagraIndex.extend``) and full rebuild, seeded by :meth:`calibrate`
+micro-probes and refined by every real maintenance run — plus the
+serving layer's measured query rate and per-query latency, and compares
+the estimated net cost of each action:
+
+* ``incremental`` pays ``memtable_rows × c_extend`` now but keeps the
+  tombstone overhead: with a fraction *t* of base rows dead, a filtered
+  search does roughly ``t/(1-t)`` extra traversal work to fill ``k``
+  from live rows, charged over the policy horizon at the measured query
+  rate.
+* ``full`` pays ``live_rows × c_build`` and clears both the memtable and
+  the tombstones.
+
+Whichever estimate is lower wins; a churn floor (``min_memtable_rows`` /
+``min_tombstone_ratio``) keeps the rebuilder from thrashing on noise.
+Before any measurement exists the policy picks the structurally cheap
+side (incremental — the Relative NN-Descent motivation) unless
+tombstones already dominate.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CostModel", "RebuildDecision", "StalenessPolicy"]
+
+#: EWMA weight for new cost samples (recent behaviour dominates).
+_ALPHA = 0.3
+
+
+@dataclass(frozen=True)
+class RebuildDecision:
+    """One policy evaluation (returned by :meth:`StalenessPolicy.decide`)."""
+
+    action: str  # "none" | "incremental" | "full"
+    reason: str
+    memtable_rows: int
+    tombstone_ratio: float
+    est_incremental_s: float  # NaN when costs are unmeasured
+    est_full_s: float  # NaN when costs are unmeasured
+
+
+class CostModel:
+    """EWMA per-row costs measured from real (or probe) maintenance runs."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._extend_s_per_row = None
+        self._build_s_per_row = None
+        self._samples = 0
+
+    def note_extend(self, rows: int, seconds: float) -> None:
+        if rows <= 0:
+            return
+        per_row = seconds / rows
+        with self._lock:
+            self._extend_s_per_row = self._blend(self._extend_s_per_row, per_row)
+            self._samples += 1
+
+    def note_build(self, rows: int, seconds: float) -> None:
+        if rows <= 0:
+            return
+        per_row = seconds / rows
+        with self._lock:
+            self._build_s_per_row = self._blend(self._build_s_per_row, per_row)
+            self._samples += 1
+
+    @staticmethod
+    def _blend(current, sample):
+        return sample if current is None else (1 - _ALPHA) * current + _ALPHA * sample
+
+    @property
+    def extend_seconds_per_row(self):
+        with self._lock:
+            return self._extend_s_per_row
+
+    @property
+    def build_seconds_per_row(self):
+        with self._lock:
+            return self._build_s_per_row
+
+    @property
+    def measured(self) -> bool:
+        with self._lock:
+            return (
+                self._extend_s_per_row is not None
+                and self._build_s_per_row is not None
+            )
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            return {
+                "extend_seconds_per_row": self._extend_s_per_row,
+                "build_seconds_per_row": self._build_s_per_row,
+                "samples": self._samples,
+            }
+
+
+class StalenessPolicy:
+    """Decides none/incremental/full from freshness + measured costs."""
+
+    def __init__(
+        self,
+        *,
+        min_memtable_rows: int = 64,
+        min_tombstone_ratio: float = 0.05,
+        bootstrap_tombstone_ratio: float = 0.3,
+        horizon_s: float = 30.0,
+        costs: CostModel | None = None,
+    ):
+        if min_memtable_rows < 1:
+            raise ValueError("min_memtable_rows must be >= 1")
+        if not 0.0 <= min_tombstone_ratio < 1.0:
+            raise ValueError("min_tombstone_ratio must be in [0, 1)")
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        self.min_memtable_rows = int(min_memtable_rows)
+        self.min_tombstone_ratio = float(min_tombstone_ratio)
+        self.bootstrap_tombstone_ratio = float(bootstrap_tombstone_ratio)
+        self.horizon_s = float(horizon_s)
+        self.costs = costs or CostModel()
+
+    # ------------------------------------------------------------------
+    def decide(self, freshness) -> RebuildDecision:
+        """Pick the action with the lower measured net cost (module doc)."""
+        m = int(freshness.memtable_rows)
+        t = float(freshness.tombstone_ratio)
+
+        def decision(action, reason, incr=math.nan, full=math.nan):
+            return RebuildDecision(
+                action=action,
+                reason=reason,
+                memtable_rows=m,
+                tombstone_ratio=t,
+                est_incremental_s=incr,
+                est_full_s=full,
+            )
+
+        if m < self.min_memtable_rows and t < self.min_tombstone_ratio:
+            return decision("none", "below churn floor")
+        c_extend = self.costs.extend_seconds_per_row
+        c_build = self.costs.build_seconds_per_row
+        if c_extend is None or c_build is None:
+            # No measurements yet: take the structurally cheap side
+            # unless tombstones already dominate the graph.
+            if t >= self.bootstrap_tombstone_ratio:
+                return decision("full", "cold start, tombstones dominate")
+            if m >= self.min_memtable_rows:
+                return decision("incremental", "cold start, memtable due")
+            return decision("none", "cold start, nothing due")
+        overhead = t / (1.0 - t) if t < 1.0 else math.inf
+        tombstone_waste_s = (
+            self.horizon_s
+            * float(freshness.query_rate_qps)
+            * float(freshness.search_seconds_per_query)
+            * overhead
+        )
+        est_incremental = m * c_extend + tombstone_waste_s
+        est_full = float(freshness.live_rows) * c_build
+        if m == 0:
+            # Incremental would be a no-op; rebuild only if reclaiming
+            # the tombstone overhead pays for the build.
+            if est_full <= tombstone_waste_s:
+                return decision(
+                    "full", "tombstone overhead exceeds rebuild cost",
+                    est_incremental, est_full,
+                )
+            return decision("none", "rebuild not yet worth it",
+                            est_incremental, est_full)
+        if est_full <= est_incremental:
+            return decision("full", "measured break-even favors rebuild",
+                            est_incremental, est_full)
+        return decision("incremental", "measured break-even favors repair",
+                        est_incremental, est_full)
+
+    # ------------------------------------------------------------------
+    def note_report(self, report) -> None:
+        """Fold a real maintenance run's measured cost into the model."""
+        if report.action == "incremental":
+            self.costs.note_extend(report.rows_built, report.build_seconds)
+        elif report.action == "full":
+            self.costs.note_build(report.rows_built, report.build_seconds)
+
+    def calibrate(self, core_index, *, probe_rows: int = 4, build_rows: int = 128):
+        """Seed the cost model with measured micro-probes (results are
+        discarded; only the timings matter).  Idempotent enough: each
+        call just adds two more samples to the EWMAs."""
+        from repro.core.config import GraphBuildConfig
+        from repro.core.index import CagraIndex
+
+        dataset = np.asarray(core_index.dataset)
+        probe_rows = max(1, min(int(probe_rows), dataset.shape[0]))
+        probe = dataset[:probe_rows].copy()
+        started = time.perf_counter()
+        core_index.extend(probe)
+        self.costs.note_extend(probe_rows, time.perf_counter() - started)
+
+        build_rows = max(8, min(int(build_rows), dataset.shape[0]))
+        sub = dataset[:build_rows].copy()
+        config = core_index.build_config or GraphBuildConfig(
+            graph_degree=core_index.degree
+        )
+        started = time.perf_counter()
+        CagraIndex.build(sub, config)
+        self.costs.note_build(build_rows, time.perf_counter() - started)

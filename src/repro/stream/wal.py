@@ -1,0 +1,314 @@
+"""Write-ahead log for the mutable index (JSONL commits + npy segments).
+
+Layout of a WAL directory::
+
+    wal.jsonl            one JSON commit record per line, in seq order
+    seg-00000003.npy     insert payload (vectors) referenced by a commit
+    checkpoint.npz       latest promoted base state (single-file, atomic)
+
+Durability contract (the order is the whole design):
+
+1. ``append_insert`` first writes the vector payload to a *segment* file
+   (tmp + ``os.replace``), **then** fires the ``stream.wal.append`` fault
+   point, **then** appends one JSONL commit record and flushes it.  A
+   crash between segment write and commit leaves an orphaned segment that
+   replay ignores; a crash mid-commit leaves a torn trailing line that
+   replay also ignores.  An op is durable iff its commit record is whole.
+2. ``checkpoint`` folds everything up to ``seq`` into a single
+   ``checkpoint.npz`` (written tmp-then-``os.replace``, so the old
+   checkpoint survives any crash), then atomically rewrites the log down
+   to one ``checkpoint`` record and prunes stale segments.  Because every
+   commit record carries its ``seq``, replay after a crash *between*
+   those two steps simply skips log records already folded into the
+   checkpoint — no idempotency gymnastics required.
+
+The log is **not** thread-safe on its own; callers serialize access
+(:class:`~repro.stream.mutable.MutableIndex` holds its lock across every
+append and checkpoint).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.resilience import FaultInjector, resolve_fault_plan
+
+__all__ = ["WalRecord", "WalReplay", "WriteAheadLog", "WAL_FAULT_POINT"]
+
+LOG_NAME = "wal.jsonl"
+CHECKPOINT_NAME = "checkpoint.npz"
+
+#: Fault point fired between segment write and commit append (the
+#: crash-consistency window; see :mod:`repro.resilience`).
+WAL_FAULT_POINT = "stream.wal.append"
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One durable log entry (an acknowledged insert/delete, or a
+    checkpoint watermark)."""
+
+    op: str  # "insert" | "delete" | "checkpoint"
+    seq: int
+    ids: tuple = ()
+    segment: str = ""  # insert payload file name (relative to the WAL dir)
+    next_id: int = 0  # checkpoint only: id-allocator watermark
+
+    def to_json(self) -> str:
+        payload = {"op": self.op, "seq": self.seq}
+        if self.ids:
+            payload["ids"] = [int(i) for i in self.ids]
+        if self.segment:
+            payload["segment"] = self.segment
+        if self.op == "checkpoint":
+            payload["next_id"] = int(self.next_id)
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WalRecord":
+        payload = json.loads(text)
+        op = payload["op"]
+        if op not in ("insert", "delete", "checkpoint"):
+            raise ValueError(f"unknown WAL op {op!r}")
+        return cls(
+            op=op,
+            seq=int(payload["seq"]),
+            ids=tuple(int(i) for i in payload.get("ids", ())),
+            segment=str(payload.get("segment", "")),
+            next_id=int(payload.get("next_id", 0)),
+        )
+
+
+@dataclass
+class WalReplay:
+    """Everything :meth:`WriteAheadLog.replay` recovered from disk."""
+
+    checkpoint: dict | None  # arrays from checkpoint.npz (or None)
+    records: list = field(default_factory=list)  # post-checkpoint ops, seq order
+    torn_tail: bool = False  # a torn/unparsable trailing line was dropped
+    orphan_segments: int = 0  # segments with no commit record (crash window)
+
+
+class WriteAheadLog:
+    """Append-only durability log under one directory (see module doc)."""
+
+    def __init__(self, path: str, *, fsync: bool = True, fault_plan: str = ""):
+        self.path = str(path)
+        self.fsync = bool(fsync)
+        os.makedirs(self.path, exist_ok=True)
+        plan = resolve_fault_plan(fault_plan)
+        self._fault = FaultInjector(plan) if plan is not None else None
+        self._log_path = os.path.join(self.path, LOG_NAME)
+        self._last_seq = 0
+        for record in self._scan_log()[0]:
+            self._last_seq = max(self._last_seq, record.seq)
+        self._handle = open(self._log_path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # appends
+    # ------------------------------------------------------------------
+    @property
+    def last_seq(self) -> int:
+        return self._last_seq
+
+    def append_insert(self, ids, vectors) -> WalRecord:
+        """Durably log an insert; returns the committed record.
+
+        The payload segment is written (and replaced into place) before
+        the fault point fires, so an injected crash models dying between
+        payload and commit — the op is then *not* acknowledged and replay
+        must not surface it.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        vectors = np.atleast_2d(np.asarray(vectors))
+        if ids.shape[0] != vectors.shape[0]:
+            raise ValueError("ids and vectors must have the same length")
+        seq = self._last_seq + 1
+        segment = f"seg-{seq:08d}.npy"
+        self._write_segment(segment, vectors)
+        if self._fault is not None:
+            spec = self._fault.fire(WAL_FAULT_POINT, op="insert", seq=seq)
+            if spec is not None:  # corrupt kind: simulate a torn commit line
+                self._torn_append(
+                    WalRecord("insert", seq, tuple(int(i) for i in ids), segment)
+                )
+        record = WalRecord("insert", seq, tuple(int(i) for i in ids), segment)
+        self._append(record)
+        return record
+
+    def append_delete(self, ids) -> WalRecord:
+        seq = self._last_seq + 1
+        if self._fault is not None:
+            spec = self._fault.fire(WAL_FAULT_POINT, op="delete", seq=seq)
+            if spec is not None:
+                self._torn_append(WalRecord("delete", seq, tuple(int(i) for i in ids)))
+        record = WalRecord("delete", seq, tuple(int(i) for i in ids))
+        self._append(record)
+        return record
+
+    def _append(self, record: WalRecord) -> None:
+        self._handle.write(record.to_json() + "\n")
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self._last_seq = record.seq
+
+    def _torn_append(self, record: WalRecord) -> None:
+        """Write half a commit line (no newline) then fail — a torn write."""
+        line = record.to_json()
+        self._handle.write(line[: len(line) // 2])
+        self._handle.flush()
+        from repro.resilience import FaultInjected
+
+        raise FaultInjected(f"torn WAL append at seq {record.seq}")
+
+    def _write_segment(self, name: str, vectors: np.ndarray) -> None:
+        final = os.path.join(self.path, name)
+        tmp = final + ".tmp"
+        with open(tmp, "wb") as handle:
+            np.save(handle, vectors)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, final)
+
+    # ------------------------------------------------------------------
+    # checkpoint
+    # ------------------------------------------------------------------
+    def checkpoint(self, arrays: dict, *, seq: int | None = None, next_id: int = 0):
+        """Fold state up to ``seq`` into ``checkpoint.npz`` and shrink the log.
+
+        ``arrays`` maps names to numpy arrays (the mutable index stores
+        dataset, graph, row ids, tombstones...).  Written tmp-then-replace
+        so a crash never loses the previous checkpoint; the log rewrite
+        and segment pruning that follow are pure space reclamation — a
+        crash between the steps only leaves already-folded records that
+        replay skips by ``seq``.
+        """
+        seq = self._last_seq if seq is None else int(seq)
+        final = os.path.join(self.path, CHECKPOINT_NAME)
+        tmp = final + ".tmp"
+        payload = dict(arrays)
+        payload["wal_seq"] = np.int64(seq)
+        payload["wal_next_id"] = np.int64(next_id)
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(handle, **payload)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, final)
+        # Rewrite the log down to a single checkpoint watermark record.
+        record = WalRecord("checkpoint", seq, next_id=int(next_id))
+        log_tmp = self._log_path + ".tmp"
+        with open(log_tmp, "w", encoding="utf-8") as handle:
+            handle.write(record.to_json() + "\n")
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        self._handle.close()
+        os.replace(log_tmp, self._log_path)
+        self._handle = open(self._log_path, "a", encoding="utf-8")
+        self._last_seq = max(self._last_seq, seq)
+        self._prune_segments(seq)
+
+    def _prune_segments(self, up_to_seq: int) -> None:
+        for name in os.listdir(self.path):
+            if not (name.startswith("seg-") and name.endswith(".npy")):
+                continue
+            try:
+                seg_seq = int(name[4:-4])
+            except ValueError:
+                continue
+            if seg_seq <= up_to_seq:
+                try:
+                    os.remove(os.path.join(self.path, name))
+                except OSError:
+                    pass
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    def _scan_log(self) -> tuple[list, bool]:
+        """Parse commit records; a torn/bad line ends the valid log."""
+        records = []
+        torn = False
+        if not os.path.exists(self._log_path):
+            return records, torn
+        with open(self._log_path, encoding="utf-8") as handle:
+            for line in handle:
+                text = line.rstrip("\n")
+                if not text:
+                    continue
+                try:
+                    records.append(WalRecord.from_json(text))
+                except (ValueError, KeyError):
+                    torn = True
+                    break
+        return records, torn
+
+    def load_segment(self, record: WalRecord) -> np.ndarray:
+        with open(os.path.join(self.path, record.segment), "rb") as handle:
+            return np.load(io.BytesIO(handle.read()))
+
+    def replay(self) -> WalReplay:
+        """Recover checkpoint + post-checkpoint ops (see module doc)."""
+        checkpoint = None
+        checkpoint_seq = 0
+        cp_path = os.path.join(self.path, CHECKPOINT_NAME)
+        if os.path.exists(cp_path):
+            with np.load(cp_path, allow_pickle=False) as archive:
+                checkpoint = {name: archive[name] for name in archive.files}
+            checkpoint_seq = int(checkpoint.pop("wal_seq"))
+        records, torn = self._scan_log()
+        ops = []
+        committed_segments = set()
+        for record in records:
+            if record.op == "checkpoint":
+                checkpoint_seq = max(checkpoint_seq, record.seq)
+                continue
+            committed_segments.add(record.segment)
+            if record.seq <= checkpoint_seq:
+                continue  # already folded into the checkpoint
+            if record.op == "insert" and not os.path.exists(
+                os.path.join(self.path, record.segment)
+            ):
+                # Commit without payload: cannot happen from the append
+                # ordering, so treat it as the end of the trusted log.
+                torn = True
+                break
+            ops.append(record)
+        orphans = sum(
+            1
+            for name in os.listdir(self.path)
+            if name.startswith("seg-")
+            and name.endswith(".npy")
+            and name not in committed_segments
+        )
+        if checkpoint is not None:
+            checkpoint["next_id"] = checkpoint.pop("wal_next_id")
+        return WalReplay(
+            checkpoint=checkpoint,
+            records=ops,
+            torn_tail=torn,
+            orphan_segments=orphans,
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"WriteAheadLog(path={self.path!r}, last_seq={self._last_seq})"

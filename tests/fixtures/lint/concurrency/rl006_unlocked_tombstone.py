@@ -1,0 +1,23 @@
+"""RL006 fixture: visibility state (tombstones / live mask) written
+outside the owning class's lock — every method below races a concurrent
+reader."""
+
+import threading
+
+import numpy as np
+
+
+class LeakyTombstones:
+    def __init__(self, rows: int):
+        self._lock = threading.Lock()
+        self._tombstones = np.zeros(rows, dtype=bool)
+        self._live_mask = np.ones(rows, dtype=bool)
+
+    def delete(self, row: int) -> None:
+        self._tombstones[row] = True  # element store, lock-free
+
+    def reset(self) -> None:
+        self._tombstones.fill(False)  # in-place mutator, lock-free
+
+    def republish(self, mask: np.ndarray) -> None:
+        self._live_mask = mask  # rebind, lock-free

@@ -92,6 +92,101 @@ class TestRL101:
         )
         assert "RL101" not in rules_of(src)
 
+    def test_locked_suffix_method_assumes_lock_held(self):
+        # `*_locked` methods declare "caller holds the lock".
+        src = LOCKED_CLASS + (
+            "    def reset_locked(self):\n"
+            "        self.total = 0\n"
+        )
+        assert "RL101" not in rules_of(src)
+
+
+# ----------------------------------------------------------------------
+# RL006 — tombstone/mask visibility state guarded by declaration
+# ----------------------------------------------------------------------
+STREAM_CLASS = (
+    "import threading\n"
+    "class S:\n"
+    "    def __init__(self):\n"
+    "        self._lock = threading.Lock()\n"
+    "        self._tombstones = []\n"
+    "        self.counter = 0\n"
+)
+
+
+class TestRL006:
+    def test_unlocked_rebind_is_flagged(self):
+        src = STREAM_CLASS + (
+            "    def swap(self, fresh):\n"
+            "        self._tombstones = fresh\n"
+        )
+        assert "RL006" in rules_of(src)
+
+    def test_unlocked_element_store_is_flagged(self):
+        src = STREAM_CLASS + (
+            "    def delete(self, row):\n"
+            "        self._tombstones[row] = True\n"
+        )
+        assert "RL006" in rules_of(src)
+
+    def test_unlocked_inplace_mutator_is_flagged(self):
+        src = STREAM_CLASS + (
+            "    def delete(self, row):\n"
+            "        self._tombstones.append(row)\n"
+        )
+        assert "RL006" in rules_of(src)
+
+    def test_locked_write_passes(self):
+        src = STREAM_CLASS + (
+            "    def delete(self, row):\n"
+            "        with self._lock:\n"
+            "            self._tombstones[row] = True\n"
+        )
+        assert "RL006" not in rules_of(src)
+
+    def test_flagged_even_when_class_never_locks_it(self):
+        # RL101 only learns from writes it has seen under a lock; RL006
+        # guards the name family by declaration, so a class that forgot
+        # to lock these writes entirely is still caught.
+        src = STREAM_CLASS + (
+            "    def delete(self, row):\n"
+            "        self._tombstones[row] = True\n"
+        )
+        assert "RL101" not in rules_of(src)
+        assert "RL006" in rules_of(src)
+
+    def test_locked_suffix_method_is_exempt(self):
+        src = STREAM_CLASS + (
+            "    def _delete_locked(self, row):\n"
+            "        self._tombstones[row] = True\n"
+        )
+        assert "RL006" not in rules_of(src)
+
+    def test_unrelated_attribute_is_ignored(self):
+        src = STREAM_CLASS + (
+            "    def bump(self):\n"
+            "        self.counter = self.counter + 1\n"
+        )
+        assert "RL006" not in rules_of(src)
+
+    def test_class_without_lock_is_ignored(self):
+        src = (
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._tombstones = []\n"
+            "    def delete(self, row):\n"
+            "        self._tombstones.append(row)\n"
+        )
+        assert "RL006" not in rules_of(src)
+
+    def test_waiver_suppresses(self):
+        src = STREAM_CLASS + (
+            "    def delete(self, row):\n"
+            "        self._tombstones[row] = True"
+            "  # repro-lint: disable=RL006 — single-threaded tool\n"
+        )
+        assert "RL006" not in rules_of(src)
+
 
 # ----------------------------------------------------------------------
 # RL102 — shared-state mutation in thread targets
@@ -451,6 +546,7 @@ class TestFixturesThroughCli:
     @pytest.mark.parametrize(
         "fixtures, rule_id",
         [
+            (CONCURRENCY_FIXTURES, "RL006"),
             (CONCURRENCY_FIXTURES, "RL101"),
             (CONCURRENCY_FIXTURES, "RL102"),
             (CONCURRENCY_FIXTURES, "RL103"),

@@ -251,7 +251,7 @@ class TestWaivers:
 class TestRegistryAndCli:
     def test_all_rules_registered(self):
         assert sorted(RULES) == [
-            "RL001", "RL002", "RL003", "RL004", "RL005",
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
             "RL101", "RL102", "RL103", "RL104",
             "RL201", "RL202",
         ]
