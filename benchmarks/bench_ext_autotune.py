@@ -1,0 +1,145 @@
+"""Extension bench: search-parameter auto-tuning — default vs tuned QPS.
+
+The paper hand-picks ``itopk``/``search_width`` per dataset (Table I/V);
+``repro.tune`` automates the pick.  This bench runs the tuner on a
+synthetic dataset, then compares the library default (``itopk=64``,
+``search_width=1``) against the tuned operating point at the same recall
+target: genuine recall from the brute-force oracle, QPS from the GPU
+cost model at the simulated launch batch (the same pricing pipeline as
+the Fig. 10/13 benches).
+
+Alongside the human-readable table in ``benchmarks/results/``, the run
+appends a machine-readable entry to ``BENCH_search.json`` at the repo
+root (the search-side perf trajectory, companion to
+``BENCH_streaming.json``): re-running on a later checkout appends a new
+entry, so tuned-vs-default headroom is tracked across PRs.
+"""
+
+import json
+import os
+from datetime import date
+
+import pytest
+from conftest import emit
+
+from repro import CagraIndex, GraphBuildConfig
+from repro.bench import format_table
+from repro.datasets.synthetic import clustered_gaussian, make_queries
+from repro.tune import TuneGrid, tune_search_params
+
+TRAJECTORY_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_search.json"
+)
+
+ROWS = 1500
+DIM = 32
+DEGREE = 16
+NUM_QUERIES = 64
+K = 10
+SEED = 31
+RECALL_TARGET = 0.95
+BATCH = 10_000
+GRID = TuneGrid(itopk_values=(16, 32, 64, 96, 128), search_widths=(1, 2, 4))
+
+
+@pytest.fixture(scope="module")
+def tune_setup():
+    data = clustered_gaussian(ROWS, DIM, seed=SEED)
+    index = CagraIndex.build(
+        data, GraphBuildConfig(graph_degree=DEGREE, seed=SEED)
+    )
+    queries = make_queries(data, NUM_QUERIES, seed=SEED + 1)
+    return index, queries
+
+
+def test_autotune_default_vs_tuned(tune_setup, benchmark):
+    """Tuned point must meet the recall target at >= the default's QPS."""
+    index, queries = tune_setup
+
+    def run():
+        return tune_search_params(
+            index,
+            k=K,
+            recall_target=RECALL_TARGET,
+            queries=queries,
+            grid=GRID,
+            batch_size=BATCH,
+            created=date.today().isoformat(),
+        )
+
+    profile = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for point in profile.sweep:
+        label = ""
+        if point == profile.chosen:
+            label = "<= tuned"
+        elif point == profile.baseline:
+            label = "<= default"
+        rows.append([
+            point.itopk, point.search_width, point.max_iterations or "auto",
+            f"{point.recall:.4f}", f"{point.qps:,.0f}",
+            f"{point.distance_computations_per_query:.0f}", label,
+        ])
+    emit(
+        "ext_autotune",
+        format_table(
+            ["itopk", "width", "max_it", f"recall@{K}", "QPS (sim)",
+             "dist/query", ""],
+            rows,
+            title=(
+                f"Extension: auto-tuned search parameters "
+                f"({ROWS}-row degree-{DEGREE} index, {NUM_QUERIES} queries, "
+                f"recall target {RECALL_TARGET}, simulated batch {BATCH})"
+            ),
+        )
+        + f"\ntuned/default QPS at recall>={RECALL_TARGET}: "
+        f"{profile.speedup():.2f}x",
+    )
+
+    def cell(point):
+        return {
+            "itopk": point.itopk,
+            "search_width": point.search_width,
+            "max_iterations": point.max_iterations,
+            "recall": round(point.recall, 4),
+            "qps": round(point.qps),
+            "distance_computations_per_query": round(
+                point.distance_computations_per_query, 1
+            ),
+        }
+
+    entry = {
+        "recorded": date.today().isoformat(),
+        "bench": "ext_autotune",
+        "config": {
+            "rows": ROWS, "dim": DIM, "degree": DEGREE, "k": K,
+            "num_queries": NUM_QUERIES, "seed": SEED,
+            "recall_target": RECALL_TARGET, "batch": BATCH,
+            "itopk_grid": list(GRID.itopk_values),
+            "width_grid": list(GRID.search_widths),
+        },
+        "cells": {
+            "default": cell(profile.baseline),
+            "tuned": cell(profile.chosen),
+        },
+        "costs": {
+            "tuned_over_default_qps": round(profile.speedup(), 3),
+            "meets_target": profile.meets_target,
+            "grid_points": len(profile.sweep),
+        },
+    }
+    trajectory = {"schema": 1, "entries": []}
+    if os.path.exists(TRAJECTORY_PATH):
+        with open(TRAJECTORY_PATH, encoding="utf-8") as handle:
+            trajectory = json.load(handle)
+    trajectory["entries"].append(entry)
+    with open(TRAJECTORY_PATH, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    # Acceptance: the tuned config meets the recall target with at least
+    # the default's QPS (the default is on the grid, so this can't lose).
+    assert profile.meets_target
+    assert profile.chosen.recall >= RECALL_TARGET
+    assert profile.chosen.qps >= profile.baseline.qps

@@ -8,6 +8,7 @@ Subcommands::
     repro-cagra bench  --dataset deep-1m --scale 3000 --batch 10000
     repro-cagra serve  --dataset deep-1m --scale 2000 --rate 500 --duration 2
     repro-cagra stream --dataset deep-1m --scale 2000 --ops 500
+    repro-cagra tune   --dataset deep-1m --scale 2000 --recall-target 0.95
     repro-cagra validate --index idx.npz      # integrity + reachability audit
     repro-cagra lint --strict                 # repo invariant linter (RL001-RL006)
     repro-cagra report                        # aggregate benchmarks/results/
@@ -37,6 +38,15 @@ environment variable) to inject deterministic faults for chaos testing.
 Degraded searches surface ``degraded`` / ``failed_shards`` in ``--format
 json``, and ``serve --format json`` includes the server ``health()``
 snapshot (circuit-breaker states, rolling failure rate).
+
+Tuning (``docs/API.md``): ``tune`` sweeps ``itopk × search_width ×
+max_iterations`` against a brute-force recall oracle and saves the
+winning operating point as a :class:`repro.tune.TunedProfile` JSON.
+``search``, ``serve`` and ``bench`` take ``--profile auto|PATH`` to load
+one (``auto`` scans ``REPRO_PROFILE_DIR`` or ``./profiles`` by dataset
+fingerprint); explicit ``--itopk`` / ``--search-width`` /
+``--max-iterations`` flags always win over profile values, and a
+corrupt or stale profile warns and falls back to defaults.
 
 Mutability (``docs/streaming.md``): ``serve --mutable`` wraps the index
 in a :class:`repro.stream.MutableIndex` (and ``--auto-rebuild`` starts
@@ -70,6 +80,57 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--fvecs", default="", help="load dataset from an .fvecs file instead")
     parser.add_argument("--queries", type=int, default=100, help="query count")
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_search_param_args(
+    parser: argparse.ArgumentParser, profile: bool = True
+) -> None:
+    """Search-parameter knobs shared by search/serve/bench/stream.
+
+    Defaults are ``None`` sentinels so a loaded tuned profile can supply
+    values while explicit flags still win (see :func:`_search_config`).
+    """
+    parser.add_argument("--itopk", type=int, default=None,
+                        help="internal top-M list size (default: tuned "
+                             "profile if loaded, else 64)")
+    parser.add_argument("--search-width", type=int, default=None,
+                        help="parents expanded per iteration (default: "
+                             "tuned profile if loaded, else 1)")
+    parser.add_argument("--max-iterations", type=int, default=None,
+                        help="iteration cap (0 = auto bound; default: "
+                             "tuned profile if loaded, else 0)")
+    if profile:
+        parser.add_argument("--profile", default="",
+                            help="tuned profile: 'auto' (scan "
+                                 "REPRO_PROFILE_DIR or ./profiles for this "
+                                 "dataset/kind/k) or a profile JSON path")
+
+
+def _resolve_profile_arg(args, dataset, index_kind: str, k: int):
+    """``--profile`` → :class:`repro.tune.TunedProfile` or None (warned)."""
+    spec = getattr(args, "profile", "")
+    if not spec:
+        return None
+    from repro.tune import resolve_profile
+
+    return resolve_profile(spec, data=dataset, index_kind=index_kind, k=k)
+
+
+def _search_config(args, profile=None, **base_fields) -> "SearchConfig":
+    """Merge search parameters: explicit flags > tuned profile > defaults."""
+    config = SearchConfig(**base_fields)
+    if profile is not None:
+        config = profile.search_config(base=config)
+    overrides = {
+        name: value
+        for name, value in (
+            ("itopk", getattr(args, "itopk", None)),
+            ("search_width", getattr(args, "search_width", None)),
+            ("max_iterations", getattr(args, "max_iterations", None)),
+        )
+        if value is not None
+    }
+    return config.with_overrides(**overrides) if overrides else config
 
 
 def _add_parallel_args(parser: argparse.ArgumentParser, shards: bool = True) -> None:
@@ -210,7 +271,10 @@ def _cmd_search(args) -> int:
         print("search needs --index (saved file) or --index-kind (build fresh)",
               file=sys.stderr)
         return 2
-    config = SearchConfig(itopk=args.itopk, algo=args.algo)
+    profile = _resolve_profile_arg(
+        args, ann.dataset, getattr(ann, "kind", "cagra"), args.k
+    )
+    config = _search_config(args, profile, algo=args.algo, seed=args.seed)
     started = time.perf_counter()
     result = ann.search(
         queries, args.k, config=config,
@@ -227,7 +291,11 @@ def _cmd_search(args) -> int:
         payload = {
             "queries": int(queries.shape[0]),
             "k": args.k,
-            "itopk": args.itopk,
+            "itopk": config.itopk,
+            "search_width": config.search_width,
+            "max_iterations": config.max_iterations,
+            "profile": args.profile or None,
+            "tuned": profile is not None,
             "algo": algo,
             "index_kind": getattr(ann, "kind", "unknown"),
             "fast_path": bool(args.fast),
@@ -242,6 +310,10 @@ def _cmd_search(args) -> int:
         print(json.dumps(payload, indent=2))
         return 0
     print(f"searched {queries.shape[0]} queries in {elapsed:.3f}s (python wall time)")
+    source = "tuned profile" if profile is not None else "defaults/flags"
+    print(f"params ({source}): itopk={config.itopk} "
+          f"search_width={config.search_width} "
+          f"max_iterations={config.max_iterations or 'auto'}")
     print(f"recall@{args.k}: {measured_recall:.4f}")
     print(f"distance computations/query: {per_query:.0f}")
     if degraded:
@@ -250,7 +322,7 @@ def _cmd_search(args) -> int:
     return 0
 
 
-def _subject_curve(args, subject, data, queries, truth, sweep):
+def _subject_curve(args, subject, data, queries, truth, sweep, base_config=None):
     """Recall–QPS curve for the ``--index-kind`` subject index."""
     from repro.bench import (
         MethodCurve,
@@ -264,7 +336,10 @@ def _subject_curve(args, subject, data, queries, truth, sweep):
     kind = args.index_kind
     inner = subject.inner
     if kind == "cagra":
-        return run_cagra_sweep(inner, queries, truth, args.k, sweep, args.batch)
+        return run_cagra_sweep(
+            inner, queries, truth, args.k, sweep, args.batch,
+            base_config=base_config,
+        )
     if kind == "hnsw":
         return run_hnsw_sweep(inner, queries, truth, args.k, sweep, args.batch)
     if kind in ("ggnn", "ganns"):
@@ -322,8 +397,14 @@ def _cmd_bench(args) -> int:
     # search timings next to the build stage (sweeps below use the
     # native paths the cost models price).
     subject.search(queries, args.k, on_stage=recorder.on_stage)
-    sweep = [max(args.k, v) for v in (10, 16, 32, 64, 128)]
-    curves = [_subject_curve(args, subject, data, queries, truth, sweep)]
+    profile = _resolve_profile_arg(args, subject.dataset, args.index_kind, args.k)
+    base_search = _search_config(args, profile)
+    sweep = sorted({max(args.k, v) for v in (10, 16, 32, 64, 128)})
+    if profile is not None and args.index_kind == "cagra":
+        # Make sure the tuned operating point itself appears on the curve.
+        sweep = sorted(set(sweep) | {profile.chosen.itopk})
+    curves = [_subject_curve(args, subject, data, queries, truth, sweep,
+                             base_config=base_search)]
     # The paper's CPU comparator; redundant when it *is* the subject.
     if args.index_kind != "hnsw":
         hnsw = HnswIndex(
@@ -352,6 +433,9 @@ def _cmd_bench(args) -> int:
             "batch": args.batch,
             "k": args.k,
             "index_kind": args.index_kind,
+            "profile": args.profile or None,
+            "search_width": base_search.search_width,
+            "max_iterations": base_search.max_iterations,
             "hnsw": {"m": args.hnsw_m, "ef_construction": args.hnsw_efc},
             "curves": [asdict(curve) for curve in curves],
             "speedup_vs_hnsw_at_recall": speedups,
@@ -394,6 +478,13 @@ def _cmd_serve(args) -> int:
         index = CagraIndex.build(
             data, GraphBuildConfig(graph_degree=args.degree or degree, metric=metric)
         )
+    profile = _resolve_profile_arg(
+        args,
+        getattr(index, "dataset", data),
+        getattr(index, "kind", args.index_kind or "cagra"),
+        args.k,
+    )
+    search_config = _search_config(args, profile, seed=args.seed)
     if args.mutable:
         from repro.stream import MutableIndex
 
@@ -416,7 +507,7 @@ def _cmd_serve(args) -> int:
         rebuild_calibrate=args.rebuild_calibrate,
     )
     num_requests = args.requests or max(1, int(args.rate * args.duration))
-    server = CagraServer(index, config, search_config=SearchConfig(itopk=args.itopk, seed=args.seed))
+    server = CagraServer(index, config, search_config=search_config)
     with server:
         if args.mode == "open":
             report = run_open_loop(
@@ -515,7 +606,7 @@ def _cmd_stream(args) -> int:
         rebuild_calibrate=args.rebuild_calibrate,
     )
     server = CagraServer(
-        index, config, search_config=SearchConfig(itopk=args.itopk, seed=args.seed)
+        index, config, search_config=_search_config(args, seed=args.seed)
     )
     with server:
         report = run_mixed_closed_loop(
@@ -602,6 +693,87 @@ def _cmd_stream(args) -> int:
               file=sys.stderr)
         return 1
     return 1 if report.failures > 0 else 0
+
+
+def _parse_grid(spec: str, flag: str) -> tuple[int, ...] | None:
+    """``"16,32,64"`` → ``(16, 32, 64)``; empty → None (grid default)."""
+    if not spec:
+        return None
+    try:
+        values = tuple(int(part) for part in spec.split(",") if part.strip())
+    except ValueError:
+        raise SystemExit(f"{flag} expects comma-separated integers, got {spec!r}")
+    if not values:
+        raise SystemExit(f"{flag} expects at least one value")
+    return values
+
+
+def _cmd_tune(args) -> int:
+    """Offline auto-tune: sweep the grid, report the frontier, save a profile."""
+    import os
+
+    from repro.tune import (
+        TuneGrid,
+        default_profile_dir,
+        profile_filename,
+        tune_search_params,
+    )
+
+    data, queries, metric, degree = _load(args)
+    if args.index:
+        index = CagraIndex.load(args.index)
+    else:
+        index = CagraIndex.build(
+            data,
+            GraphBuildConfig(graph_degree=args.degree or degree, metric=metric,
+                             seed=args.seed),
+        )
+    grid_kwargs = {}
+    itopk_values = _parse_grid(args.itopk_grid, "--itopk-grid")
+    width_values = _parse_grid(args.width_grid, "--width-grid")
+    if itopk_values:
+        grid_kwargs["itopk_values"] = itopk_values
+    if width_values:
+        grid_kwargs["search_widths"] = width_values
+    profile = tune_search_params(
+        index,
+        k=args.k,
+        recall_target=args.recall_target,
+        queries=queries,
+        grid=TuneGrid(**grid_kwargs),
+        batch_size=args.batch,
+        base_config=SearchConfig(seed=args.seed),
+        created=time.strftime("%Y-%m-%d"),
+    )
+    out = args.out or os.path.join(
+        default_profile_dir(),
+        profile_filename(profile.fingerprint, profile.index_kind, profile.k),
+    )
+    profile.save(out)
+    if args.format == "json":
+        print(json.dumps({"path": out, "profile": profile.to_dict()}, indent=2))
+        return 0
+    print(f"tuned {index!r} for recall@{args.k} >= {args.recall_target} "
+          f"(simulated batch {args.batch}, {queries.shape[0]} queries)")
+    print(f"{'itopk':>6} {'width':>6} {'max_it':>7} {'recall':>8} {'QPS':>14}")
+    for point in profile.sweep:
+        marker = " <= chosen" if point == profile.chosen else ""
+        print(f"{point.itopk:>6} {point.search_width:>6} "
+              f"{point.max_iterations or 'auto':>7} {point.recall:>8.4f} "
+              f"{point.qps:>14,.0f}{marker}")
+    print(f"baseline (itopk={profile.baseline.itopk}): "
+          f"recall {profile.baseline.recall:.4f}, "
+          f"QPS {profile.baseline.qps:,.0f}")
+    print(f"chosen: itopk={profile.chosen.itopk} "
+          f"search_width={profile.chosen.search_width} "
+          f"max_iterations={profile.chosen.max_iterations or 'auto'} "
+          f"-> {profile.speedup():.2f}x baseline QPS")
+    if not profile.meets_target:
+        print(f"WARNING: no grid point reached recall {args.recall_target}; "
+              f"profile records the best-recall point "
+              f"({profile.chosen.recall:.4f})", file=sys.stderr)
+    print(f"saved to {out}")
+    return 0
 
 
 def _cmd_validate(args) -> int:
@@ -726,7 +898,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument("--degree", type=int, default=0,
                           help="graph degree for --index-kind builds (0 = kind default)")
     p_search.add_argument("-k", type=int, default=10)
-    p_search.add_argument("--itopk", type=int, default=64)
+    _add_search_param_args(p_search)
     p_search.add_argument("--algo", choices=("auto", "single_cta", "multi_cta"), default="auto")
     p_search.add_argument("--fast", action="store_true",
                           help="use the vectorized lockstep batch search")
@@ -739,6 +911,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--index-kind", choices=INDEX_KINDS, default="cagra",
                          help="subject index family for the sweep")
     p_bench.add_argument("-k", type=int, default=10)
+    _add_search_param_args(p_bench)
     p_bench.add_argument("--degree", type=int, default=0)
     p_bench.add_argument("--batch", type=int, default=10000, help="simulated batch size")
     p_bench.add_argument("--hnsw-m", type=int, default=16,
@@ -757,7 +930,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="index family to build and serve")
     p_serve.add_argument("-k", type=int, default=10)
     p_serve.add_argument("--degree", type=int, default=0)
-    p_serve.add_argument("--itopk", type=int, default=64)
+    _add_search_param_args(p_serve)
     p_serve.add_argument("--rate", type=float, default=500.0,
                          help="open-loop Poisson arrival rate (qps)")
     p_serve.add_argument("--duration", type=float, default=2.0,
@@ -804,7 +977,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_args(p_stream)
     p_stream.add_argument("-k", type=int, default=10)
     p_stream.add_argument("--degree", type=int, default=0)
-    p_stream.add_argument("--itopk", type=int, default=64)
+    _add_search_param_args(p_stream, profile=False)
     p_stream.add_argument("--ops", type=int, default=500,
                           help="total mixed operations across all clients")
     p_stream.add_argument("--clients", type=int, default=4,
@@ -836,6 +1009,32 @@ def build_parser() -> argparse.ArgumentParser:
                           help="deterministic fault-injection plan, JSON or "
                                "@path (e.g. at stream.wal.append)")
     p_stream.add_argument("--format", choices=("text", "json"), default="text")
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="auto-tune search parameters to a recall target and save a "
+             "tuned profile (loadable via --profile on search/serve/bench)",
+    )
+    _add_dataset_args(p_tune)
+    p_tune.add_argument("--index", default="",
+                        help="tune a saved CAGRA index .npz (default: build "
+                             "one from the dataset)")
+    p_tune.add_argument("--degree", type=int, default=0,
+                        help="graph degree for fresh builds (0 = dataset default)")
+    p_tune.add_argument("-k", type=int, default=10)
+    p_tune.add_argument("--recall-target", type=float, default=0.95,
+                        help="recall@k the tuned point must reach")
+    p_tune.add_argument("--batch", type=int, default=10000,
+                        help="simulated batch size for QPS pricing")
+    p_tune.add_argument("--itopk-grid", default="",
+                        help="comma-separated itopk values to sweep "
+                             "(default 16,32,64,96,128; values < k dropped)")
+    p_tune.add_argument("--width-grid", default="",
+                        help="comma-separated search_width values (default 1,2,4)")
+    p_tune.add_argument("--out", default="",
+                        help="profile output path (default: canonical name "
+                             "under REPRO_PROFILE_DIR or ./profiles)")
+    p_tune.add_argument("--format", choices=("text", "json"), default="text")
 
     p_validate = sub.add_parser("validate", help="audit a saved index")
     p_validate.add_argument("--index", required=True, help="index .npz path")
@@ -871,6 +1070,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": _cmd_bench,
         "serve": _cmd_serve,
         "stream": _cmd_stream,
+        "tune": _cmd_tune,
         "validate": _cmd_validate,
         "lint": _cmd_lint,
         "report": _cmd_report,

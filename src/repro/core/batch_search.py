@@ -28,10 +28,54 @@ import numpy as np
 from repro.core.config import SearchConfig
 from repro.core.distances import gathered_distances
 from repro.core.graph import INDEX_MASK, PARENT_FLAG, FixedDegreeGraph
+from repro.core.rng_init import random_init_block
 from repro.core.search import CostReport, SearchResult
 from repro.core.topm import bitonic_comparator_count, sort_strategy
 
 __all__ = ["search_batch_fast"]
+
+
+def _first_occurrence_rows(ids: np.ndarray) -> np.ndarray:
+    """Mask of the first occurrence of each value within its row.
+
+    The reference path feeds candidates one by one through the hash
+    table, so when a node id appears twice in the same gather only the
+    first occurrence reports "new" (one distance computation, one hash
+    insertion).  The lockstep path must dedupe the same way *before*
+    consulting the visited table, or intra-gather duplicates are
+    double-counted.
+    """
+    order = np.argsort(ids, axis=1, kind="stable")
+    sorted_ids = np.take_along_axis(ids, order, axis=1)
+    first_sorted = np.ones(ids.shape, dtype=bool)
+    first_sorted[:, 1:] = sorted_ids[:, 1:] != sorted_ids[:, :-1]
+    first = np.empty(ids.shape, dtype=bool)
+    np.put_along_axis(first, order, first_sorted, axis=1)
+    return first
+
+
+def _charge_iteration_sort(
+    report: CostReport, lengths: np.ndarray, itopk: int
+) -> None:
+    """Meter step ①'s sort+merge for the active lockstep queries.
+
+    ``lengths`` holds each query's *current* candidate-list length: the
+    reference path charges ``_charge_sort`` with the actual gather size,
+    which drops below ``search_width * degree`` when a query has fewer
+    unparented top-M entries than ``search_width`` — so must we.
+    """
+    for length, count in zip(*np.unique(lengths, return_counts=True)):
+        length, count = int(length), int(count)
+        if length == 0:
+            continue
+        if sort_strategy(length) == "warp_bitonic":
+            report.sort_comparator_ops += count * bitonic_comparator_count(length)
+        else:
+            report.radix_sorted_elements += count * length
+        merged = itopk + length
+        report.sort_comparator_ops += count * (
+            bitonic_comparator_count(merged) // max(1, merged.bit_length()) * 2
+        )
 
 
 def _merge_rows(
@@ -102,10 +146,18 @@ def search_batch_fast(
         ]
         indices = np.concatenate([p.indices for p in pieces])
         distances = np.concatenate([p.distances for p in pieces])
-        total = pieces[0].report
-        for piece in pieces[1:]:
+        # Accumulate into a fresh report: merge_from mutates its target,
+        # and aliasing the first chunk's report would corrupt that
+        # chunk's own counters (and overwrite its batch_size).
+        total = CostReport(
+            algo="single_cta",
+            batch_size=queries.shape[0],
+            hash_in_shared=True,
+            hash_log2_size=11,
+            kernel_launches=1,
+        )
+        for piece in pieces:
             total.merge_from(piece.report)
-        total.batch_size = queries.shape[0]
         return SearchResult(indices=indices, distances=distances, report=total)
     return _search_chunk_fast(data, graph, queries, k, config, metric, filter_mask)
 
@@ -150,23 +202,24 @@ def _search_chunk_fast(
         kernel_launches=1,
     )
 
-    # ⓪ per-query random initialization (same streams as the reference).
-    cand_ids = np.empty((batch, width), dtype=np.uint32)
-    for i in range(batch):
-        rng = np.random.default_rng([config.seed, seed_offset + i])
-        cand_ids[i] = rng.integers(0, n, size=width, dtype=np.uint32)
+    # ⓪ per-query random initialization (bit-identical to the reference's
+    # per-query default_rng streams, vectorized across the batch).
+    cand_ids = random_init_block(config.seed, seed_offset, batch, n, width)
     report.random_inits = batch * width
 
     visited = np.zeros((batch, n), dtype=bool)
     rows = np.arange(batch)[:, None]
-    fresh = ~visited[rows, cand_ids.astype(np.int64)]
-    visited[rows, cand_ids.astype(np.int64)] = True
-    cand_dists = gathered_distances(data, queries, cand_ids.astype(np.int64), metric)
+    cand_int = cand_ids.astype(np.int64)
+    # Only the first occurrence of a node within a row's gather is a
+    # first-time computation — the reference hash table counts a
+    # duplicated seed once (satellite: intra-gather dedupe before the
+    # visited write, not after).
+    fresh = _first_occurrence_rows(cand_int) & ~visited[rows, cand_int]
+    visited[rows, cand_int] = True
+    cand_dists = gathered_distances(data, queries, cand_int, metric)
     cand_dists = np.where(fresh, cand_dists, np.inf)
     if filter_mask is not None:
-        cand_dists = np.where(
-            filter_mask[cand_ids.astype(np.int64)], cand_dists, np.inf
-        )
+        cand_dists = np.where(filter_mask[cand_int], cand_dists, np.inf)
     report.distance_computations += int(fresh.sum())
     report.skipped_distance_computations += int((~fresh).sum())
     report.hash_lookups += fresh.size
@@ -176,16 +229,14 @@ def _search_chunk_fast(
     topm_ids = np.full((batch, itopk), INDEX_MASK, dtype=np.uint32)
     topm_dists = np.full((batch, itopk), np.inf)
     active = np.ones(batch, dtype=bool)
+    cand_width = np.full(batch, width, dtype=np.int64)
     p = config.search_width
 
     iteration = 0
     while iteration < max_iter and active.any():
         iteration += 1
         report.iterations += int(active.sum())
-        if sort_strategy(width) == "warp_bitonic":
-            report.sort_comparator_ops += int(active.sum()) * bitonic_comparator_count(width)
-        else:
-            report.radix_sorted_elements += int(active.sum()) * width
+        _charge_iteration_sort(report, cand_width[active], itopk)
 
         # ① merge candidates into the top-M buffer.
         topm_ids, topm_dists = _merge_rows(
@@ -221,11 +272,16 @@ def _search_chunk_fast(
 
         # ② gather neighbors, ③ compute first-time distances.
         cand_ids = graph.neighbors[parent_nodes].reshape(batch, -1)
+        cand_width = usable.sum(axis=1) * degree
         report.candidate_gathers += int(usable.sum()) * degree
         cand_int = cand_ids.astype(np.int64)
-        fresh = ~visited[rows, cand_int]
         lane_usable = np.repeat(usable, degree, axis=1)
-        fresh &= lane_usable
+        # Dedupe within the gather: stand-in lanes are remapped to unique
+        # out-of-range sentinels so they can never claim a real node's
+        # first occurrence, then only first occurrences of usable lanes
+        # count as first-time computations (reference hash semantics).
+        lane_ids = np.where(lane_usable, cand_int, n + np.arange(width, dtype=np.int64))
+        fresh = _first_occurrence_rows(lane_ids) & lane_usable & ~visited[rows, cand_int]
         visited[rows, cand_int] |= lane_usable
         cand_dists = gathered_distances(data, queries, cand_int, metric)
         cand_dists = np.where(fresh, cand_dists, np.inf)

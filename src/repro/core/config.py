@@ -15,7 +15,7 @@ These mirror the knobs exposed by the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
 from repro.core.distances import METRICS
 
@@ -171,6 +171,23 @@ class SearchConfig:
     def with_overrides(self, **kwargs) -> "SearchConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
+
+    @classmethod
+    def from_mapping(
+        cls, mapping: "dict | None", base: "SearchConfig | None" = None, **overrides
+    ) -> "SearchConfig":
+        """Build a config from a loose mapping (e.g. a tuned-profile JSON).
+
+        Unknown keys are ignored so profile schemas can grow without
+        breaking older readers; ``base`` supplies the starting values
+        (default-constructed otherwise) and ``overrides`` win over both.
+        This is how :mod:`repro.tune` profiles become ``SearchConfig``
+        defaults without the core depending on the tuner.
+        """
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in dict(mapping or {}).items() if k in known}
+        kwargs.update({k: v for k, v in overrides.items() if k in known})
+        return replace(base, **kwargs) if base is not None else cls(**kwargs)
 
 
 def choose_algo(

@@ -1,0 +1,238 @@
+"""Vectorized random-initialization blocks for the lockstep fast path.
+
+The reference search seeds every query's candidate list from its own
+``np.random.default_rng([seed, query_index])`` stream so a query's result
+never depends on its position in the batch (the CUDA kernels likewise
+derive per-query Philox streams).  The fast path must draw the *same*
+streams — the bitwise regression fixture pins them — but constructing a
+``Generator`` per query made large-batch initialization a serial Python
+loop that dominated auto-tuner sweeps.
+
+:func:`random_init_block` produces bit-identical draws for the whole
+batch with array arithmetic by emulating the exact NumPy pipeline:
+
+* ``SeedSequence([seed, q]).generate_state(4, uint64)`` — the entropy
+  pool mixing (hash/mix rounds with the published constants; the evolving
+  hash constant is query-independent, so the rounds vectorize across the
+  batch);
+* PCG64 (XSL-RR 128/64, setseq) seeding and state advance — 128-bit LCG
+  steps emulated on ``uint64`` hi/lo pairs;
+* ``Generator.integers(0, n, dtype=uint32)`` — Lemire bounded rejection
+  over the 32-bit half-draw stream (low half first, then high, exactly
+  like ``pcg64_next32``'s buffer).
+
+Acceptance of each 32-bit draw is a pure predicate of the draw value
+(``leftover >= threshold``), so per-element rejection vectorizes: draw a
+chunk for all rows, keep each row's first ``width`` accepted values, and
+draw again for any row that ran short (states persist across chunks).
+
+NumPy documents both the ``SeedSequence`` mixing and the PCG64 stream as
+stable across releases; ``tests/test_search_internals.py`` additionally
+cross-checks this module against per-query ``default_rng`` draws on
+every run, and :func:`random_init_block` falls back to the reference
+loop for inputs outside the fast path's envelope (negative/huge seeds,
+``n`` beyond 32 bits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["random_init_block"]
+
+_M32 = 0xFFFFFFFF
+_U32 = np.uint64(_M32)
+
+# SeedSequence mixing constants (numpy/random/bit_generator.pyx).
+_INIT_A = 0x43B0D7E5
+_MULT_A = 0x931E8875
+_INIT_B = 0x8B51F9DD
+_MULT_B = 0x58F38DED
+_MIX_L = np.uint32(0xCA01F9DD)
+_MIX_R = np.uint32(0x4973F715)
+_XSHIFT = np.uint32(16)
+_POOL_SIZE = 4
+
+# PCG64 default multiplier (XSL-RR 128/64 setseq variant).
+_PCG_MULT_HI = np.uint64(0x2360ED051FC65DA4)
+_PCG_MULT_LO = np.uint64(0x4385DF649FCCF645)
+
+
+def _ss_hash(value: np.ndarray, const: int) -> tuple[np.ndarray, int]:
+    """One SeedSequence hash round; ``const`` evolves query-independently."""
+    value = value ^ np.uint32(const)
+    const = (const * _MULT_A) & _M32
+    value = value * np.uint32(const)
+    return value ^ (value >> _XSHIFT), const
+
+
+def _ss_mix(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    r = (x * _MIX_L) - (y * _MIX_R)
+    return r ^ (r >> _XSHIFT)
+
+
+def _seed_words(seed: int) -> list[int]:
+    """Little-endian 32-bit decomposition (SeedSequence entropy coercion)."""
+    if seed == 0:
+        return [0]
+    words = []
+    while seed:
+        words.append(seed & _M32)
+        seed >>= 32
+    return words
+
+
+def _generate_states(seed: int, seed_offset: int, batch: int) -> list[np.ndarray]:
+    """``SeedSequence([seed, q]).generate_state(4, uint64)`` for the whole
+    batch of ``q`` values: four ``(batch,)`` uint64 arrays."""
+    q = np.arange(seed_offset, seed_offset + batch, dtype=np.uint64)
+    entropy = [np.full(batch, w, dtype=np.uint32) for w in _seed_words(seed)]
+    entropy.append(q.astype(np.uint32))
+    n_words = len(entropy)
+
+    pool = np.empty((_POOL_SIZE, batch), dtype=np.uint32)
+    const = _INIT_A
+    for i in range(_POOL_SIZE):
+        value = entropy[i] if i < n_words else np.zeros(batch, dtype=np.uint32)
+        pool[i], const = _ss_hash(value, const)
+    for i_src in range(_POOL_SIZE):
+        for i_dst in range(_POOL_SIZE):
+            if i_src != i_dst:
+                hashed, const = _ss_hash(pool[i_src], const)
+                pool[i_dst] = _ss_mix(pool[i_dst], hashed)
+    for i_src in range(_POOL_SIZE, n_words):
+        for i_dst in range(_POOL_SIZE):
+            hashed, const = _ss_hash(entropy[i_src], const)
+            pool[i_dst] = _ss_mix(pool[i_dst], hashed)
+
+    out32 = np.empty((2 * _POOL_SIZE, batch), dtype=np.uint32)
+    const = _INIT_B
+    for i in range(2 * _POOL_SIZE):
+        data = pool[i % _POOL_SIZE] ^ np.uint32(const)
+        const = (const * _MULT_B) & _M32
+        data = data * np.uint32(const)
+        out32[i] = data ^ (data >> _XSHIFT)
+    return [
+        out32[2 * j].astype(np.uint64)
+        | (out32[2 * j + 1].astype(np.uint64) << np.uint64(32))
+        for j in range(_POOL_SIZE)
+    ]
+
+
+def _mul128(
+    a_hi: np.ndarray, a_lo: np.ndarray, b_hi: np.uint64, b_lo: np.uint64
+) -> tuple[np.ndarray, np.ndarray]:
+    """128-bit multiply (mod 2^128) on uint64 hi/lo pairs."""
+    a_ll = a_lo & _U32
+    a_lh = a_lo >> np.uint64(32)
+    b_ll = b_lo & _U32
+    b_lh = b_lo >> np.uint64(32)
+    ll = a_ll * b_ll
+    lh = a_ll * b_lh
+    hl = a_lh * b_ll
+    cross = (ll >> np.uint64(32)) + (lh & _U32) + (hl & _U32)
+    lo = (ll & _U32) | ((cross & _U32) << np.uint64(32))
+    mul_hi = (a_lh * b_lh) + (lh >> np.uint64(32)) + (hl >> np.uint64(32)) + (
+        cross >> np.uint64(32)
+    )
+    hi = mul_hi + a_hi * b_lo + a_lo * b_hi
+    return hi, lo
+
+
+def _add128(
+    a_hi: np.ndarray, a_lo: np.ndarray, b_hi: np.ndarray, b_lo: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    lo = a_lo + b_lo
+    carry = (lo < a_lo).astype(np.uint64)
+    return a_hi + b_hi + carry, lo
+
+
+class _VectorPCG64:
+    """A batch of independent PCG64 streams advanced in lockstep."""
+
+    def __init__(self, seed: int, seed_offset: int, batch: int):
+        w0, w1, w2, w3 = _generate_states(seed, seed_offset, batch)
+        # pcg_setseq_128_srandom_r: inc = (initseq << 1) | 1, then
+        # step; state += initstate; step.
+        self._inc_hi = (w2 << np.uint64(1)) | (w3 >> np.uint64(63))
+        self._inc_lo = (w3 << np.uint64(1)) | np.uint64(1)
+        hi = np.zeros(batch, dtype=np.uint64)
+        lo = np.zeros(batch, dtype=np.uint64)
+        hi, lo = self._step(hi, lo)
+        hi, lo = _add128(hi, lo, w0, w1)
+        self._hi, self._lo = self._step(hi, lo)
+
+    def _step(self, hi: np.ndarray, lo: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        hi, lo = _mul128(hi, lo, _PCG_MULT_HI, _PCG_MULT_LO)
+        return _add128(hi, lo, self._inc_hi, self._inc_lo)
+
+    def next_raw32(self, count64: int) -> np.ndarray:
+        """``(batch, 2 * count64)`` uint32 draws in ``pcg64_next32`` order
+        (low half of each 64-bit output first, then the buffered high)."""
+        out = np.empty((self._hi.shape[0], 2 * count64), dtype=np.uint32)
+        for j in range(count64):
+            self._hi, self._lo = self._step(self._hi, self._lo)
+            word = self._hi ^ self._lo
+            rot = self._hi >> np.uint64(58)
+            word = (word >> rot) | (word << ((np.uint64(64) - rot) & np.uint64(63)))
+            out[:, 2 * j] = (word & _U32).astype(np.uint32)
+            out[:, 2 * j + 1] = (word >> np.uint64(32)).astype(np.uint32)
+        return out
+
+
+def _reference_init_block(
+    seed: int, seed_offset: int, batch: int, n: int, width: int
+) -> np.ndarray:
+    """The per-query Generator loop the vectorized path must reproduce."""
+    out = np.empty((batch, width), dtype=np.uint32)
+    for i in range(batch):
+        rng = np.random.default_rng([seed, seed_offset + i])
+        out[i] = rng.integers(0, n, size=width, dtype=np.uint32)
+    return out
+
+
+def random_init_block(
+    seed: int, seed_offset: int, batch: int, n: int, width: int
+) -> np.ndarray:
+    """``(batch, width)`` uint32 draws, row ``i`` bit-identical to
+    ``default_rng([seed, seed_offset + i]).integers(0, n, width, uint32)``.
+    """
+    if batch < 1 or width < 1:
+        return np.empty((max(batch, 0), max(width, 0)), dtype=np.uint32)
+    in_envelope = (
+        isinstance(seed, (int, np.integer))
+        and int(seed) >= 0
+        and 1 <= n <= _M32
+        and seed_offset >= 0
+        and seed_offset + batch <= _M32 + 1
+    )
+    if not in_envelope:
+        return _reference_init_block(seed, seed_offset, batch, n, width)
+    if n == 1:
+        # numpy's bounded path short-circuits a zero range without
+        # consuming draws; the streams are init-only so parity holds.
+        return np.zeros((batch, width), dtype=np.uint32)
+
+    gen = _VectorPCG64(int(seed), int(seed_offset), batch)
+    # Lemire bounded rejection: out = (draw * n) >> 32, accepted iff the
+    # low 32 bits of the product clear the bias threshold.
+    n64 = np.uint64(n)
+    threshold = np.uint64((2**32 - n) % n)
+    accept_rate = 1.0 - int(threshold) / 2.0**32
+    out = np.zeros((batch, width), dtype=np.uint32)
+    filled = np.zeros(batch, dtype=np.int64)
+    rows = np.arange(batch)
+    while True:
+        deficit = int(width - filled.min())
+        count64 = max(2, int(np.ceil(deficit / (2.0 * accept_rate))) + 2)
+        product = gen.next_raw32(count64).astype(np.uint64) * n64
+        accept = (product & _U32) >= threshold
+        values = (product >> np.uint64(32)).astype(np.uint32)
+        position = np.cumsum(accept, axis=1) - 1 + filled[:, None]
+        write = accept & (position < width)
+        out[np.broadcast_to(rows[:, None], write.shape)[write], position[write]] = (
+            values[write]
+        )
+        filled = np.minimum(filled + accept.sum(axis=1), width)
+        if (filled >= width).all():
+            return out

@@ -82,6 +82,13 @@ class ServeConfig:
             tombstone-overhead term of the break-even model.
         rebuild_calibrate: run measured micro-probes (one tiny extend +
             one tiny build) at rebuilder startup to seed the cost model.
+        profile: tuned search-parameter profile — ``"auto"`` (scan the
+            :mod:`repro.tune` profile directory for this dataset/kind/k)
+            or a profile JSON path.  Resolved against the served index at
+            server construction; a matching profile's ``itopk`` /
+            ``search_width`` / ``max_iterations`` overlay the server's
+            ``search_config``, while a corrupt or stale profile warns and
+            leaves it untouched (:class:`repro.tune.ProfileWarning`).
     """
 
     max_batch: int = 64
@@ -103,6 +110,7 @@ class ServeConfig:
     rebuild_min_tombstone_ratio: float = 0.05
     rebuild_horizon_s: float = 30.0
     rebuild_calibrate: bool = False
+    profile: str = ""
 
     def __post_init__(self) -> None:
         _require(self.max_batch >= 1, "max_batch must be >= 1")

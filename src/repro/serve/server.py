@@ -266,6 +266,19 @@ class CagraServer:
         self._ann = self._wrap(index)
         # Foreign AnnIndex implementations are their own "native" index.
         self._index = getattr(self._ann, "inner", self._ann)
+        if self.config.profile:
+            # Tuned profiles overlay itopk/search_width/max_iterations;
+            # stale/corrupt profiles warn and leave search_config alone.
+            from repro.tune import resolve_profile
+
+            tuned = resolve_profile(
+                self.config.profile,
+                data=self._ann.dataset,
+                index_kind=getattr(self._ann, "kind", "cagra"),
+                k=self.config.default_k,
+            )
+            if tuned is not None:
+                self.search_config = tuned.search_config(base=self.search_config)
         self._on_stage = on_stage
         self._generation = 0
         self._swap_lock = threading.Lock()

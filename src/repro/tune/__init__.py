@@ -1,0 +1,42 @@
+"""Offline search-parameter auto-tuning and tuned-profile persistence.
+
+``tune_search_params`` sweeps ``itopk × search_width × max_iterations``
+against a brute-force recall oracle and a GPU cost model; the winning
+operating point is persisted as a :class:`TunedProfile` JSON keyed by
+dataset fingerprint × index kind × k, loadable via ``--profile
+auto|PATH`` on the CLI and ``ServeConfig.profile`` in the server.
+"""
+
+from repro.tune.profile import (
+    PROFILE_SCHEMA_VERSION,
+    ProfileError,
+    ProfileWarning,
+    TunedPoint,
+    TunedProfile,
+    dataset_fingerprint,
+    default_profile_dir,
+    find_profile,
+    load_profile,
+    profile_filename,
+    resolve_profile,
+    sniff_profile,
+)
+from repro.tune.tuner import TuneGrid, sample_queries, tune_search_params
+
+__all__ = [
+    "PROFILE_SCHEMA_VERSION",
+    "ProfileError",
+    "ProfileWarning",
+    "TuneGrid",
+    "TunedPoint",
+    "TunedProfile",
+    "dataset_fingerprint",
+    "default_profile_dir",
+    "find_profile",
+    "load_profile",
+    "profile_filename",
+    "resolve_profile",
+    "sample_queries",
+    "sniff_profile",
+    "tune_search_params",
+]

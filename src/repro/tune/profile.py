@@ -1,0 +1,309 @@
+"""Tuned search-parameter profiles: persistence, fingerprints, resolution.
+
+A :class:`TunedProfile` is the measured policy the paper's Table II rule
+generalizes into: for one *dataset* (identified by a content
+fingerprint), one *index kind*, and one *k*, it records the swept
+``itopk × search_width × max_iterations`` operating points, the chosen
+point for the recall target, and the default-config baseline it beat.
+Profiles are plain JSON so they can be produced offline (``repro-cagra
+tune``), committed next to an index artifact, and loaded by the CLI and
+the serving layer (``--profile auto|PATH`` / ``ServeConfig.profile``).
+
+Loading is defensive by contract: a corrupt file, an unknown schema, or
+a fingerprint that no longer matches the dataset being served must fall
+back to defaults with a :class:`ProfileWarning` — a stale profile is a
+performance bug, never a crash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import warnings
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.core.config import SearchConfig
+
+__all__ = [
+    "PROFILE_SCHEMA_VERSION",
+    "ProfileError",
+    "ProfileWarning",
+    "TunedPoint",
+    "TunedProfile",
+    "dataset_fingerprint",
+    "default_profile_dir",
+    "find_profile",
+    "load_profile",
+    "profile_filename",
+    "resolve_profile",
+    "sniff_profile",
+]
+
+PROFILE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the ``--profile auto`` search directory.
+PROFILE_DIR_ENV = "REPRO_PROFILE_DIR"
+
+#: Rows sampled (evenly strided) into the dataset fingerprint.
+_FINGERPRINT_SAMPLE_ROWS = 64
+
+
+class ProfileError(ValueError):
+    """A profile file is unreadable, corrupt, or schema-incompatible."""
+
+
+class ProfileWarning(UserWarning):
+    """A profile was ignored (corrupt/stale/mismatched) and defaults apply."""
+
+
+def dataset_fingerprint(data: np.ndarray) -> str:
+    """Stable content fingerprint of a dataset.
+
+    Hashes the shape, dtype, and an evenly-strided row sample — cheap on
+    multi-million-row datasets yet sensitive to scale, dimensionality,
+    and content changes, which is what staleness detection needs (a
+    profile tuned on other data must not silently apply).
+    """
+    data = np.ascontiguousarray(np.atleast_2d(data))
+    digest = hashlib.sha256()
+    digest.update(repr((data.shape, data.dtype.str)).encode())
+    stride = max(1, data.shape[0] // _FINGERPRINT_SAMPLE_ROWS)
+    digest.update(np.ascontiguousarray(data[::stride][:_FINGERPRINT_SAMPLE_ROWS]).tobytes())
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class TunedPoint:
+    """One measured operating point of the sweep."""
+
+    itopk: int
+    search_width: int
+    max_iterations: int
+    recall: float
+    qps: float
+    distance_computations_per_query: float
+
+    def config_mapping(self) -> dict:
+        """The :meth:`SearchConfig.from_mapping` payload for this point."""
+        return {
+            "itopk": self.itopk,
+            "search_width": self.search_width,
+            "max_iterations": self.max_iterations,
+        }
+
+
+@dataclass(frozen=True)
+class TunedProfile:
+    """A persisted tuned operating point for (dataset, index kind, k)."""
+
+    fingerprint: str
+    index_kind: str
+    metric: str
+    k: int
+    recall_target: float
+    batch_size: int
+    chosen: TunedPoint
+    baseline: TunedPoint
+    meets_target: bool
+    sweep: tuple[TunedPoint, ...] = field(default_factory=tuple)
+    created: str = ""
+    version: int = PROFILE_SCHEMA_VERSION
+
+    def search_config(
+        self, base: SearchConfig | None = None, **overrides
+    ) -> SearchConfig:
+        """The tuned :class:`SearchConfig` (optionally over ``base``)."""
+        return SearchConfig.from_mapping(
+            self.chosen.config_mapping(), base=base, **overrides
+        )
+
+    def speedup(self) -> float:
+        """Tuned-over-baseline QPS ratio at the profile's batch size."""
+        return self.chosen.qps / self.baseline.qps if self.baseline.qps else 0.0
+
+    def matches(self, data: np.ndarray, index_kind: str, k: int) -> bool:
+        """Whether this profile was tuned for exactly this workload."""
+        return (
+            self.fingerprint == dataset_fingerprint(data)
+            and self.index_kind == index_kind
+            and self.k == k
+        )
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["sweep"] = [asdict(point) for point in self.sweep]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TunedProfile":
+        try:
+            version = int(payload["version"])
+            if version > PROFILE_SCHEMA_VERSION:
+                raise ProfileError(
+                    f"profile schema v{version} is newer than supported "
+                    f"v{PROFILE_SCHEMA_VERSION}"
+                )
+            return cls(
+                fingerprint=str(payload["fingerprint"]),
+                index_kind=str(payload["index_kind"]),
+                metric=str(payload["metric"]),
+                k=int(payload["k"]),
+                recall_target=float(payload["recall_target"]),
+                batch_size=int(payload["batch_size"]),
+                chosen=_point_from_dict(payload["chosen"]),
+                baseline=_point_from_dict(payload["baseline"]),
+                meets_target=bool(payload["meets_target"]),
+                sweep=tuple(_point_from_dict(p) for p in payload.get("sweep", [])),
+                created=str(payload.get("created", "")),
+                version=version,
+            )
+        except ProfileError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProfileError(f"malformed profile payload: {exc}") from exc
+
+    def save(self, path: str) -> str:
+        """Write the profile JSON; returns the path written."""
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+
+def _point_from_dict(payload: dict) -> TunedPoint:
+    return TunedPoint(
+        itopk=int(payload["itopk"]),
+        search_width=int(payload["search_width"]),
+        max_iterations=int(payload["max_iterations"]),
+        recall=float(payload["recall"]),
+        qps=float(payload["qps"]),
+        distance_computations_per_query=float(
+            payload["distance_computations_per_query"]
+        ),
+    )
+
+
+def load_profile(path: str) -> TunedProfile:
+    """Load a profile JSON; raises :class:`ProfileError` on any defect."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ProfileError(f"cannot read profile {path!r}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProfileError(f"profile {path!r} is not a JSON object")
+    return TunedProfile.from_dict(payload)
+
+
+def sniff_profile(path: str) -> dict | None:
+    """Cheap identity probe: the (fingerprint, index_kind, k, version)
+    of a profile file, or None if the file is not a readable profile."""
+    try:
+        profile = load_profile(path)
+    except ProfileError:
+        return None
+    return {
+        "fingerprint": profile.fingerprint,
+        "index_kind": profile.index_kind,
+        "k": profile.k,
+        "version": profile.version,
+    }
+
+
+def default_profile_dir() -> str:
+    """``--profile auto`` search directory (env override, else ./profiles)."""
+    return os.environ.get(PROFILE_DIR_ENV) or os.path.join(os.curdir, "profiles")
+
+
+def profile_filename(fingerprint: str, index_kind: str, k: int) -> str:
+    """Canonical auto-discovery filename for a profile."""
+    return f"profile-{index_kind}-k{k}-{fingerprint}.json"
+
+
+def find_profile(
+    directory: str, data: np.ndarray, index_kind: str, k: int
+) -> TunedProfile | None:
+    """Scan ``directory`` for a profile matching (dataset, kind, k).
+
+    The canonical filename is probed first; otherwise every ``*.json``
+    in the directory is sniffed.  Unreadable files are skipped.
+    """
+    fingerprint = dataset_fingerprint(data)
+    canonical = os.path.join(directory, profile_filename(fingerprint, index_kind, k))
+    candidates = [canonical] if os.path.exists(canonical) else []
+    if not candidates and os.path.isdir(directory):
+        candidates = sorted(
+            os.path.join(directory, name)
+            for name in os.listdir(directory)
+            if name.endswith(".json")
+        )
+    for path in candidates:
+        try:
+            profile = load_profile(path)
+        except ProfileError:
+            continue
+        if (
+            profile.fingerprint == fingerprint
+            and profile.index_kind == index_kind
+            and profile.k == k
+        ):
+            return profile
+    return None
+
+
+def resolve_profile(
+    spec: str,
+    *,
+    data: np.ndarray,
+    index_kind: str,
+    k: int,
+    profile_dir: str | None = None,
+) -> TunedProfile | None:
+    """Resolve ``--profile auto|PATH`` into a profile, or None + warning.
+
+    ``auto`` searches the profile directory for an exact
+    (fingerprint, kind, k) match.  An explicit path is loaded and
+    validated against the live workload — corrupt files and stale
+    fingerprints warn (:class:`ProfileWarning`) and return None so the
+    caller falls back to default parameters, never crashes.
+    """
+    if not spec:
+        return None
+    if spec == "auto":
+        directory = profile_dir or default_profile_dir()
+        profile = find_profile(directory, data, index_kind, k)
+        if profile is None:
+            warnings.warn(
+                f"no tuned profile for this (dataset, {index_kind}, k={k}) "
+                f"under {directory!r}; using default search parameters "
+                f"(run `repro-cagra tune` to create one)",
+                ProfileWarning,
+                stacklevel=2,
+            )
+        return profile
+    try:
+        profile = load_profile(spec)
+    except ProfileError as exc:
+        warnings.warn(
+            f"ignoring profile {spec!r}: {exc}; using default search parameters",
+            ProfileWarning,
+            stacklevel=2,
+        )
+        return None
+    if not profile.matches(data, index_kind, k):
+        warnings.warn(
+            f"profile {spec!r} was tuned for "
+            f"(fingerprint={profile.fingerprint}, kind={profile.index_kind}, "
+            f"k={profile.k}) but this workload is "
+            f"(fingerprint={dataset_fingerprint(data)}, kind={index_kind}, "
+            f"k={k}); ignoring it and using default search parameters",
+            ProfileWarning,
+            stacklevel=2,
+        )
+        return None
+    return profile

@@ -177,3 +177,169 @@ class TestChunking:
         chunked = small_index.search_fast(small_queries, 5, config)
         assert chunked.report.batch_size == len(small_queries)
         assert chunked.report.distance_computations == whole.report.distance_computations
+
+
+#: Counters the fast path must reproduce exactly (``hash_probes`` is the
+#: one documented modeling difference: the fast path's boolean visited
+#: table charges a flat two probes per lookup, while the reference
+#: measures real open-addressing probe sequences).
+PARITY_COUNTERS = (
+    "batch_size",
+    "cta_count",
+    "iterations",
+    "distance_computations",
+    "skipped_distance_computations",
+    "recomputed_distances",
+    "candidate_gathers",
+    "sort_comparator_ops",
+    "radix_sorted_elements",
+    "serial_queue_ops",
+    "hash_lookups",
+    "hash_insertions",
+    "hash_resets",
+    "random_inits",
+)
+
+
+def _duplicate_heavy_fixture():
+    """A tiny index whose adjacency lists repeat every neighbor.
+
+    Each gather therefore produces intra-gather duplicate candidates on
+    every iteration (and random init collides often on 40 nodes) — the
+    regression case where the fast path used to overcount: the reference
+    hash admits one insertion per *distinct* fresh id per gather, so a
+    duplicated id must be counted (and its distance computed) once.
+    """
+    from repro import CagraIndex
+    from repro.core.graph import FixedDegreeGraph
+
+    rng = np.random.default_rng(42)
+    n, dim = 40, 8
+    data = rng.standard_normal((n, dim)).astype(np.float32)
+    base = np.stack(
+        [(np.arange(n) + step) % n for step in (1, 2, 3)], axis=1
+    )
+    neighbors = np.repeat(base, 2, axis=1).astype(np.uint32)  # degree 6, all dup'd
+    return CagraIndex(data, FixedDegreeGraph(neighbors)), rng.standard_normal(
+        (8, dim)
+    ).astype(np.float32)
+
+
+class TestCounterParity:
+    """Fast-path counters must match the reference exactly (same hash
+    semantics: a standard table large enough never to recompute)."""
+
+    @staticmethod
+    def _configs(itopk, seed=0, search_width=1):
+        from repro import HashTableConfig
+
+        table = HashTableConfig(kind="standard", log2_size=16)
+        fast = SearchConfig(itopk=itopk, seed=seed, search_width=search_width,
+                            hash_table=table)
+        ref = fast.with_overrides(algo="single_cta")
+        return fast, ref
+
+    def _assert_parity(self, index, queries, k, fast_config, ref_config):
+        fast = index.search_fast(queries, k, fast_config)
+        ref = index.search(queries, k, ref_config)
+        np.testing.assert_array_equal(fast.indices, ref.indices)
+        fast_counters = fast.report.as_dict()
+        ref_counters = ref.report.as_dict()
+        for name in PARITY_COUNTERS:
+            assert fast_counters[name] == ref_counters[name], (
+                f"{name}: fast={fast_counters[name]} ref={ref_counters[name]}"
+            )
+
+    def test_duplicate_candidate_regression(self):
+        index, queries = _duplicate_heavy_fixture()
+        fast_config, ref_config = self._configs(itopk=16, seed=3)
+        self._assert_parity(index, queries, 5, fast_config, ref_config)
+
+    def test_duplicate_regression_wider_search(self):
+        index, queries = _duplicate_heavy_fixture()
+        fast_config, ref_config = self._configs(itopk=16, seed=7, search_width=2)
+        self._assert_parity(index, queries, 5, fast_config, ref_config)
+
+    def test_parity_on_real_index(self, small_index, small_queries):
+        fast_config, ref_config = self._configs(itopk=64)
+        self._assert_parity(
+            small_index, small_queries[:10], 10, fast_config, ref_config
+        )
+
+
+class TestChunkReportIntegrity:
+    def test_chunk_reports_stay_intact(self, small_index, small_queries, monkeypatch):
+        """Merging chunk counters must not mutate any chunk's own report
+        (the old code aliased chunk 0's report as the accumulator)."""
+        from repro.core import batch_search
+
+        monkeypatch.setattr(
+            batch_search, "_VISITED_BUDGET_BYTES", small_index.size * 7
+        )
+        pieces = []
+        original = batch_search._search_chunk_fast
+
+        def recording(*args, **kwargs):
+            result = original(*args, **kwargs)
+            pieces.append(result.report)
+            return result
+
+        monkeypatch.setattr(batch_search, "_search_chunk_fast", recording)
+        config = SearchConfig(itopk=32, seed=3)
+        total = small_index.search_fast(small_queries, 5, config).report
+        assert len(pieces) > 1
+        assert total is not pieces[0]
+        assert sum(p.batch_size for p in pieces) == len(small_queries)
+        assert total.batch_size == len(small_queries)
+        for name in ("distance_computations", "hash_insertions",
+                     "candidate_gathers", "sort_comparator_ops"):
+            assert getattr(total, name) == sum(getattr(p, name) for p in pieces)
+            assert all(getattr(p, name) < getattr(total, name) for p in pieces)
+
+
+class TestRandomInitBlock:
+    """The vectorized RNG init must be bit-identical to per-query
+    ``default_rng([seed, q])`` draws (the regression fixture pins them)."""
+
+    CASES = (
+        (0, 0, 7, 1000, 32),
+        (7, 3, 11, 300, 64),       # nonzero seed offset (chunked batches)
+        (123456789, 0, 5, 2**31 - 1, 48),
+        (2**40 + 5, 10, 6, 999983, 96),  # multi-word entropy pool seed
+        (42, 0, 4, 2, 33),         # tiny range, odd width
+        (42, 0, 4, 2**32 - 1, 16),  # near-full 32-bit range
+    )
+
+    def test_matches_per_query_generator(self):
+        from repro.core.rng_init import random_init_block
+
+        for seed, offset, batch, n, width in self.CASES:
+            expected = np.empty((batch, width), dtype=np.uint32)
+            for i in range(batch):
+                rng = np.random.default_rng([seed, offset + i])
+                expected[i] = rng.integers(0, n, size=width, dtype=np.uint32)
+            got = random_init_block(seed, offset, batch, n, width)
+            np.testing.assert_array_equal(got, expected, err_msg=str(
+                (seed, offset, batch, n, width)))
+
+    def test_single_node_short_circuit(self):
+        from repro.core.rng_init import random_init_block
+
+        np.testing.assert_array_equal(
+            random_init_block(5, 0, 3, 1, 8), np.zeros((3, 8), dtype=np.uint32)
+        )
+
+    def test_out_of_envelope_falls_back(self):
+        from repro.core.rng_init import _reference_init_block, random_init_block
+
+        # n = 2**32 exceeds the 32-bit Lemire envelope but is a valid
+        # numpy bound; the reference loop must take over transparently.
+        np.testing.assert_array_equal(
+            random_init_block(0, 0, 3, 2**32, 8),
+            _reference_init_block(0, 0, 3, 2**32, 8),
+        )
+
+    def test_empty_shapes(self):
+        from repro.core.rng_init import random_init_block
+
+        assert random_init_block(0, 0, 0, 10, 4).shape == (0, 4)

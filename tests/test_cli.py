@@ -1,5 +1,7 @@
 """Tests for the repro-cagra command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -240,3 +242,95 @@ class TestLintExitCodes:
         captured = capsys.readouterr()
         assert "rule crashed" in captured.out  # JSON error object
         assert "internal error" in captured.err
+
+
+class TestSearchParamFlags:
+    def test_sentinels_default_none(self):
+        for command in (["search"], ["serve"], ["bench"], ["stream"]):
+            args = build_parser().parse_args(command)
+            assert args.itopk is None
+            assert args.search_width is None
+            assert args.max_iterations is None
+
+    def test_flags_parse_everywhere(self):
+        for command in ("search", "serve", "bench", "stream"):
+            args = build_parser().parse_args([
+                command, "--itopk", "96", "--search-width", "2",
+                "--max-iterations", "40",
+            ])
+            assert (args.itopk, args.search_width, args.max_iterations) == (96, 2, 40)
+
+    def test_profile_flag_where_supported(self):
+        for command in ("search", "serve", "bench"):
+            args = build_parser().parse_args([command, "--profile", "auto"])
+            assert args.profile == "auto"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--profile", "auto"])
+
+    def test_tune_defaults(self):
+        args = build_parser().parse_args(["tune"])
+        assert args.command == "tune"
+        assert args.recall_target == 0.95
+        assert args.batch == 10000
+        assert args.out == ""
+
+
+class TestTuneCommand:
+    def test_tune_then_search_with_profile(self, tmp_path, capsys):
+        profile_path = str(tmp_path / "tuned.json")
+        common = ["--dataset", "deep-1m", "--scale", "400", "--queries", "16"]
+        rc = main([
+            "tune", *common, "--degree", "8", "-k", "5",
+            "--itopk-grid", "8,64", "--width-grid", "1",
+            "--recall-target", "0.8", "--out", profile_path,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "chosen:" in out and profile_path in out
+
+        rc = main([
+            "search", *common, "-k", "5", "--index-kind", "cagra",
+            "--profile", profile_path, "--fast", "--format", "json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tuned"] is True
+        assert payload["itopk"] in (8, 64)
+
+    def test_search_with_corrupt_profile_falls_back(self, tmp_path, capsys):
+        from repro.tune import ProfileWarning
+
+        profile_path = tmp_path / "corrupt.json"
+        profile_path.write_text("{not json")
+        with pytest.warns(ProfileWarning):
+            rc = main([
+                "search", "--dataset", "deep-1m", "--scale", "400",
+                "--queries", "8", "-k", "5", "--index-kind", "cagra",
+                "--profile", str(profile_path), "--format", "json",
+            ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tuned"] is False
+        assert payload["itopk"] == 64  # hard default restored
+
+    def test_explicit_flags_beat_profile(self, tmp_path, capsys):
+        profile_path = str(tmp_path / "tuned.json")
+        common = ["--dataset", "deep-1m", "--scale", "400", "--queries", "12"]
+        assert main([
+            "tune", *common, "--degree", "8", "-k", "5",
+            "--itopk-grid", "8", "--width-grid", "2",
+            "--recall-target", "0.5", "--out", profile_path,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "search", *common, "-k", "5", "--index-kind", "cagra",
+            "--profile", profile_path, "--itopk", "48", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["itopk"] == 48          # explicit flag wins
+        assert payload["search_width"] == 2    # profile supplies the rest
+
+    def test_bad_grid_exits(self):
+        with pytest.raises(SystemExit):
+            main(["tune", "--dataset", "deep-1m", "--scale", "400",
+                  "--itopk-grid", "16,banana"])

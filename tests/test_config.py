@@ -143,3 +143,31 @@ class TestChooseAlgo:
         config = SearchConfig(batch_threshold=10)
         assert choose_algo(config, batch_size=20, num_sms=108) == "single_cta"
         assert choose_algo(config, batch_size=5, num_sms=108) == "multi_cta"
+
+
+class TestSearchConfigFromMapping:
+    def test_unknown_keys_ignored(self):
+        config = SearchConfig.from_mapping(
+            {"itopk": 32, "future_knob": 7, "recall": 0.9}
+        )
+        assert config.itopk == 32
+
+    def test_base_preserved(self):
+        base = SearchConfig(seed=4, team_size=8)
+        config = SearchConfig.from_mapping({"itopk": 96}, base=base)
+        assert config.itopk == 96
+        assert config.seed == 4 and config.team_size == 8
+
+    def test_overrides_beat_mapping(self):
+        config = SearchConfig.from_mapping(
+            {"itopk": 96, "search_width": 4}, itopk=16
+        )
+        assert config.itopk == 16
+        assert config.search_width == 4
+
+    def test_none_mapping(self):
+        assert SearchConfig.from_mapping(None) == SearchConfig()
+
+    def test_validation_still_applies(self):
+        with pytest.raises(ValueError):
+            SearchConfig.from_mapping({"itopk": 0})

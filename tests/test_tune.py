@@ -1,0 +1,229 @@
+"""Tests for repro.tune: the auto-tuner and tuned-profile persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import SearchConfig
+from repro.serve import CagraServer, ServeConfig
+from repro.tune import (
+    ProfileError,
+    ProfileWarning,
+    TuneGrid,
+    TunedProfile,
+    dataset_fingerprint,
+    find_profile,
+    load_profile,
+    profile_filename,
+    resolve_profile,
+    sniff_profile,
+    tune_search_params,
+)
+
+SMALL_GRID = TuneGrid(itopk_values=(16, 64), search_widths=(1, 2))
+
+
+@pytest.fixture(scope="module")
+def tuned(small_index, small_queries):
+    return tune_search_params(
+        small_index,
+        k=10,
+        recall_target=0.9,
+        queries=small_queries,
+        grid=SMALL_GRID,
+        created="2026-08-08",
+    )
+
+
+class TestTuneGrid:
+    def test_drops_itopk_below_k(self):
+        points = list(TuneGrid(itopk_values=(8, 16, 64)).points(k=10))
+        assert all(itopk >= 10 for itopk, _, _ in points)
+
+    def test_never_empty(self):
+        points = list(TuneGrid(itopk_values=(8,)).points(k=32))
+        assert points and points[0][0] == 32
+
+
+class TestTuner:
+    def test_chosen_meets_target(self, tuned):
+        assert tuned.meets_target
+        assert tuned.chosen.recall >= 0.9
+
+    def test_chosen_beats_baseline_qps(self, tuned):
+        """The itopk=64 default is itself on the grid, so the chosen
+        point can only be at least as fast (acceptance criterion)."""
+        assert tuned.baseline.itopk == 64
+        assert tuned.chosen.qps >= tuned.baseline.qps
+        assert tuned.speedup() >= 1.0
+
+    def test_sweep_covers_grid(self, tuned):
+        combos = {(p.itopk, p.search_width) for p in tuned.sweep}
+        assert combos == {(16, 1), (16, 2), (64, 1), (64, 2)}
+
+    def test_fingerprints_dataset(self, tuned, small_index):
+        assert tuned.fingerprint == dataset_fingerprint(small_index.dataset)
+        assert tuned.matches(small_index.dataset, "cagra", 10)
+        assert not tuned.matches(small_index.dataset, "cagra", 5)
+
+    def test_on_stage_events(self, small_index, small_queries):
+        from repro.api import StageRecorder
+
+        recorder = StageRecorder()
+        tune_search_params(
+            small_index, k=10, queries=small_queries[:5],
+            grid=TuneGrid(itopk_values=(16,), search_widths=(1,)),
+            on_stage=recorder.on_stage,
+        )
+        names = [event.name for event in recorder.events]
+        assert names.count("tune.point") == 1
+
+    def test_unreachable_target_flags_profile(self, small_index, small_queries):
+        profile = tune_search_params(
+            small_index, k=10, recall_target=1.1, queries=small_queries[:5],
+            grid=TuneGrid(itopk_values=(16,), search_widths=(1,)),
+        )
+        assert not profile.meets_target
+
+
+class TestProfileRoundTrip:
+    def test_save_load_equal(self, tuned, tmp_path):
+        path = str(tmp_path / "profile.json")
+        tuned.save(path)
+        assert load_profile(path) == tuned
+
+    def test_sniff(self, tuned, tmp_path):
+        path = str(tmp_path / "profile.json")
+        tuned.save(path)
+        meta = sniff_profile(path)
+        assert meta == {
+            "fingerprint": tuned.fingerprint,
+            "index_kind": "cagra",
+            "k": 10,
+            "version": 1,
+        }
+        assert sniff_profile(str(tmp_path / "missing.json")) is None
+
+    def test_loaded_config_equals_swept_optimum(self, tuned, tmp_path):
+        """save → load → applied config is exactly the swept optimum."""
+        path = str(tmp_path / "profile.json")
+        tuned.save(path)
+        config = load_profile(path).search_config()
+        best = max(
+            (p for p in tuned.sweep if p.recall >= 0.9), key=lambda p: p.qps
+        )
+        assert (config.itopk, config.search_width, config.max_iterations) == (
+            best.itopk, best.search_width, best.max_iterations,
+        )
+
+    def test_base_and_overrides(self, tuned):
+        config = tuned.search_config(
+            base=SearchConfig(seed=5, team_size=8), itopk=96
+        )
+        assert config.seed == 5 and config.team_size == 8
+        assert config.itopk == 96  # explicit override beats the profile
+        assert config.search_width == tuned.chosen.search_width
+
+    def test_newer_schema_rejected(self, tuned, tmp_path):
+        path = str(tmp_path / "future.json")
+        payload = tuned.to_dict()
+        payload["version"] = 99
+        (tmp_path / "future.json").write_text(json.dumps(payload))
+        with pytest.raises(ProfileError, match="newer than supported"):
+            load_profile(path)
+
+    def test_malformed_payload_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 1, "k": "not-even"}))
+        with pytest.raises(ProfileError):
+            load_profile(str(path))
+
+
+class TestResolveProfile:
+    def test_explicit_path(self, tuned, small_index, tmp_path):
+        path = str(tmp_path / "profile.json")
+        tuned.save(path)
+        assert resolve_profile(
+            path, data=small_index.dataset, index_kind="cagra", k=10
+        ) == tuned
+
+    def test_stale_fingerprint_warns_and_falls_back(self, tuned, tmp_path):
+        path = str(tmp_path / "profile.json")
+        tuned.save(path)
+        other = np.zeros((50, 4), dtype=np.float32)
+        with pytest.warns(ProfileWarning, match="tuned for"):
+            resolved = resolve_profile(path, data=other, index_kind="cagra", k=10)
+        assert resolved is None
+
+    def test_corrupt_file_warns_and_falls_back(self, small_index, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{definitely not json")
+        with pytest.warns(ProfileWarning, match="ignoring profile"):
+            resolved = resolve_profile(
+                str(path), data=small_index.dataset, index_kind="cagra", k=10
+            )
+        assert resolved is None
+
+    def test_auto_finds_canonical_file(self, tuned, small_index, tmp_path):
+        tuned.save(str(tmp_path / profile_filename(tuned.fingerprint, "cagra", 10)))
+        assert find_profile(
+            str(tmp_path), small_index.dataset, "cagra", 10
+        ) == tuned
+        assert resolve_profile(
+            "auto", data=small_index.dataset, index_kind="cagra", k=10,
+            profile_dir=str(tmp_path),
+        ) == tuned
+
+    def test_auto_scans_noncanonical_names(self, tuned, small_index, tmp_path):
+        tuned.save(str(tmp_path / "whatever.json"))
+        assert find_profile(
+            str(tmp_path), small_index.dataset, "cagra", 10
+        ) == tuned
+
+    def test_auto_empty_dir_warns(self, small_index, tmp_path):
+        with pytest.warns(ProfileWarning, match="no tuned profile"):
+            resolved = resolve_profile(
+                "auto", data=small_index.dataset, index_kind="cagra", k=10,
+                profile_dir=str(tmp_path),
+            )
+        assert resolved is None
+
+    def test_empty_spec_is_silent_none(self, small_index):
+        assert resolve_profile(
+            "", data=small_index.dataset, index_kind="cagra", k=10
+        ) is None
+
+
+class TestServeConfigProfile:
+    def test_profile_applied_to_server(self, tuned, small_index, tmp_path):
+        path = str(tmp_path / "profile.json")
+        tuned.save(path)
+        server = CagraServer(
+            small_index,
+            ServeConfig(profile=path, default_k=10),
+            search_config=SearchConfig(seed=9),
+        )
+        assert server.search_config.itopk == tuned.chosen.itopk
+        assert server.search_config.search_width == tuned.chosen.search_width
+        assert server.search_config.seed == 9  # base config preserved
+
+    def test_stale_profile_leaves_defaults(self, tuned, small_index, tmp_path):
+        path = str(tmp_path / "profile.json")
+        tuned.save(path)
+        with pytest.warns(ProfileWarning):
+            server = CagraServer(
+                small_index,
+                ServeConfig(profile=path, default_k=5),  # tuned for k=10
+                search_config=SearchConfig(itopk=48),
+            )
+        assert server.search_config.itopk == 48
+
+
+class TestFingerprint:
+    def test_sensitive_to_content_and_shape(self):
+        a = np.arange(2000, dtype=np.float32).reshape(100, 20)
+        assert dataset_fingerprint(a) == dataset_fingerprint(a.copy())
+        assert dataset_fingerprint(a) != dataset_fingerprint(a * 2)
+        assert dataset_fingerprint(a) != dataset_fingerprint(a[:50])
+        assert dataset_fingerprint(a) != dataset_fingerprint(a.astype(np.float64))
