@@ -7,6 +7,7 @@ Subcommands::
     repro-cagra search --index idx.npz --dataset deep-1m --scale 4000 -k 10
     repro-cagra bench  --dataset deep-1m --scale 3000 --batch 10000
     repro-cagra serve  --dataset deep-1m --scale 2000 --rate 500 --duration 2
+    repro-cagra route  --dataset deep-1m --scale 2000 --replicas 3 --quota-rate 200
     repro-cagra stream --dataset deep-1m --scale 2000 --ops 500
     repro-cagra tune   --dataset deep-1m --scale 2000 --recall-target 0.95
     repro-cagra validate --index idx.npz      # integrity + reachability audit
@@ -38,6 +39,15 @@ environment variable) to inject deterministic faults for chaos testing.
 Degraded searches surface ``degraded`` / ``failed_shards`` in ``--format
 json``, and ``serve --format json`` includes the server ``health()``
 snapshot (circuit-breaker states, rolling failure rate).
+
+Routing (``docs/router.md``): ``route`` fronts ``--replicas`` servers
+with the :class:`repro.router.ShardRouter` (load-aware or round-robin
+dispatch, hedged requests, per-tenant ``--quota-rate`` token buckets,
+per-replica circuit breakers) and replays a seeded Zipfian multi-tenant
+schedule; ``--kill-replica`` and ``--rolling-swap`` are the chaos knobs,
+and when quotas are on the observed rejections are reconciled exactly
+against the reference token-bucket model.  ``serve --replicas N`` (N>1)
+delegates here.
 
 Tuning (``docs/API.md``): ``tune`` sweeps ``itopk × search_width ×
 max_iterations`` against a brute-force recall oracle and saves the
@@ -449,6 +459,29 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _serving_index(args, data, metric, degree):
+    """Load or build the index a serve/route invocation will front."""
+    if args.index:
+        return _load_index(args.index, args)
+    if args.index_kind != "cagra":
+        return build_index(
+            args.index_kind, data,
+            metric=metric, degree=args.degree,
+            parallel=_parallel_config(args),
+        )
+    if args.shards > 1:
+        from repro.core.sharding import ShardedCagraIndex
+
+        return ShardedCagraIndex.build(
+            data, args.shards,
+            GraphBuildConfig(graph_degree=args.degree or degree, metric=metric),
+            parallel=_parallel_config(args),
+        )
+    return CagraIndex.build(
+        data, GraphBuildConfig(graph_degree=args.degree or degree, metric=metric)
+    )
+
+
 def _cmd_serve(args) -> int:
     from repro.serve import (
         CagraServer,
@@ -457,27 +490,11 @@ def _cmd_serve(args) -> int:
         run_open_loop,
     )
 
+    if getattr(args, "replicas", 1) > 1:
+        # A replica fleet is the router's job; same flags, fleet semantics.
+        return _cmd_route(args)
     data, queries, metric, degree = _load(args)
-    if args.index:
-        index = _load_index(args.index, args)
-    elif args.index_kind != "cagra":
-        index = build_index(
-            args.index_kind, data,
-            metric=metric, degree=args.degree,
-            parallel=_parallel_config(args),
-        )
-    elif args.shards > 1:
-        from repro.core.sharding import ShardedCagraIndex
-
-        index = ShardedCagraIndex.build(
-            data, args.shards,
-            GraphBuildConfig(graph_degree=args.degree or degree, metric=metric),
-            parallel=_parallel_config(args),
-        )
-    else:
-        index = CagraIndex.build(
-            data, GraphBuildConfig(graph_degree=args.degree or degree, metric=metric)
-        )
+    index = _serving_index(args, data, metric, degree)
     profile = _resolve_profile_arg(
         args,
         getattr(index, "dataset", data),
@@ -567,6 +584,181 @@ def _cmd_serve(args) -> int:
             print(f"health: {health['status']}  "
                   f"open_shards={health['open_shards']}  "
                   f"failure_rate={health['recent_failure_rate']:.3f}")
+    return 1 if report.failed > 0 else 0
+
+
+def _cmd_route(args) -> int:
+    """Replicated fleet under seeded Zipfian multi-tenant load.
+
+    Builds one index, fronts it with ``--replicas`` servers behind a
+    :class:`repro.router.ShardRouter`, replays a seeded multi-tenant
+    schedule through the closed-loop fleet load generator, and reports
+    fleet stats, health, served recall, and — when quotas are on — the
+    exact reconciliation of observed quota rejections against the
+    reference token-bucket simulation.  Chaos knobs: ``--kill-replica``
+    murders one replica mid-load, ``--rolling-swap`` upgrades the fleet
+    to a freshly built index mid-load.
+
+    Route-only knobs are read with defaults so ``serve --replicas N``
+    (which lacks them) can delegate here unchanged.
+    """
+    import threading
+
+    from repro.router import (
+        RouterConfig,
+        ShardRouter,
+        expected_quota_outcomes,
+        run_fleet_closed_loop,
+    )
+    from repro.serve import ServeConfig, make_zipf_schedule
+
+    data, queries, metric, degree = _load(args)
+    index = _serving_index(args, data, metric, degree)
+    profile = _resolve_profile_arg(
+        args,
+        getattr(index, "dataset", data),
+        getattr(index, "kind", args.index_kind or "cagra"),
+        args.k,
+    )
+    search_config = _search_config(args, profile, seed=args.seed)
+    serve_config = ServeConfig(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_capacity=args.queue_capacity,
+        default_timeout_ms=args.timeout_ms,
+        cache_capacity=args.cache_capacity,
+        default_k=args.k,
+        on_shard_failure=args.on_shard_failure,
+        min_shard_quorum=args.min_quorum,
+    )
+    router_config = RouterConfig(
+        dispatch=getattr(args, "dispatch", "load_aware"),
+        hedge=not getattr(args, "no_hedge", False),
+        hedge_delay_ms=getattr(args, "hedge_delay_ms", 0.0),
+        hedge_latency_factor=getattr(args, "hedge_factor", 2.0),
+        hedge_jitter_ms=getattr(args, "hedge_jitter_ms", 0.0),
+        max_attempts=getattr(args, "max_attempts", 3),
+        quota_rate_qps=getattr(args, "quota_rate", 0.0),
+        quota_burst=getattr(args, "quota_burst", 10.0),
+        breaker_failure_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown_s,
+        seed=args.seed,
+        fault_plan=args.fault_plan,
+    )
+    num_requests = args.requests or max(1, int(args.rate * args.duration))
+    schedule = make_zipf_schedule(
+        num_requests,
+        num_tenants=getattr(args, "tenants", 4),
+        num_query_rows=queries.shape[0],
+        rate_qps=args.rate,
+        zipf_s=getattr(args, "zipf_s", 1.1),
+        seed=args.seed,
+    )
+    router = ShardRouter.build(
+        index,
+        num_replicas=args.replicas,
+        config=router_config,
+        serve_config=serve_config,
+        search_config=search_config,
+    )
+    kill_replica = getattr(args, "kill_replica", -1)
+    chaos_after_s = getattr(args, "chaos_after_s", 0.2)
+    rolling_swap = getattr(args, "rolling_swap", False)
+    timers: list[threading.Timer] = []
+    swap_index = None
+    if rolling_swap:
+        # Built up front so mid-load chaos measures the swap, not a build.
+        swap_index = CagraIndex.build(
+            data, GraphBuildConfig(graph_degree=args.degree or degree, metric=metric)
+        )
+    with router:
+        if kill_replica >= 0:
+            timers.append(
+                threading.Timer(chaos_after_s, router.kill_replica, [kill_replica])
+            )
+        if swap_index is not None:
+            timers.append(
+                threading.Timer(chaos_after_s, router.rolling_swap, [swap_index])
+            )
+        for timer in timers:
+            timer.start()
+        report = run_fleet_closed_loop(
+            router,
+            queries,
+            schedule,
+            num_clients=args.clients,
+            k=args.k,
+            timeout_ms=args.timeout_ms or None,
+            pace=getattr(args, "pace", False),
+        )
+        for timer in timers:
+            timer.cancel()
+            timer.join()
+        health = router.health()
+    stats = router.stats()
+
+    truth, _ = exact_search(data, queries, args.k, metric=metric)
+    ok_mask = report.outcome == "ok"
+    if ok_mask.any():
+        rows = schedule.query_rows[ok_mask] % queries.shape[0]
+        served_recall = recall_of(report.indices[ok_mask], truth[rows])
+    else:
+        served_recall = 0.0
+
+    quota_check = None
+    if router_config.quota_rate_qps > 0.0:
+        expected = expected_quota_outcomes(
+            schedule, router_config.quota_rate_qps, router_config.quota_burst
+        )
+        quota_check = {
+            "expected": expected,
+            "observed": dict(report.per_tenant_quota_rejected),
+            "exact_match": expected == {
+                t: report.per_tenant_quota_rejected.get(t, 0) for t in expected
+            },
+        }
+
+    if args.format == "json":
+        payload = {
+            "replicas": args.replicas,
+            "dispatch": router_config.dispatch,
+            "hedge": router_config.hedge,
+            "requests": num_requests,
+            "tenants": schedule.num_tenants,
+            "ok": report.ok,
+            "quota_rejected": report.quota_rejected,
+            "timed_out": report.timed_out,
+            "failed": report.failed,
+            "hedged": report.hedged,
+            "hedge_wins": report.hedge_wins,
+            "duration_seconds": report.duration_seconds,
+            "latency_ms": {
+                "p50": report.latency_percentile_ms(50),
+                "p95": report.latency_percentile_ms(95),
+                "p99": report.latency_percentile_ms(99),
+            },
+            "recall": served_recall,
+            "quota_check": quota_check,
+            "stats": stats.to_dict(),
+            "health": health.to_dict(),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"routing over {args.replicas} replicas "
+            f"(dispatch={router_config.dispatch}, hedge={router_config.hedge}, "
+            f"tenants={schedule.num_tenants})"
+        )
+        print(report.summary())
+        print(f"recall@{args.k} (served vs exact): {served_recall:.4f}")
+        if quota_check is not None:
+            verdict = "exact" if quota_check["exact_match"] else "MISMATCH"
+            print(f"quota rejections vs token-bucket model: {verdict} "
+                  f"({report.quota_rejected} rejected)")
+        print(stats.summary())
+        if health.status != "ok":
+            print(f"fleet health: {health.status}  "
+                  f"open_breakers={health.open_breakers}")
     return 1 if report.failed > 0 else 0
 
 
@@ -968,6 +1160,87 @@ def build_parser() -> argparse.ArgumentParser:
                          help="staleness-policy evaluation period")
     p_serve.add_argument("--rebuild-calibrate", action="store_true",
                          help="seed the rebuild cost model with micro-probes")
+    p_serve.add_argument("--replicas", type=int, default=1,
+                         help="front N replica servers with the shard router "
+                              "(> 1 delegates to the route command)")
+
+    p_route = sub.add_parser(
+        "route",
+        help="replicated shard router: hedged requests, per-tenant quotas, "
+             "fleet health, rolling upgrades (docs/router.md)",
+    )
+    _add_dataset_args(p_route)
+    p_route.add_argument("--index", default="",
+                         help="serve a saved index .npz instead of building one")
+    p_route.add_argument("--index-kind", choices=INDEX_KINDS, default="cagra",
+                         help="index family to build and serve")
+    p_route.add_argument("-k", type=int, default=10)
+    p_route.add_argument("--degree", type=int, default=0)
+    _add_search_param_args(p_route)
+    _add_parallel_args(p_route)
+    _add_degradation_args(p_route)
+    p_route.add_argument("--replicas", type=int, default=3,
+                         help="fleet size (replica servers over one index)")
+    p_route.add_argument("--dispatch", choices=("load_aware", "round_robin"),
+                         default="load_aware", help="replica-selection policy")
+    p_route.add_argument("--no-hedge", action="store_true",
+                         help="disable hedged (backup) requests")
+    p_route.add_argument("--hedge-delay-ms", type=float, default=0.0,
+                         help="fixed hedge delay (0 = derive from the "
+                              "primary's latency EWMA)")
+    p_route.add_argument("--hedge-factor", type=float, default=2.0,
+                         help="EWMA multiplier for derived hedge delays")
+    p_route.add_argument("--hedge-jitter-ms", type=float, default=0.0,
+                         help="seeded deterministic jitter added to every "
+                              "hedge delay")
+    p_route.add_argument("--max-attempts", type=int, default=3,
+                         help="sequential dispatch attempts per request "
+                              "(primary + failovers)")
+    p_route.add_argument("--tenants", type=int, default=4,
+                         help="tenant count for the Zipfian schedule")
+    p_route.add_argument("--zipf-s", type=float, default=1.1,
+                         help="Zipf skew of tenant traffic (0 = uniform)")
+    p_route.add_argument("--quota-rate", type=float, default=0.0,
+                         help="per-tenant token-bucket refill rate in qps "
+                              "(0 disables admission quotas)")
+    p_route.add_argument("--quota-burst", type=float, default=10.0,
+                         help="per-tenant token-bucket capacity")
+    p_route.add_argument("--rate", type=float, default=500.0,
+                         help="scheduled arrival rate of the Zipf schedule (qps)")
+    p_route.add_argument("--duration", type=float, default=2.0,
+                         help="load duration in seconds (rate * duration requests)")
+    p_route.add_argument("--requests", type=int, default=0,
+                         help="explicit request count (overrides --duration)")
+    p_route.add_argument("--clients", type=int, default=4,
+                         help="closed-loop client threads (tenants are "
+                              "partitioned onto clients, preserving each "
+                              "tenant's arrival order)")
+    p_route.add_argument("--pace", action="store_true",
+                         help="sleep clients to the scheduled arrival times "
+                              "(default: submit back-to-back, virtual time "
+                              "only for quotas)")
+    p_route.add_argument("--timeout-ms", type=float, default=0.0,
+                         help="per-request deadline (0 = none)")
+    p_route.add_argument("--max-batch", type=int, default=64)
+    p_route.add_argument("--max-wait-ms", type=float, default=2.0)
+    p_route.add_argument("--queue-capacity", type=int, default=256)
+    p_route.add_argument("--cache-capacity", type=int, default=1024,
+                         help="per-replica LRU result-cache entries (0 disables)")
+    p_route.add_argument("--breaker-threshold", type=int, default=3,
+                         help="consecutive leg failures that open a replica's "
+                              "breaker (0 disables fleet breakers)")
+    p_route.add_argument("--breaker-cooldown-s", type=float, default=1.0,
+                         help="open-breaker cooldown before the single "
+                              "half-open probe")
+    p_route.add_argument("--kill-replica", type=int, default=-1,
+                         help="chaos: kill this replica id mid-load "
+                              "(-1 disables)")
+    p_route.add_argument("--rolling-swap", action="store_true",
+                         help="chaos: rolling-upgrade the fleet to a freshly "
+                              "built index mid-load")
+    p_route.add_argument("--chaos-after-s", type=float, default=0.2,
+                         help="delay before --kill-replica / --rolling-swap fire")
+    p_route.add_argument("--format", choices=("text", "json"), default="text")
 
     p_stream = sub.add_parser(
         "stream",
@@ -1069,6 +1342,7 @@ def main(argv: list[str] | None = None) -> int:
         "search": _cmd_search,
         "bench": _cmd_bench,
         "serve": _cmd_serve,
+        "route": _cmd_route,
         "stream": _cmd_stream,
         "tune": _cmd_tune,
         "validate": _cmd_validate,

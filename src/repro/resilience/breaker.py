@@ -8,6 +8,15 @@ breaker admits a single **half-open** probe, and the probe's outcome
 either **closes** the breaker (shard recovered) or re-opens it for
 another cooldown.
 
+Exactly one caller wins the probe slot per cooldown window: the
+:meth:`CircuitBreaker.allow` call that performs the open → half-open
+transition *is* the probe, and every other concurrent caller is rejected
+until the probe reports an outcome — or abandons the slot by staying
+silent for another ``cooldown_s``, after which the next ``allow`` claims
+it.  Without that guarantee a thundering herd of callers would all be
+"the probe" and a still-broken shard would take a full burst of traffic
+the moment its cooldown expired.
+
 The clock is injectable (``clock=time.monotonic`` by default) so state
 transitions are unit-testable without sleeping, and all methods are
 thread-safe (the serving scheduler records outcomes while ``health()``
@@ -46,8 +55,10 @@ class CircuitBreaker:
         self._state = self.CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0
+        self._probe_started_at = 0.0
         self._opens = 0
         self._closes = 0
+        self._probe_rejections = 0
 
     # ------------------------------------------------------------------
     @property
@@ -59,18 +70,30 @@ class CircuitBreaker:
         """May the guarded shard be used right now?
 
         Closed: yes.  Open: no, until ``cooldown_s`` has elapsed — then
-        the breaker transitions to half-open and admits the probe.
-        Half-open: yes (the probe is in flight or being retried).
+        the breaker transitions to half-open and admits the caller as
+        *the* probe.  Half-open: no — exactly one probe is in flight per
+        cooldown window, and concurrent callers are rejected until the
+        probe's outcome is recorded.  A probe that never reports is
+        abandoned after another ``cooldown_s`` and the slot is handed to
+        the next caller.
         """
         with self._lock:
+            now = self._clock()
             if self._state == self.CLOSED:
                 return True
             if self._state == self.OPEN:
-                if self._clock() - self._opened_at >= self.cooldown_s:
+                if now - self._opened_at >= self.cooldown_s:
                     self._state = self.HALF_OPEN
+                    self._probe_started_at = now
                     return True
                 return False
-            return True  # HALF_OPEN
+            # HALF_OPEN: the probe slot is taken.  Reclaim it only if
+            # the current probe has been silent for a whole window.
+            if now - self._probe_started_at >= self.cooldown_s:
+                self._probe_started_at = now
+                return True
+            self._probe_rejections += 1
+            return False
 
     def record_success(self) -> None:
         with self._lock:
@@ -113,6 +136,7 @@ class CircuitBreaker:
                 "consecutive_failures": self._consecutive_failures,
                 "opens": self._opens,
                 "closes": self._closes,
+                "probe_rejections": self._probe_rejections,
                 "seconds_until_probe": until_probe,
             }
 

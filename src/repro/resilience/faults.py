@@ -23,6 +23,13 @@ Injection points (:data:`FAULT_POINTS`):
 ``stream.wal.append``     in :class:`repro.stream.WriteAheadLog`, after the
                           payload segment is written but before the commit
                           record is appended (the crash-consistency window)
+``router.dispatch``       in :meth:`repro.router.ShardRouter.search`, before a
+                          request leg is submitted to the chosen replica
+                          (context: ``replica``, ``tenant``) — a ``raise`` here
+                          is what a dead/unreachable replica looks like
+``router.hedge``          in the router's hedge path, before the hedge leg is
+                          issued to the backup replica (context: ``replica``,
+                          ``tenant``)
 ========================  ====================================================
 
 Fault kinds (:data:`FAULT_KINDS`):
@@ -88,6 +95,8 @@ FAULT_POINTS = (
     "serve.execute",
     "index.load",
     "stream.wal.append",
+    "router.dispatch",
+    "router.hedge",
 )
 
 #: Recognised fault kinds.

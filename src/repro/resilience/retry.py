@@ -12,10 +12,17 @@ The watchdog half of the policy (``task_timeout_s``) bounds how long the
 executor waits for any single task before declaring it hung and failing
 over; see :meth:`ShardExecutor.map_outcomes` for how timeouts, retries,
 and pool recycling interact.
+
+When the retried work carries its own deadline (a serving request, a
+router dispatch), pass it to :meth:`RetryPolicy.backoff_seconds` as
+``deadline`` (monotonic seconds): the computed backoff is truncated to
+the remaining deadline budget, so a retry never sleeps past the point
+where the answer could still be useful.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -67,8 +74,25 @@ class RetryPolicy:
         if self.seed < 0:
             raise ValueError("seed must be >= 0")
 
-    def backoff_seconds(self, task_index: int, attempt: int) -> float:
-        """Deterministic jittered backoff before retry ``attempt``."""
+    def backoff_seconds(
+        self,
+        task_index: int,
+        attempt: int,
+        deadline: float | None = None,
+        clock=time.monotonic,
+    ) -> float:
+        """Deterministic jittered backoff before retry ``attempt``.
+
+        With ``deadline`` (monotonic seconds, same clock as ``clock``)
+        the backoff is truncated to the remaining deadline budget: a
+        retry sleeping past the deadline could only ever produce an
+        answer nobody is still waiting for.  An already-expired deadline
+        yields ``0.0`` (retry immediately; the attempt itself will be
+        timed out by whoever owns the deadline).
+        """
         capped = min(self.backoff_max_ms, self.backoff_base_ms * (2.0 ** attempt))
         rng = np.random.default_rng([self.seed, task_index, attempt])
-        return capped * (0.5 + 0.5 * float(rng.random())) / 1e3
+        seconds = capped * (0.5 + 0.5 * float(rng.random())) / 1e3
+        if deadline is not None:
+            seconds = min(seconds, max(0.0, deadline - clock()))
+        return seconds

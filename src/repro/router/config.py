@@ -1,0 +1,135 @@
+"""Fleet-router configuration.
+
+:class:`RouterConfig` holds the policy knobs of the replicated tier —
+dispatch strategy, hedge-delay math, per-tenant admission quotas, and
+per-replica circuit breakers.  The per-replica *serving* knobs stay in
+:class:`repro.serve.ServeConfig` (each replica is a full
+:class:`~repro.serve.CagraServer`), so fleet policy and server policy
+remain independent dials, the same separation the serve layer keeps
+between serving policy and :class:`~repro.core.config.SearchConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DISPATCH_POLICIES", "RouterConfig"]
+
+#: Recognised dispatch policies.  ``load_aware`` scores replicas by
+#: EWMA latency × (1 + queue depth + in-flight legs) and picks the
+#: minimum; ``round_robin`` rotates over the available replicas in id
+#: order — scheduling-independent, which is what the determinism tests
+#: pin their hedge counters on.
+DISPATCH_POLICIES = ("load_aware", "round_robin")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Parameters of the replicated shard-router tier.
+
+    Attributes:
+        dispatch: replica-selection policy, one of
+            :data:`DISPATCH_POLICIES`.
+        hedge: issue a backup request to the next-best replica when the
+            primary has not answered within the hedge delay (tail-latency
+            insurance; the first successful leg wins, exactly once).
+        hedge_delay_ms: fixed hedge delay; ``0`` derives the delay from
+            the primary replica's latency EWMA
+            (``ewma_ms * hedge_latency_factor``), clamped to
+            ``[hedge_delay_floor_ms, hedge_delay_cap_ms]``.
+        hedge_latency_factor: EWMA multiplier for derived hedge delays —
+            "hedge once the request has taken noticeably longer than
+            this replica's typical answer".
+        hedge_delay_floor_ms / hedge_delay_cap_ms: clamp bounds for the
+            derived delay (the floor stops a fast replica from hedging
+            every request; the cap bounds tail exposure behind a
+            suddenly-slow replica).
+        hedge_jitter_ms: amplitude of the deterministic, seeded jitter
+            added to every hedge delay (drawn from
+            ``Philox(seed, request_sequence)``, never wall clock), which
+            de-synchronizes hedge storms without sacrificing replay.
+        max_attempts: total sequential dispatch attempts per request
+            (primary + failovers after a failed leg).  The hedge leg is
+            a *parallel* extra and does not consume attempts.
+        ewma_alpha: smoothing factor of each replica's latency EWMA.
+        ewma_initial_ms: optimistic prior for a replica that has not
+            answered anything yet.
+        quota_rate_qps: per-tenant token-bucket refill rate; ``0``
+            disables admission quotas.
+        quota_burst: per-tenant bucket capacity (burst allowance).
+        breaker_failure_threshold: consecutive leg failures that open a
+            replica's circuit breaker; ``0`` disables fleet breakers.
+        breaker_cooldown_s: open-breaker cooldown before the single
+            half-open probe is admitted.
+        default_timeout_ms: per-request deadline applied when the caller
+            does not pass one; ``0`` disables deadlines.
+        seed: seeds the hedge-jitter stream (combined with the request
+            sequence number, so no two requests share a draw).
+        fault_plan: JSON fault plan (or ``@path``) evaluated at the
+            ``router.dispatch`` / ``router.hedge`` points; empty defers
+            to ``REPRO_FAULT_PLAN`` (see :mod:`repro.resilience.faults`).
+        drain_poll_ms: polling period while waiting for a draining
+            replica to go idle during :meth:`ShardRouter.rolling_swap`.
+        drain_timeout_s: longest a rolling swap waits for one replica to
+            drain before swapping anyway (the swap itself is atomic and
+            in-flight batches finish on the old snapshot, so proceeding
+            is safe — it just stops a wedged replica from stalling the
+            upgrade).
+    """
+
+    dispatch: str = "load_aware"
+    hedge: bool = True
+    hedge_delay_ms: float = 0.0
+    hedge_latency_factor: float = 2.0
+    hedge_delay_floor_ms: float = 1.0
+    hedge_delay_cap_ms: float = 100.0
+    hedge_jitter_ms: float = 0.0
+    max_attempts: int = 3
+    ewma_alpha: float = 0.2
+    ewma_initial_ms: float = 5.0
+    quota_rate_qps: float = 0.0
+    quota_burst: float = 10.0
+    breaker_failure_threshold: int = 3
+    breaker_cooldown_s: float = 1.0
+    default_timeout_ms: float = 0.0
+    seed: int = 0
+    fault_plan: str = ""
+    drain_poll_ms: float = 2.0
+    drain_timeout_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        _require(
+            self.dispatch in DISPATCH_POLICIES,
+            f"dispatch must be one of {DISPATCH_POLICIES}",
+        )
+        _require(self.hedge_delay_ms >= 0.0, "hedge_delay_ms must be >= 0")
+        _require(
+            self.hedge_latency_factor > 0.0, "hedge_latency_factor must be > 0"
+        )
+        _require(
+            self.hedge_delay_floor_ms >= 0.0, "hedge_delay_floor_ms must be >= 0"
+        )
+        _require(
+            self.hedge_delay_cap_ms >= self.hedge_delay_floor_ms,
+            "hedge_delay_cap_ms must be >= hedge_delay_floor_ms",
+        )
+        _require(self.hedge_jitter_ms >= 0.0, "hedge_jitter_ms must be >= 0")
+        _require(self.max_attempts >= 1, "max_attempts must be >= 1")
+        _require(0.0 < self.ewma_alpha <= 1.0, "ewma_alpha must be in (0, 1]")
+        _require(self.ewma_initial_ms > 0.0, "ewma_initial_ms must be > 0")
+        _require(self.quota_rate_qps >= 0.0, "quota_rate_qps must be >= 0")
+        _require(self.quota_burst >= 1.0, "quota_burst must be >= 1")
+        _require(
+            self.breaker_failure_threshold >= 0,
+            "breaker_failure_threshold must be >= 0 (0 = disabled)",
+        )
+        _require(self.breaker_cooldown_s >= 0.0, "breaker_cooldown_s must be >= 0")
+        _require(self.default_timeout_ms >= 0.0, "default_timeout_ms must be >= 0")
+        _require(self.seed >= 0, "seed must be >= 0")
+        _require(self.drain_poll_ms > 0.0, "drain_poll_ms must be > 0")
+        _require(self.drain_timeout_s >= 0.0, "drain_timeout_s must be >= 0")

@@ -1,0 +1,191 @@
+"""One fleet replica: a :class:`~repro.serve.CagraServer` plus the
+router-side signals that drive dispatch.
+
+The router never inspects a server's internals — each :class:`Replica`
+owns the three per-replica signals the dispatch policy consumes (latency
+EWMA, in-flight leg count, the server's queue depth), the replica's
+circuit breaker, and the replica life-cycle state:
+
+* ``active`` — eligible for dispatch;
+* ``draining`` — excluded from new dispatch (unless it is the last
+  replica standing) while :meth:`~repro.router.ShardRouter.rolling_swap`
+  waits for it to go idle;
+* ``dead`` — never dispatched to; what :meth:`Replica.kill` (the chaos
+  hook) and an operator decommission leave behind.
+
+All mutable state is guarded by one lock per replica; nothing here
+blocks while holding it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.resilience import CircuitBreaker
+from repro.serve.server import CagraServer
+
+__all__ = ["ACTIVE", "DEAD", "DRAINING", "Ewma", "Replica"]
+
+ACTIVE = "active"
+DRAINING = "draining"
+DEAD = "dead"
+
+
+class Ewma:
+    """Exponentially weighted moving average (not thread-safe by itself;
+    :class:`Replica` updates it under its lock)."""
+
+    def __init__(self, alpha: float, initial: float):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.value = float(initial)
+        self.samples = 0
+
+    def update(self, sample: float) -> float:
+        self.value += self.alpha * (float(sample) - self.value)
+        self.samples += 1
+        return self.value
+
+
+class Replica:
+    """Router-side view of one serving replica."""
+
+    def __init__(
+        self,
+        replica_id: int,
+        server: CagraServer,
+        ewma_alpha: float = 0.2,
+        ewma_initial_ms: float = 5.0,
+        breaker: CircuitBreaker | None = None,
+    ):
+        self.replica_id = int(replica_id)
+        self.server = server
+        self.breaker = breaker
+        self._lock = threading.Lock()
+        self._state = ACTIVE
+        self._ewma = Ewma(ewma_alpha, ewma_initial_ms)
+        self._inflight = 0
+        self._dispatched = 0
+        self._hedges = 0
+        self._wins = 0
+        self._failures = 0
+
+    # ------------------------------------------------------------------
+    # life cycle
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def mark_active(self) -> None:
+        with self._lock:
+            if self._state != DEAD:
+                self._state = ACTIVE
+
+    def mark_draining(self) -> None:
+        with self._lock:
+            if self._state != DEAD:
+                self._state = DRAINING
+
+    def mark_dead(self) -> None:
+        with self._lock:
+            self._state = DEAD
+
+    def kill(self) -> None:
+        """Chaos hook: die abruptly, stranding queued work (non-draining
+        stop), exactly like a replica process getting SIGKILLed — queued
+        requests fail with ``ServerClosed`` and the router must route
+        around the corpse."""
+        self.mark_dead()
+        self.server.stop(drain=False)
+
+    # ------------------------------------------------------------------
+    # dispatch signals
+    # ------------------------------------------------------------------
+    @property
+    def ewma_ms(self) -> float:
+        with self._lock:
+            return self._ewma.value
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def load_score(self) -> float:
+        """Lower is better: expected latency scaled by standing load."""
+        depth = self.server.queue_depth()
+        with self._lock:
+            return self._ewma.value * (1.0 + self._inflight + depth)
+
+    def observe_latency(self, latency_ms: float) -> None:
+        with self._lock:
+            self._ewma.update(latency_ms)
+
+    # ------------------------------------------------------------------
+    # leg accounting (the router calls these around every submitted leg)
+    # ------------------------------------------------------------------
+    def begin_leg(self, hedge: bool = False) -> None:
+        with self._lock:
+            self._inflight += 1
+            self._dispatched += 1
+            if hedge:
+                self._hedges += 1
+
+    def end_leg(self, won: bool = False, failed: bool = False) -> None:
+        with self._lock:
+            self._inflight = max(0, self._inflight - 1)
+            if won:
+                self._wins += 1
+            if failed:
+                self._failures += 1
+
+    def record_outcome(self, success: bool) -> bool:
+        """Feed the breaker; True when this outcome tripped it open."""
+        if self.breaker is None:
+            return False
+        if success:
+            self.breaker.record_success()
+            return False
+        return self.breaker.record_failure()
+
+    def admit(self) -> bool:
+        """May a new leg be sent here right now?
+
+        Dead and draining replicas refuse; an open breaker refuses until
+        its cooldown admits the single half-open probe — in which case
+        *this* leg is the probe.
+        """
+        with self._lock:
+            if self._state != ACTIVE:
+                return False
+        if self.breaker is not None and not self.breaker.allow():
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-friendly per-replica entry for the fleet dashboard."""
+        depth = self.server.queue_depth()
+        breaker = self.breaker.snapshot() if self.breaker is not None else None
+        with self._lock:
+            return {
+                "state": self._state,
+                "ewma_ms": self._ewma.value,
+                "latency_samples": self._ewma.samples,
+                "inflight": self._inflight,
+                "queue_depth": depth,
+                "dispatched": self._dispatched,
+                "hedges": self._hedges,
+                "wins": self._wins,
+                "failures": self._failures,
+                "breaker": breaker,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"Replica(id={self.replica_id}, state={self.state!r}, "
+            f"ewma_ms={self.ewma_ms:.2f})"
+        )

@@ -1,0 +1,207 @@
+"""Fleet metrics: :class:`RouterStats` (a :class:`~repro.serve.ServeStats`
+superset) and the :class:`FleetHealth` snapshot.
+
+The router-level counters live in a lock-protected
+:class:`RouterStatsCollector`, mirroring the serve layer's collector.
+:meth:`ShardRouter.stats` merges three sources into one immutable
+:class:`RouterStats`:
+
+* the base :class:`~repro.serve.ServeStats` fields, summed across every
+  replica's own server stats (batches, cache hits, degraded batches,
+  breaker trips, ... — the whole per-server surface, fleet-wide);
+* the router's own counters (routed requests, hedges issued/won,
+  failovers, quota rejections, rolling swaps);
+* per-replica snapshots (state, EWMA, dispatch/win/failure counts).
+
+The latency percentiles are **router-observed end-to-end** latencies —
+submit-to-first-winning-leg — not per-server scheduler latencies.  That
+is deliberate: hedging exists to improve exactly this number, so the
+fleet dashboard must report the client's experience, not the replicas'.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.stats import LATENCY_WINDOW, ServeStats
+
+__all__ = ["FleetHealth", "RouterStats", "RouterStatsCollector"]
+
+
+@dataclass(frozen=True)
+class RouterStats(ServeStats):
+    """Fleet dashboard: everything :class:`ServeStats` reports, summed
+    across replicas, plus the router tier's own counters.
+
+    Attributes (beyond the inherited surface):
+        replicas: fleet size (including dead replicas).
+        replicas_active / replicas_draining / replicas_dead: life-cycle
+            census at snapshot time.
+        routed: requests the router resolved (any outcome past quota).
+        routed_failed: requests that exhausted every leg and attempt.
+        hedges_issued: backup legs sent after a hedge delay expired.
+        hedges_won: hedged requests where the backup leg answered first.
+        failovers: sequential re-dispatches after a failed leg.
+        quota_rejections: admissions refused with ``TenantOverQuota``.
+        quota_rejections_by_tenant: the same, per tenant id.
+        rolling_swaps: completed :meth:`ShardRouter.rolling_swap` runs.
+        per_replica: replica id → :meth:`Replica.snapshot` dict.
+    """
+
+    replicas: int = 0
+    replicas_active: int = 0
+    replicas_draining: int = 0
+    replicas_dead: int = 0
+    routed: int = 0
+    routed_failed: int = 0
+    hedges_issued: int = 0
+    hedges_won: int = 0
+    failovers: int = 0
+    quota_rejections: int = 0
+    quota_rejections_by_tenant: dict[str, int] = field(default_factory=dict)
+    rolling_swaps: int = 0
+    per_replica: dict[int, dict] = field(default_factory=dict)
+
+    @property
+    def hedge_rate(self) -> float:
+        """Fraction of routed requests that issued a hedge leg."""
+        return self.hedges_issued / self.routed if self.routed else 0.0
+
+    @property
+    def hedge_win_rate(self) -> float:
+        """Fraction of issued hedges that beat their primary."""
+        return self.hedges_won / self.hedges_issued if self.hedges_issued else 0.0
+
+    def to_dict(self) -> dict:
+        out = super().to_dict()
+        out.update(
+            replicas=self.replicas,
+            replicas_active=self.replicas_active,
+            replicas_draining=self.replicas_draining,
+            replicas_dead=self.replicas_dead,
+            routed=self.routed,
+            routed_failed=self.routed_failed,
+            hedges_issued=self.hedges_issued,
+            hedges_won=self.hedges_won,
+            hedge_rate=self.hedge_rate,
+            hedge_win_rate=self.hedge_win_rate,
+            failovers=self.failovers,
+            quota_rejections=self.quota_rejections,
+            quota_rejections_by_tenant=dict(self.quota_rejections_by_tenant),
+            rolling_swaps=self.rolling_swaps,
+            per_replica={str(rid): snap for rid, snap in self.per_replica.items()},
+        )
+        return out
+
+    def summary(self) -> str:
+        lines = [
+            "fleet stats",
+            f"  replicas    total={self.replicas}  active={self.replicas_active}  "
+            f"draining={self.replicas_draining}  dead={self.replicas_dead}",
+            f"  routing     routed={self.routed}  failed={self.routed_failed}  "
+            f"failovers={self.failovers}  rolling_swaps={self.rolling_swaps}",
+            f"  hedging     issued={self.hedges_issued} "
+            f"(rate={self.hedge_rate:.3f})  won={self.hedges_won} "
+            f"(win_rate={self.hedge_win_rate:.3f})",
+        ]
+        if self.quota_rejections:
+            per_tenant = "  ".join(
+                f"{tenant}:{count}"
+                for tenant, count in sorted(self.quota_rejections_by_tenant.items())
+            )
+            lines.append(
+                f"  quotas      rejections={self.quota_rejections}  {per_tenant}"
+            )
+        for rid in sorted(self.per_replica):
+            snap = self.per_replica[rid]
+            lines.append(
+                f"  replica {rid}   {snap['state']:<9}"
+                f"ewma={snap['ewma_ms']:.2f}ms  "
+                f"dispatched={snap['dispatched']}  hedges={snap['hedges']}  "
+                f"wins={snap['wins']}  failures={snap['failures']}"
+            )
+        return "\n".join(lines) + "\n" + super().summary()
+
+
+@dataclass(frozen=True)
+class FleetHealth:
+    """Operator-facing fleet liveness snapshot (JSON-friendly).
+
+    ``status`` is ``"ok"`` (every replica active and closed), ``"degraded"``
+    (any replica dead/draining, any breaker not closed, or any replica's
+    own ``health()`` degraded — the fleet still answers), or ``"down"``
+    (no replica can take traffic).
+    """
+
+    status: str
+    replicas: dict[int, dict]
+    open_breakers: list[int]
+    hedge_rate: float
+    quota_rejections: int
+    quotas: dict | None
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "replicas": {str(rid): snap for rid, snap in self.replicas.items()},
+            "open_breakers": list(self.open_breakers),
+            "hedge_rate": self.hedge_rate,
+            "quota_rejections": self.quota_rejections,
+            "quotas": self.quotas,
+        }
+
+
+class RouterStatsCollector:
+    """Mutable, lock-protected counters behind :class:`RouterStats`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = Counter()
+        self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+
+    def record_routed(self, latency_seconds: float) -> None:
+        with self._lock:
+            self._counts["routed"] += 1
+            self._latencies.append(latency_seconds * 1e3)
+
+    def record_routed_failure(self) -> None:
+        with self._lock:
+            self._counts["routed"] += 1
+            self._counts["routed_failed"] += 1
+
+    def record_hedge_issued(self) -> None:
+        with self._lock:
+            self._counts["hedges_issued"] += 1
+
+    def record_hedge_won(self) -> None:
+        with self._lock:
+            self._counts["hedges_won"] += 1
+
+    def record_failover(self) -> None:
+        with self._lock:
+            self._counts["failovers"] += 1
+
+    def record_rolling_swap(self) -> None:
+        with self._lock:
+            self._counts["rolling_swaps"] += 1
+
+    def counters(self) -> dict:
+        with self._lock:
+            counts = dict(self._counts)
+            latencies = np.asarray(self._latencies, dtype=np.float64)
+        if latencies.size:
+            p50, p95, p99 = np.percentile(latencies, [50.0, 95.0, 99.0])
+            counts["latency_mean_ms"] = float(latencies.mean())
+            counts["latency_max_ms"] = float(latencies.max())
+        else:
+            p50 = p95 = p99 = 0.0
+            counts["latency_mean_ms"] = 0.0
+            counts["latency_max_ms"] = 0.0
+        counts["latency_p50_ms"] = float(p50)
+        counts["latency_p95_ms"] = float(p95)
+        counts["latency_p99_ms"] = float(p99)
+        return counts

@@ -13,7 +13,13 @@ and ``docs/resilience.md`` for failure semantics.
 
 from repro.serve.cache import ResultCache
 from repro.serve.config import ServeConfig
-from repro.serve.loadgen import LoadReport, run_closed_loop, run_open_loop
+from repro.serve.loadgen import (
+    LoadReport,
+    ZipfTenantSchedule,
+    make_zipf_schedule,
+    run_closed_loop,
+    run_open_loop,
+)
 from repro.serve.server import (
     CagraServer,
     PendingResult,
@@ -38,6 +44,8 @@ __all__ = [
     "ServerClosed",
     "ServerOverloaded",
     "StatsCollector",
+    "ZipfTenantSchedule",
+    "make_zipf_schedule",
     "run_closed_loop",
     "run_open_loop",
 ]

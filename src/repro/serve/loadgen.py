@@ -14,6 +14,16 @@ Two standard closed-form workload shapes:
 Both return a :class:`LoadReport` with client-observed outcome counts,
 the per-request latency sample, and the raw results (query row → ids) so
 callers can score recall against ground truth.
+
+Multi-tenant traffic is modeled by :func:`make_zipf_schedule`: a fully
+seeded arrival schedule whose tenant ids are drawn ``Zipf(s)`` (a few
+tenants dominate, the realistic skew) with Poisson inter-arrival gaps
+and round-robin-free query rows.  The schedule is a plain value object —
+:class:`repro.router`'s closed-loop fleet loadgen and the ``route`` CLI
+both replay it, and because every decision (who arrives, when, asking
+what) is fixed by the seed, admission-quota outcomes can be checked
+*exactly* against a reference token-bucket simulation of the same
+schedule.
 """
 
 from __future__ import annotations
@@ -31,7 +41,98 @@ from repro.serve.server import (
     ServerOverloaded,
 )
 
-__all__ = ["LoadReport", "run_closed_loop", "run_open_loop"]
+__all__ = [
+    "LoadReport",
+    "ZipfTenantSchedule",
+    "make_zipf_schedule",
+    "run_closed_loop",
+    "run_open_loop",
+]
+
+
+@dataclass(frozen=True)
+class ZipfTenantSchedule:
+    """A seeded multi-tenant arrival schedule (who, when, asking what).
+
+    Attributes:
+        arrival_s: ``(N,)`` cumulative arrival offsets in seconds from
+            the start of the run (Poisson process at ``rate_qps``).
+        tenants: ``(N,)`` tenant index per request, drawn ``Zipf(s)``
+            over ``num_tenants`` ranks (tenant 0 is the heaviest).
+        query_rows: ``(N,)`` row into the caller's query pool.
+        num_tenants / zipf_s / rate_qps / seed: generation parameters,
+            kept so reports and reference simulations are self-describing.
+    """
+
+    arrival_s: np.ndarray
+    tenants: np.ndarray
+    query_rows: np.ndarray
+    num_tenants: int
+    zipf_s: float
+    rate_qps: float
+    seed: int
+
+    def __len__(self) -> int:
+        return int(self.arrival_s.shape[0])
+
+    def tenant_name(self, tenant: int) -> str:
+        return f"tenant-{int(tenant)}"
+
+    def per_tenant_positions(self) -> dict[int, np.ndarray]:
+        """Schedule positions grouped by tenant, in arrival order.
+
+        This is the partition the closed-loop fleet loadgen dispatches
+        by: all of one tenant's requests stay on one client thread, so
+        each tenant's arrival order (and therefore its token-bucket
+        refill sequence) is preserved exactly.
+        """
+        return {
+            int(tenant): np.flatnonzero(self.tenants == tenant)
+            for tenant in np.unique(self.tenants)
+        }
+
+
+def make_zipf_schedule(
+    num_requests: int,
+    num_tenants: int,
+    num_query_rows: int,
+    rate_qps: float = 1000.0,
+    zipf_s: float = 1.1,
+    seed: int = 0,
+) -> ZipfTenantSchedule:
+    """Draw a seeded Zipfian multi-tenant arrival schedule.
+
+    Tenant ranks ``1..num_tenants`` get probability ``rank**-zipf_s``
+    (normalized); arrivals are a Poisson process at ``rate_qps``; query
+    rows are uniform over the pool.  Same arguments ⇒ bitwise-identical
+    schedule, on any platform numpy's Philox streams are stable on.
+    """
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    if num_tenants < 1:
+        raise ValueError("num_tenants must be >= 1")
+    if num_query_rows < 1:
+        raise ValueError("num_query_rows must be >= 1")
+    if rate_qps <= 0:
+        raise ValueError("rate_qps must be > 0")
+    if zipf_s < 0:
+        raise ValueError("zipf_s must be >= 0 (0 = uniform tenants)")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, num_tenants + 1, dtype=np.float64)
+    probs = ranks ** -zipf_s
+    probs /= probs.sum()
+    tenants = rng.choice(num_tenants, size=num_requests, p=probs)
+    arrival_s = np.cumsum(rng.exponential(1.0 / rate_qps, size=num_requests))
+    query_rows = rng.integers(0, num_query_rows, size=num_requests)
+    return ZipfTenantSchedule(
+        arrival_s=arrival_s,
+        tenants=tenants.astype(np.int64),
+        query_rows=query_rows.astype(np.int64),
+        num_tenants=num_tenants,
+        zipf_s=zipf_s,
+        rate_qps=rate_qps,
+        seed=seed,
+    )
 
 
 @dataclass

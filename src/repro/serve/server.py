@@ -134,6 +134,7 @@ class _Request:
     __slots__ = (
         "query", "k", "enqueue_time", "deadline", "event", "lock",
         "state", "indices", "distances", "error", "latency_seconds",
+        "watchers",
     )
 
     def __init__(self, query: np.ndarray, k: int, deadline: float | None):
@@ -148,13 +149,27 @@ class _Request:
         self.distances: np.ndarray | None = None
         self.error: BaseException | None = None
         self.latency_seconds = 0.0
+        self.watchers: list[threading.Event] = []
+
+    def add_watcher(self, event: threading.Event) -> None:
+        """Register an extra event set on resolution (already-resolved
+        requests set it immediately).  Lets a caller wait on *any of*
+        several requests — the router's hedged wait — without polling."""
+        with self.lock:
+            if self.state == self.PENDING:
+                self.watchers.append(event)
+                return
+        event.set()
 
     def _transition(self, state: int) -> bool:
         with self.lock:
             if self.state != self.PENDING:
                 return False
             self.state = state
+            watchers, self.watchers = self.watchers, []
         self.event.set()
+        for watcher in watchers:
+            watcher.set()
         return True
 
     def resolve_done(self, indices: np.ndarray, distances: np.ndarray) -> bool:
@@ -184,6 +199,20 @@ class PendingResult:
 
     def done(self) -> bool:
         return self._request.event.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until resolved (or ``timeout`` seconds); True if resolved.
+
+        Unlike :meth:`result` this never transitions the request — it is
+        a pure observation, safe to call from a hedging router that may
+        let the *other* leg win.
+        """
+        return self._request.event.wait(timeout)
+
+    def add_watcher(self, event: threading.Event) -> None:
+        """Set ``event`` when this request resolves (immediately if it
+        already has).  Enables wait-for-any across several handles."""
+        self._request.add_watcher(event)
 
     def result(self, timeout: float | None = None) -> ServeResult:
         """Wait for the request to resolve and return (or raise) it.
@@ -559,6 +588,10 @@ class CagraServer:
     # ------------------------------------------------------------------
     # metrics
     # ------------------------------------------------------------------
+    def queue_depth(self) -> int:
+        """Requests currently queued (cheap; the router's load signal)."""
+        return self._queue.qsize()
+
     def stats(self) -> ServeStats:
         """Snapshot of the metrics surface (see :class:`ServeStats`)."""
         ann = self.ann_index

@@ -21,6 +21,7 @@ Covers the failure-handling contract end to end (``docs/resilience.md``):
 from __future__ import annotations
 
 import json
+import threading
 import time
 
 import numpy as np
@@ -198,6 +199,23 @@ class TestRetryPolicy:
             # jitter keeps each delay in [cap/2, cap)
             assert cap_ms / 2e3 <= seconds < cap_ms / 1e3
 
+    def test_backoff_truncated_to_deadline_budget(self):
+        """Regression: backoff must never sleep past the request deadline."""
+        policy = RetryPolicy(backoff_base_ms=1000.0, backoff_max_ms=4000.0)
+        clock = lambda: 100.0  # noqa: E731 - fixed fake clock
+        untruncated = policy.backoff_seconds(0, 2)
+        assert untruncated > 1.0  # would overshoot a near deadline
+        # 50ms of budget left: the sleep is clipped to it.
+        clipped = policy.backoff_seconds(0, 2, deadline=100.05, clock=clock)
+        assert clipped == pytest.approx(0.05)
+        # Expired deadline: retry immediately rather than sleeping.
+        assert policy.backoff_seconds(0, 2, deadline=99.0, clock=clock) == 0.0
+        # A distant deadline leaves the jittered value untouched.
+        assert (
+            policy.backoff_seconds(0, 2, deadline=1000.0, clock=clock)
+            == untruncated
+        )
+
 
 # ----------------------------------------------------------------------
 # CircuitBreaker (injected clock: no sleeping)
@@ -233,6 +251,59 @@ class TestCircuitBreaker:
         assert breaker.state == CircuitBreaker.HALF_OPEN
         breaker.record_success()
         assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self):
+        """Regression: concurrent callers must not all become the probe."""
+        clock = _FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=10.0, clock=clock)
+        breaker.record_failure()
+        clock.now += 10.0
+        assert breaker.allow()  # this caller owns the probe slot
+        # Everyone else is rejected while the probe is in flight.
+        assert not breaker.allow()
+        assert not breaker.allow()
+        assert breaker.snapshot()["probe_rejections"] == 2
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_half_open_probe_slot_reclaimed_after_silence(self):
+        """A probe that never reports must not wedge the breaker."""
+        clock = _FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=5.0, clock=clock)
+        breaker.record_failure()
+        clock.now += 5.0
+        assert breaker.allow()  # probe taken, outcome never recorded
+        assert not breaker.allow()
+        clock.now += 5.0  # a whole cooldown of silence: slot reclaimed
+        assert breaker.allow()
+        assert not breaker.allow()  # and the new probe again excludes others
+
+    def test_half_open_single_probe_under_threads(self):
+        """Threaded regression: N racers, exactly one admitted per window."""
+        clock = _FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=30.0, clock=clock)
+        breaker.record_failure()
+        clock.now += 30.0
+        admitted = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def racer():
+            barrier.wait()
+            if breaker.allow():
+                with lock:
+                    admitted.append(threading.get_ident())
+
+        threads = [threading.Thread(target=racer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(admitted) == 1
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        # The losing racers were counted as rejected, not silently dropped.
+        assert breaker.snapshot()["probe_rejections"] == 7
 
     def test_half_open_failure_reopens(self):
         clock = _FakeClock()
