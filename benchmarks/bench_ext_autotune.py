@@ -6,7 +6,9 @@ synthetic dataset, then compares the library default (``itopk=64``,
 ``search_width=1``) against the tuned operating point at the same recall
 target: genuine recall from the brute-force oracle, QPS from the GPU
 cost model at the simulated launch batch (the same pricing pipeline as
-the Fig. 10/13 benches).
+the Fig. 10/13 benches).  Since profile schema v2 the sweep also covers
+``team_size`` (threads per distance computation, Fig. 8), and the entry
+records the extra QPS headroom that axis buys over the v1 grid.
 
 Alongside the human-readable table in ``benchmarks/results/``, the run
 appends a machine-readable entry to ``BENCH_search.json`` at the repo
@@ -39,7 +41,13 @@ K = 10
 SEED = 31
 RECALL_TARGET = 0.95
 BATCH = 10_000
-GRID = TuneGrid(itopk_values=(16, 32, 64, 96, 128), search_widths=(1, 2, 4))
+# Schema-v2 sweep: team_size joins the grid (0 = auto from dim; 8/32
+# bracket the auto pick so per-team load waste shows in the pricing).
+GRID = TuneGrid(
+    itopk_values=(16, 32, 64, 96, 128),
+    search_widths=(1, 2, 4),
+    team_size_values=(0, 8, 32),
+)
 
 
 @pytest.fixture(scope="module")
@@ -78,13 +86,14 @@ def test_autotune_default_vs_tuned(tune_setup, benchmark):
             label = "<= default"
         rows.append([
             point.itopk, point.search_width, point.max_iterations or "auto",
+            point.team_size or "auto",
             f"{point.recall:.4f}", f"{point.qps:,.0f}",
             f"{point.distance_computations_per_query:.0f}", label,
         ])
     emit(
         "ext_autotune",
         format_table(
-            ["itopk", "width", "max_it", f"recall@{K}", "QPS (sim)",
+            ["itopk", "width", "max_it", "team", f"recall@{K}", "QPS (sim)",
              "dist/query", ""],
             rows,
             title=(
@@ -102,6 +111,7 @@ def test_autotune_default_vs_tuned(tune_setup, benchmark):
             "itopk": point.itopk,
             "search_width": point.search_width,
             "max_iterations": point.max_iterations,
+            "team_size": point.team_size,
             "recall": round(point.recall, 4),
             "qps": round(point.qps),
             "distance_computations_per_query": round(
@@ -118,6 +128,7 @@ def test_autotune_default_vs_tuned(tune_setup, benchmark):
             "recall_target": RECALL_TARGET, "batch": BATCH,
             "itopk_grid": list(GRID.itopk_values),
             "width_grid": list(GRID.search_widths),
+            "team_grid": list(GRID.team_size_values),
         },
         "cells": {
             "default": cell(profile.baseline),
@@ -125,6 +136,13 @@ def test_autotune_default_vs_tuned(tune_setup, benchmark):
         },
         "costs": {
             "tuned_over_default_qps": round(profile.speedup(), 3),
+            # Headroom of the v2 team_size axis: tuned QPS over the best
+            # point constrained to team_size=auto (the v1 grid).
+            "team_size_headroom_qps": round(
+                profile.chosen.qps
+                / max(p.qps for p in profile.sweep if p.team_size == 0),
+                3,
+            ),
             "meets_target": profile.meets_target,
             "grid_points": len(profile.sweep),
         },

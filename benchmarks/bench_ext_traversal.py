@@ -1,0 +1,159 @@
+"""Extension bench: the array-parallel traversal engine vs the legacy loop.
+
+The engine (:mod:`repro.core.traversal`) steps every live query of a
+batch through one masked numpy program; the legacy shape — the
+per-query sequential loop that ``search_batch`` ran before the engine
+existed — survives as the executable specification
+(:meth:`TraversalEngine.search_single`).  This bench measures *actual*
+Python wall time for both at the same search configuration, plus the
+fp16-storage variant, and asserts the engine's batched QPS is at least
+the legacy loop's at matched recall.
+
+Alongside the human-readable table in ``benchmarks/results/``, the run
+appends a machine-readable entry to ``BENCH_traversal.json`` at the
+repo root so engine-vs-legacy headroom is tracked across PRs (the
+traversal-side companion to ``BENCH_search.json``).
+"""
+
+import json
+import os
+import time
+from datetime import date
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro import CagraIndex, GraphBuildConfig, SearchConfig
+from repro.bench import format_table
+from repro.core.metrics import recall
+from repro.datasets.synthetic import clustered_gaussian, make_queries
+
+TRAJECTORY_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_traversal.json"
+)
+
+ROWS = 1500
+DIM = 32
+DEGREE = 16
+NUM_QUERIES = 64
+K = 10
+SEED = 47
+ITOPK = 64
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = clustered_gaussian(ROWS, DIM, seed=SEED)
+    index = CagraIndex.build(data, GraphBuildConfig(graph_degree=DEGREE, seed=SEED))
+    queries = make_queries(data, NUM_QUERIES, seed=SEED + 1)
+    from repro.baselines import exact_search
+
+    truth, _ = exact_search(data, queries, K)
+    return index, queries, truth
+
+
+def _legacy_loop(index, queries, config):
+    """The pre-engine ``search_batch`` shape: one query at a time through
+    the sequential executable specification."""
+    engine = index.engine()
+    out = np.empty((queries.shape[0], K), dtype=np.int64)
+    for i, query in enumerate(queries):
+        rng = np.random.default_rng([config.seed, i])
+        ids, _, _ = engine.search_single(query, K, config, "single_cta", rng)
+        out[i] = ids
+    return out
+
+
+def test_engine_vs_legacy_qps(setup, benchmark):
+    index, queries, truth = setup
+    config = SearchConfig(itopk=ITOPK, algo="single_cta", seed=SEED)
+
+    def run():
+        timings = {}
+        t0 = time.perf_counter()
+        legacy_ids = _legacy_loop(index, queries, config)
+        timings["legacy"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        ref = index.search(queries, K, config)
+        timings["engine_reference"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        fast = index.search_fast(queries, K, config)
+        timings["engine_fast"] = time.perf_counter() - t0
+
+        fp16 = config.with_overrides(precision="fp16")
+        t0 = time.perf_counter()
+        half = index.search_fast(queries, K, fp16)
+        timings["engine_fast_fp16"] = time.perf_counter() - t0
+
+        recalls = {
+            "legacy": recall(legacy_ids, truth),
+            "engine_reference": recall(ref.indices, truth),
+            "engine_fast": recall(fast.indices, truth),
+            "engine_fast_fp16": recall(half.indices, truth),
+        }
+        return timings, recalls
+
+    timings, recalls = benchmark.pedantic(run, rounds=1, iterations=1)
+    qps = {name: NUM_QUERIES / seconds for name, seconds in timings.items()}
+
+    rows = [
+        [name, f"{timings[name] * 1e3:.1f} ms", f"{qps[name]:,.0f}",
+         f"{recalls[name]:.4f}"]
+        for name in ("legacy", "engine_reference", "engine_fast",
+                     "engine_fast_fp16")
+    ]
+    rows.append(["engine_fast / legacy", "", f"{qps['engine_fast'] / qps['legacy']:.2f}x", ""])
+    emit(
+        "ext_traversal",
+        format_table(
+            ["path", "python wall time", "QPS (real)", f"recall@{K}"],
+            rows,
+            title=(
+                f"Extension: array-parallel traversal engine vs legacy "
+                f"per-query loop ({ROWS}-row degree-{DEGREE} index, "
+                f"{NUM_QUERIES} queries, itopk {ITOPK})"
+            ),
+        ),
+    )
+
+    entry = {
+        "recorded": date.today().isoformat(),
+        "bench": "ext_traversal",
+        "config": {
+            "rows": ROWS, "dim": DIM, "degree": DEGREE, "k": K,
+            "num_queries": NUM_QUERIES, "seed": SEED, "itopk": ITOPK,
+        },
+        "cells": {
+            name: {
+                "wall_seconds": round(timings[name], 4),
+                "qps": round(qps[name], 1),
+                "recall": round(recalls[name], 4),
+            }
+            for name in timings
+        },
+        "costs": {
+            "engine_fast_over_legacy_qps": round(qps["engine_fast"] / qps["legacy"], 3),
+            "fp16_recall_delta": round(
+                recalls["engine_fast"] - recalls["engine_fast_fp16"], 4
+            ),
+        },
+    }
+    trajectory = {"schema": 1, "entries": []}
+    if os.path.exists(TRAJECTORY_PATH):
+        with open(TRAJECTORY_PATH, encoding="utf-8") as handle:
+            trajectory = json.load(handle)
+    trajectory["entries"].append(entry)
+    with open(TRAJECTORY_PATH, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    # Acceptance: reference mode reproduces the legacy loop's results
+    # exactly, and the batched engine is at least as fast as the legacy
+    # per-query loop at matched recall.
+    assert recalls["engine_reference"] == recalls["legacy"]
+    assert recalls["engine_fast"] >= recalls["legacy"] - 0.01
+    assert abs(recalls["engine_fast"] - recalls["engine_fast_fp16"]) <= 0.01
+    assert qps["engine_fast"] >= qps["legacy"]

@@ -109,6 +109,15 @@ def _add_search_param_args(
     parser.add_argument("--max-iterations", type=int, default=None,
                         help="iteration cap (0 = auto bound; default: "
                              "tuned profile if loaded, else 0)")
+    parser.add_argument("--team-size", type=int, default=None,
+                        choices=(0, 2, 4, 8, 16, 32),
+                        help="threads per distance computation (0 = auto "
+                             "from dim; default: tuned profile if loaded, "
+                             "else 0)")
+    parser.add_argument("--precision", choices=("fp32", "fp16"), default=None,
+                        help="dataset storage precision searched by the "
+                             "traversal engine (fp16 halves simulated DRAM "
+                             "traffic; distances accumulate in fp32)")
     if profile:
         parser.add_argument("--profile", default="",
                             help="tuned profile: 'auto' (scan "
@@ -137,6 +146,8 @@ def _search_config(args, profile=None, **base_fields) -> "SearchConfig":
             ("itopk", getattr(args, "itopk", None)),
             ("search_width", getattr(args, "search_width", None)),
             ("max_iterations", getattr(args, "max_iterations", None)),
+            ("team_size", getattr(args, "team_size", None)),
+            ("precision", getattr(args, "precision", None)),
         )
         if value is not None
     }
@@ -304,6 +315,8 @@ def _cmd_search(args) -> int:
             "itopk": config.itopk,
             "search_width": config.search_width,
             "max_iterations": config.max_iterations,
+            "team_size": config.team_size,
+            "precision": config.precision,
             "profile": args.profile or None,
             "tuned": profile is not None,
             "algo": algo,
@@ -323,7 +336,9 @@ def _cmd_search(args) -> int:
     source = "tuned profile" if profile is not None else "defaults/flags"
     print(f"params ({source}): itopk={config.itopk} "
           f"search_width={config.search_width} "
-          f"max_iterations={config.max_iterations or 'auto'}")
+          f"max_iterations={config.max_iterations or 'auto'} "
+          f"team_size={config.team_size or 'auto'} "
+          f"precision={config.precision}")
     print(f"recall@{args.k}: {measured_recall:.4f}")
     print(f"distance computations/query: {per_query:.0f}")
     if degraded:

@@ -1,298 +1,35 @@
-"""Vectorized lockstep batch search — the library's fast path.
+"""Deprecated home of the vectorized lockstep batch search.
 
-The reference implementation in :mod:`repro.core.search` mirrors the CUDA
-kernel query-by-query, which is the right shape for counter fidelity but
-slow in Python.  This module runs *all* queries' search loops in lockstep
-as whole-batch NumPy operations — the same algorithm (top-M buffer,
-parented MSB flags, first-time-only distance computation), with two
-simplifications relative to the reference:
+The fast path moved into the unified array-parallel engine at
+:mod:`repro.core.traversal` (``TraversalEngine`` / its functional wrapper
+``search_batch_fast``), which adds dead-query compaction, an fp16 dataset
+path and team_size-aware cost accounting while staying bitwise-identical
+to the implementation that used to live here (ids, distances and every
+``CostReport`` counter are pinned by the regression fixture).
 
-* the visited structure is an exact per-query boolean table rather than a
-  lossy open-addressing hash (so it matches the *standard* hash table's
-  semantics; forgettable resets are not emulated), and
-* all candidate distances of an iteration are computed in one gathered
-  batch, with already-visited candidates masked to ``+inf`` afterwards
-  (the counters still record only first-time computations, which is what
-  the cost model prices).
-
-Recall/throughput characteristics match the reference within noise; the
-test suite cross-checks the two implementations.  Use this for bulk
-offline evaluation; use :func:`repro.core.search.search_batch` when you
-need faithful forgettable-hash behaviour or multi-CTA mapping.
+This module remains for one release as a PEP 562 forwarding shim:
+importing ``search_batch_fast`` from here warns and hands back the engine
+wrapper.  Private helpers (``_merge_rows`` and friends) moved to
+:mod:`repro.core.traversal`; import them from there.
 """
 
 from __future__ import annotations
 
-import numpy as np
+import warnings
 
-from repro.core.config import SearchConfig
-from repro.core.distances import gathered_distances
-from repro.core.graph import INDEX_MASK, PARENT_FLAG, FixedDegreeGraph
-from repro.core.rng_init import random_init_block
-from repro.core.search import CostReport, SearchResult
-from repro.core.topm import bitonic_comparator_count, sort_strategy
-
-__all__ = ["search_batch_fast"]
+# search_batch_fast is provided via module __getattr__ (deprecation shim).
+__all__ = ["search_batch_fast"]  # repro-lint: disable=RL005 — deprecation alias via module __getattr__
 
 
-def _first_occurrence_rows(ids: np.ndarray) -> np.ndarray:
-    """Mask of the first occurrence of each value within its row.
-
-    The reference path feeds candidates one by one through the hash
-    table, so when a node id appears twice in the same gather only the
-    first occurrence reports "new" (one distance computation, one hash
-    insertion).  The lockstep path must dedupe the same way *before*
-    consulting the visited table, or intra-gather duplicates are
-    double-counted.
-    """
-    order = np.argsort(ids, axis=1, kind="stable")
-    sorted_ids = np.take_along_axis(ids, order, axis=1)
-    first_sorted = np.ones(ids.shape, dtype=bool)
-    first_sorted[:, 1:] = sorted_ids[:, 1:] != sorted_ids[:, :-1]
-    first = np.empty(ids.shape, dtype=bool)
-    np.put_along_axis(first, order, first_sorted, axis=1)
-    return first
-
-
-def _charge_iteration_sort(
-    report: CostReport, lengths: np.ndarray, itopk: int
-) -> None:
-    """Meter step ①'s sort+merge for the active lockstep queries.
-
-    ``lengths`` holds each query's *current* candidate-list length: the
-    reference path charges ``_charge_sort`` with the actual gather size,
-    which drops below ``search_width * degree`` when a query has fewer
-    unparented top-M entries than ``search_width`` — so must we.
-    """
-    for length, count in zip(*np.unique(lengths, return_counts=True)):
-        length, count = int(length), int(count)
-        if length == 0:
-            continue
-        if sort_strategy(length) == "warp_bitonic":
-            report.sort_comparator_ops += count * bitonic_comparator_count(length)
-        else:
-            report.radix_sorted_elements += count * length
-        merged = itopk + length
-        report.sort_comparator_ops += count * (
-            bitonic_comparator_count(merged) // max(1, merged.bit_length()) * 2
+def __getattr__(name: str):
+    if name == "search_batch_fast":
+        warnings.warn(
+            "repro.core.batch_search is deprecated; import search_batch_fast "
+            "from repro.core.traversal (or use TraversalEngine directly)",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        from repro.core.traversal import search_batch_fast
 
-
-def _merge_rows(
-    topm_ids: np.ndarray,
-    topm_dists: np.ndarray,
-    cand_ids: np.ndarray,
-    cand_dists: np.ndarray,
-    m: int,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Vectorized per-row merge_topm: dedupe bare ids (top-M copy wins),
-    keep the best ``m`` by distance."""
-    ids = np.concatenate([topm_ids, cand_ids], axis=1)
-    dists = np.concatenate([topm_dists, cand_dists], axis=1)
-    bare = (ids & INDEX_MASK).astype(np.int64)
-
-    # Order by (bare id, original position): the first occurrence of each
-    # bare id is the top-M copy when both exist.
-    position = np.broadcast_to(np.arange(ids.shape[1]), ids.shape)
-    order = np.lexsort((position, bare), axis=1)
-    sorted_ids = np.take_along_axis(ids, order, axis=1)
-    sorted_bare = np.take_along_axis(bare, order, axis=1)
-    sorted_dists = np.take_along_axis(dists, order, axis=1)
-    dup = np.zeros_like(sorted_dists, dtype=bool)
-    dup[:, 1:] = sorted_bare[:, 1:] == sorted_bare[:, :-1]
-    sorted_dists = np.where(dup, np.inf, sorted_dists)
-    # Dummy entries (INDEX_MASK) deduped too; re-pad below via inf sort.
-
-    keep = np.argsort(sorted_dists, axis=1, kind="stable")[:, :m]
-    out_ids = np.take_along_axis(sorted_ids, keep, axis=1)
-    out_dists = np.take_along_axis(sorted_dists, keep, axis=1)
-    # Re-normalize removed dummies: positions with inf distance become
-    # dummies again (their stale ids must not be treated as parents).
-    out_ids = np.where(np.isinf(out_dists), INDEX_MASK, out_ids)
-    return out_ids.astype(np.uint32), out_dists
-
-
-#: Budget for the per-chunk visited table (bytes); chunks are sized so
-#: ``chunk * N`` bools stay below this.
-_VISITED_BUDGET_BYTES = 256 * 1024 * 1024
-
-
-def search_batch_fast(
-    data: np.ndarray,
-    graph: FixedDegreeGraph,
-    queries: np.ndarray,
-    k: int,
-    config: SearchConfig | None = None,
-    metric: str = "sqeuclidean",
-    filter_mask: np.ndarray | None = None,
-) -> SearchResult:
-    """Lockstep single-CTA-semantics search over a whole query batch.
-
-    Arguments mirror :func:`repro.core.search.search_batch`; the ``algo``
-    field of ``config`` is ignored (this path implements the single-CTA
-    algorithm with exact visited tracking).  Large batches are chunked
-    automatically so the per-query visited table stays within a fixed
-    memory budget.
-    """
-    queries = np.atleast_2d(queries)
-    chunk = max(1, _VISITED_BUDGET_BYTES // max(1, graph.num_nodes))
-    if queries.shape[0] > chunk:
-        pieces = [
-            _search_chunk_fast(
-                data, graph, queries[start : start + chunk], k, config, metric,
-                filter_mask, seed_offset=start,
-            )
-            for start in range(0, queries.shape[0], chunk)
-        ]
-        indices = np.concatenate([p.indices for p in pieces])
-        distances = np.concatenate([p.distances for p in pieces])
-        # Accumulate into a fresh report: merge_from mutates its target,
-        # and aliasing the first chunk's report would corrupt that
-        # chunk's own counters (and overwrite its batch_size).
-        total = CostReport(
-            algo="single_cta",
-            batch_size=queries.shape[0],
-            hash_in_shared=True,
-            hash_log2_size=11,
-            kernel_launches=1,
-        )
-        for piece in pieces:
-            total.merge_from(piece.report)
-        return SearchResult(indices=indices, distances=distances, report=total)
-    return _search_chunk_fast(data, graph, queries, k, config, metric, filter_mask)
-
-
-def _search_chunk_fast(
-    data: np.ndarray,
-    graph: FixedDegreeGraph,
-    queries: np.ndarray,
-    k: int,
-    config: SearchConfig | None = None,
-    metric: str = "sqeuclidean",
-    filter_mask: np.ndarray | None = None,
-    seed_offset: int = 0,
-) -> SearchResult:
-    """One lockstep chunk (see :func:`search_batch_fast`)."""
-    config = config or SearchConfig()
-    queries = np.atleast_2d(queries)
-    if k < 1:
-        raise ValueError("k must be >= 1")
-    itopk = max(config.itopk, k)
-    if k > itopk:
-        raise ValueError(f"k={k} exceeds itopk={itopk}")
-    if filter_mask is not None:
-        filter_mask = np.asarray(filter_mask, dtype=bool)
-        if filter_mask.shape != (graph.num_nodes,):
-            raise ValueError("filter_mask must have one entry per dataset row")
-        if not filter_mask.any():
-            raise ValueError("filter_mask excludes every node")
-
-    n = graph.num_nodes
-    degree = graph.degree
-    batch = queries.shape[0]
-    width = config.search_width * degree
-    max_iter = config.resolved_max_iterations()
-
-    report = CostReport(
-        algo="single_cta",
-        batch_size=batch,
-        cta_count=batch,
-        hash_in_shared=True,
-        hash_log2_size=11,
-        kernel_launches=1,
-    )
-
-    # ⓪ per-query random initialization (bit-identical to the reference's
-    # per-query default_rng streams, vectorized across the batch).
-    cand_ids = random_init_block(config.seed, seed_offset, batch, n, width)
-    report.random_inits = batch * width
-
-    visited = np.zeros((batch, n), dtype=bool)
-    rows = np.arange(batch)[:, None]
-    cand_int = cand_ids.astype(np.int64)
-    # Only the first occurrence of a node within a row's gather is a
-    # first-time computation — the reference hash table counts a
-    # duplicated seed once (satellite: intra-gather dedupe before the
-    # visited write, not after).
-    fresh = _first_occurrence_rows(cand_int) & ~visited[rows, cand_int]
-    visited[rows, cand_int] = True
-    cand_dists = gathered_distances(data, queries, cand_int, metric)
-    cand_dists = np.where(fresh, cand_dists, np.inf)
-    if filter_mask is not None:
-        cand_dists = np.where(filter_mask[cand_int], cand_dists, np.inf)
-    report.distance_computations += int(fresh.sum())
-    report.skipped_distance_computations += int((~fresh).sum())
-    report.hash_lookups += fresh.size
-    report.hash_probes += 2 * fresh.size
-    report.hash_insertions += int(fresh.sum())
-
-    topm_ids = np.full((batch, itopk), INDEX_MASK, dtype=np.uint32)
-    topm_dists = np.full((batch, itopk), np.inf)
-    active = np.ones(batch, dtype=bool)
-    cand_width = np.full(batch, width, dtype=np.int64)
-    p = config.search_width
-
-    iteration = 0
-    while iteration < max_iter and active.any():
-        iteration += 1
-        report.iterations += int(active.sum())
-        _charge_iteration_sort(report, cand_width[active], itopk)
-
-        # ① merge candidates into the top-M buffer.
-        topm_ids, topm_dists = _merge_rows(
-            topm_ids, topm_dists, cand_ids, cand_dists, itopk
-        )
-
-        # ② pick the best p unparented entries per row.
-        selectable = ((topm_ids & PARENT_FLAG) == 0) & (topm_ids != INDEX_MASK)
-        selectable &= active[:, None]
-        # Stable argsort pushes selectable positions (False<True inverted)
-        # to the front in top-M (distance) order.
-        pick_order = np.argsort(~selectable, axis=1, kind="stable")[:, :p]
-        picked_mask = np.take_along_axis(selectable, pick_order, axis=1)
-        has_any = picked_mask.any(axis=1)
-        active &= has_any
-        if not active.any():
-            break
-
-        parent_entries = np.take_along_axis(topm_ids, pick_order, axis=1)
-        parent_nodes = (parent_entries & INDEX_MASK).astype(np.int64)
-        # Mark parents (only where actually selectable and active).
-        flagged = np.where(
-            picked_mask & active[:, None],
-            parent_entries | PARENT_FLAG,
-            parent_entries,
-        )
-        np.put_along_axis(topm_ids, pick_order, flagged, axis=1)
-
-        # Inactive/unselected slots traverse a harmless stand-in (node 0)
-        # whose candidates are masked to inf below.
-        usable = picked_mask & active[:, None]
-        parent_nodes = np.where(usable, parent_nodes, 0)
-
-        # ② gather neighbors, ③ compute first-time distances.
-        cand_ids = graph.neighbors[parent_nodes].reshape(batch, -1)
-        cand_width = usable.sum(axis=1) * degree
-        report.candidate_gathers += int(usable.sum()) * degree
-        cand_int = cand_ids.astype(np.int64)
-        lane_usable = np.repeat(usable, degree, axis=1)
-        # Dedupe within the gather: stand-in lanes are remapped to unique
-        # out-of-range sentinels so they can never claim a real node's
-        # first occurrence, then only first occurrences of usable lanes
-        # count as first-time computations (reference hash semantics).
-        lane_ids = np.where(lane_usable, cand_int, n + np.arange(width, dtype=np.int64))
-        fresh = _first_occurrence_rows(lane_ids) & lane_usable & ~visited[rows, cand_int]
-        visited[rows, cand_int] |= lane_usable
-        cand_dists = gathered_distances(data, queries, cand_int, metric)
-        cand_dists = np.where(fresh, cand_dists, np.inf)
-        if filter_mask is not None:
-            cand_dists = np.where(filter_mask[cand_int], cand_dists, np.inf)
-        report.distance_computations += int(fresh.sum())
-        report.skipped_distance_computations += int((lane_usable & ~fresh).sum())
-        report.hash_lookups += int(lane_usable.sum())
-        report.hash_probes += 2 * int(lane_usable.sum())
-        report.hash_insertions += int(fresh.sum())
-
-    indices = (topm_ids[:, :k] & INDEX_MASK).astype(np.uint32)
-    distances = topm_dists[:, :k].copy()
-    return SearchResult(indices=indices, distances=distances, report=report)
+        return search_batch_fast
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -131,6 +131,10 @@ class SearchConfig:
         itopk_threshold: ``M_T`` of Fig. 7 (multi-CTA above it).
         batch_threshold: ``b_T`` of Fig. 7; 0 = "number of SMs on the GPU".
         seed: RNG seed for the random initialization step.
+        precision: dataset storage precision the traversal engine searches
+            at — ``"fp32"`` (the caller's array as-is) or ``"fp16"``
+            (half-precision storage, fp32 distance accumulation; the
+            paper's half mode, halving simulated DRAM traffic).
     """
 
     itopk: int = 64
@@ -144,8 +148,13 @@ class SearchConfig:
     itopk_threshold: int = 512
     batch_threshold: int = 0
     seed: int = 0
+    precision: str = "fp32"
 
     def __post_init__(self) -> None:
+        _require(
+            self.precision in ("fp32", "fp16"),
+            f"precision must be 'fp32' or 'fp16', got {self.precision!r}",
+        )
         _require(self.itopk >= 1, "itopk must be >= 1")
         _require(self.search_width >= 1, "search_width must be >= 1")
         _require(

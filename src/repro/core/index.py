@@ -24,7 +24,7 @@ from repro.core.distances import METRICS, as_storage_dtype
 from repro.core.graph import INDEX_MASK, MAX_DATASET_SIZE, FixedDegreeGraph
 from repro.core.nn_descent import KnnGraphResult, build_knn_graph
 from repro.core.optimize import OptimizeReport, optimize_graph
-from repro.core.search import CostReport, SearchResult, search_batch
+from repro.core.search import CostReport, SearchResult
 
 __all__ = ["BuildReport", "CagraIndex"]
 
@@ -119,6 +119,7 @@ class CagraIndex:
         self.metric = metric
         self.build_config = build_config
         self.build_report = build_report
+        self._engines: dict = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -200,6 +201,28 @@ class CagraIndex:
     # ------------------------------------------------------------------
     # search
     # ------------------------------------------------------------------
+    def engine(self, precision: str = "fp32"):
+        """The cached :class:`~repro.core.traversal.TraversalEngine` for
+        this index at the given dataset ``precision``.
+
+        Caching amortizes the fp16 storage conversion across searches; the
+        key includes the dataset/graph identities so a stale engine can
+        never serve a mutated index.
+        """
+        from repro.core.traversal import TraversalEngine
+
+        key = (precision, id(self.dataset), id(self.graph))
+        engine = self._engines.get(key)
+        if engine is None:
+            engine = TraversalEngine(
+                self.dataset, self.graph, metric=self.metric, precision=precision
+            )
+            self._engines = {key: engine}
+        return engine
+
+    def _config_engine(self, config: SearchConfig | None):
+        return self.engine(getattr(config, "precision", None) or "fp32")
+
     def search(
         self,
         queries: np.ndarray,
@@ -217,13 +240,11 @@ class CagraIndex:
         ``core.search`` event per call; see :mod:`repro.api`).
         """
         started = time.perf_counter() if on_stage is not None else 0.0
-        result = search_batch(
-            self.dataset,
-            self.graph,
+        result = self._config_engine(config).search(
             queries,
             k,
             config=config,
-            metric=self.metric,
+            mode="reference",
             num_sms=num_sms,
             filter_mask=filter_mask,
         )
@@ -245,19 +266,15 @@ class CagraIndex:
     ) -> SearchResult:
         """Vectorized lockstep batch search (single-CTA semantics, exact
         visited tracking) — typically ~10x faster in Python than
-        :meth:`search`; see :mod:`repro.core.batch_search`.  ``on_stage``
+        :meth:`search`; see :mod:`repro.core.traversal`.  ``on_stage``
         is the unified instrumentation hook (one ``core.search_fast``
         event per call)."""
-        from repro.core.batch_search import search_batch_fast
-
         started = time.perf_counter() if on_stage is not None else 0.0
-        result = search_batch_fast(
-            self.dataset,
-            self.graph,
+        result = self._config_engine(config).search(
             queries,
             k,
             config=config,
-            metric=self.metric,
+            mode="fast",
             filter_mask=filter_mask,
         )
         if on_stage is not None:

@@ -38,7 +38,12 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["random_init_block"]
+__all__ = [
+    "GeneratorRngStreams",
+    "VectorRngStreams",
+    "make_streams",
+    "random_init_block",
+]
 
 _M32 = 0xFFFFFFFF
 _U32 = np.uint64(_M32)
@@ -178,6 +183,156 @@ class _VectorPCG64:
             out[:, 2 * j] = (word & _U32).astype(np.uint32)
             out[:, 2 * j + 1] = (word >> np.uint64(32)).astype(np.uint32)
         return out
+
+    def select(self, keep: np.ndarray) -> None:
+        """Drop the streams of rows where ``keep`` is False (in place)."""
+        self._hi = self._hi[keep]
+        self._lo = self._lo[keep]
+        self._inc_hi = self._inc_hi[keep]
+        self._inc_lo = self._inc_lo[keep]
+
+
+class GeneratorRngStreams:
+    """Per-row ``np.random.Generator`` streams (the compatibility path).
+
+    Used when the caller supplies explicit generators (``search_single_query``)
+    or when the seed falls outside :class:`VectorRngStreams`'s envelope.  The
+    per-row loop here is the *cold* fallback; the traversal hot loop itself
+    stays array-parallel.
+    """
+
+    def __init__(self, rngs):
+        self._rngs = list(rngs)
+
+    def __len__(self) -> int:
+        return len(self._rngs)
+
+    def draw(self, n: int, width: int, mask: np.ndarray | None = None) -> np.ndarray:
+        """``(rows, width)`` uint32 draws continuing each row's stream.
+
+        With ``mask``, only rows where it is True draw (and consume their
+        stream); the other rows' output is zeros and their state is
+        untouched.
+        """
+        out = np.zeros((len(self._rngs), width), dtype=np.uint32)
+        for i, rng in enumerate(self._rngs):
+            if mask is None or mask[i]:
+                out[i] = rng.integers(0, n, size=width, dtype=np.uint32)
+        return out
+
+    def select(self, keep: np.ndarray) -> None:
+        self._rngs = [rng for rng, live in zip(self._rngs, keep) if live]
+
+
+class VectorRngStreams:
+    """Stateful per-row bounded-draw streams, advanced in lockstep.
+
+    Unlike :func:`random_init_block` (one draw per stream), this keeps the
+    raw 32-bit word stream of every row *buffered* across calls, so
+    ``draw`` is bit-identical to calling ``Generator.integers(0, n, width,
+    uint32)`` repeatedly on per-row ``default_rng([seed, row])`` streams —
+    including the leftover high half-word the PCG64 bit generator carries
+    between calls.  That is exactly what the multi-CTA mapping needs: its
+    sequential worker CTAs share one per-query stream, drawing seeds (and
+    ``min_iterations`` re-seeds) at row-dependent paces.
+    """
+
+    def __init__(self, seed: int, seed_offset: int, batch: int):
+        self._gen = _VectorPCG64(int(seed), int(seed_offset), batch)
+        self._rows = batch
+        self._buf = np.empty((batch, 0), dtype=np.uint32)
+        self._avail = np.zeros(batch, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self._rows
+
+    def _append(self, words: np.ndarray) -> None:
+        fresh = words.shape[1]
+        need = int(self._avail.max()) + fresh if self._rows else fresh
+        if need > self._buf.shape[1]:
+            grown = np.zeros((self._rows, need), dtype=np.uint32)
+            grown[:, : self._buf.shape[1]] = self._buf
+            self._buf = grown
+        cols = self._avail[:, None] + np.arange(fresh, dtype=np.int64)
+        self._buf[np.arange(self._rows)[:, None], cols] = words
+        self._avail += fresh
+
+    def draw(self, n: int, width: int, mask: np.ndarray | None = None) -> np.ndarray:
+        """``(rows, width)`` uint32 draws continuing each row's stream.
+
+        With ``mask``, only rows where it is True draw (and consume their
+        buffered words); the other rows' output is zeros and their stream
+        position is untouched — rows advance at independent paces, exactly
+        like per-row Generators would.
+        """
+        if width < 1 or self._rows == 0:
+            return np.empty((self._rows, max(width, 0)), dtype=np.uint32)
+        if mask is not None and not mask.any():
+            return np.zeros((self._rows, width), dtype=np.uint32)
+        if n == 1:
+            # numpy's bounded path short-circuits a zero range without
+            # consuming any raw words.
+            return np.zeros((self._rows, width), dtype=np.uint32)
+        n64 = np.uint64(n)
+        threshold = np.uint64((2**32 - n) % n)
+        accept_rate = 1.0 - int(threshold) / 2.0**32
+        while True:
+            cols = np.arange(self._buf.shape[1], dtype=np.int64)
+            valid = cols < self._avail[:, None]
+            product = self._buf.astype(np.uint64) * n64
+            accept = ((product & _U32) >= threshold) & valid
+            counts = accept.sum(axis=1)
+            need = counts if mask is None else counts[mask]
+            if (need >= width).all():
+                break
+            deficit = int(width - need.min())
+            self._append(
+                self._gen.next_raw32(
+                    max(2, int(np.ceil(deficit / (2.0 * accept_rate))) + 2)
+                )
+            )
+        # Stable argsort floats the accepted positions to the front in
+        # stream order; the width-th accepted word is the last consumed.
+        pos = np.argsort(~accept, axis=1, kind="stable")[:, :width]
+        rows = np.arange(self._rows)[:, None]
+        out = (product >> np.uint64(32))[rows, pos].astype(np.uint32)
+        consumed = pos[:, -1] + 1
+        if mask is not None:
+            out = np.where(mask[:, None], out, np.uint32(0))
+            consumed = np.where(mask, consumed, 0)
+        shift = consumed[:, None] + np.arange(self._buf.shape[1], dtype=np.int64)
+        np.minimum(shift, self._buf.shape[1] - 1, out=shift)
+        self._buf = np.take_along_axis(self._buf, shift, axis=1)
+        self._avail -= consumed
+        return out
+
+    def select(self, keep: np.ndarray) -> None:
+        """Drop finished rows' streams (dead-query compaction)."""
+        self._gen.select(keep)
+        self._buf = self._buf[keep]
+        self._avail = self._avail[keep]
+        self._rows = int(self._buf.shape[0])
+
+
+def make_streams(seed, seed_offset: int, batch: int, n: int):
+    """Per-row ``default_rng([seed, seed_offset + i])`` streams for a block.
+
+    Returns :class:`VectorRngStreams` when the inputs fit the vectorized
+    envelope (the common case), else :class:`GeneratorRngStreams` drawing
+    from real per-row Generators — both produce bit-identical draws.
+    """
+    in_envelope = (
+        isinstance(seed, (int, np.integer))
+        and int(seed) >= 0
+        and 1 <= n <= _M32
+        and seed_offset >= 0
+        and seed_offset + batch <= _M32 + 1
+    )
+    if in_envelope:
+        return VectorRngStreams(int(seed), int(seed_offset), batch)
+    return GeneratorRngStreams(
+        np.random.default_rng([seed, seed_offset + i]) for i in range(batch)
+    )
 
 
 def _reference_init_block(

@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.config import HashTableConfig, SearchConfig, choose_algo
+from repro.core.config import HashTableConfig, SearchConfig
 from repro.core.distances import distances_to_query
 from repro.core.graph import INDEX_MASK, PARENT_FLAG, FixedDegreeGraph
 from repro.core.hashtable import (
@@ -44,7 +44,7 @@ from repro.core.hashtable import (
 )
 from repro.core.topm import bitonic_comparator_count, merge_topm, sort_strategy
 
-__all__ = ["CostReport", "SearchResult", "search_batch", "search_single_query"]
+__all__ = ["CostReport", "SearchResult", "search_batch", "search_single_query"]  # repro-lint: disable=RL005 — deprecation alias via module __getattr__
 
 
 @dataclass
@@ -194,6 +194,11 @@ def _greedy_core(
 ) -> tuple[np.ndarray, np.ndarray]:
     """One CTA's greedy loop; returns the final (ids, dists) top-M buffer.
 
+    This is the sequential *executable specification* of the traversal:
+    production entry points run the array-parallel
+    :class:`repro.core.traversal.TraversalEngine` instead, which is pinned
+    bitwise against this loop (internals tests cross-validate the two).
+
     ``seed_ids`` overrides the random initialization (used by tests and by
     multi-CTA workers that partition the random seeds).
 
@@ -308,67 +313,6 @@ def _collect_hash_counters(report: CostReport, table: StandardHashTable) -> None
     report.hash_resets += table.resets
 
 
-def search_single_query(
-    data: np.ndarray,
-    graph: FixedDegreeGraph,
-    query: np.ndarray,
-    k: int,
-    config: SearchConfig,
-    algo: str,
-    rng: np.random.Generator,
-    metric: str = "sqeuclidean",
-    filter_mask: np.ndarray | None = None,
-) -> tuple[np.ndarray, np.ndarray, CostReport]:
-    """Search one query with an explicitly chosen implementation."""
-    if algo == "single_cta":
-        return _search_query_single_cta(
-            data, graph, query, k, config, rng, metric, filter_mask
-        )
-    return _search_query_multi_cta(
-        data, graph, query, k, config, rng, metric, filter_mask
-    )
-
-
-def _search_query_single_cta(
-    data: np.ndarray,
-    graph: FixedDegreeGraph,
-    query: np.ndarray,
-    k: int,
-    config: SearchConfig,
-    rng: np.random.Generator,
-    metric: str,
-    filter_mask: np.ndarray | None = None,
-) -> tuple[np.ndarray, np.ndarray, CostReport]:
-    itopk = max(config.itopk, k)
-    max_iter = config.resolved_max_iterations()
-    hash_config = _default_hash_config("single_cta", config)
-    table = _make_hash_table(hash_config, max_iter, config.search_width, graph.degree)
-
-    report = CostReport(
-        algo="single_cta",
-        cta_count=1,
-        hash_in_shared=hash_config.kind == "forgettable",
-        hash_log2_size=table.log2_size,
-    )
-    topm_ids, topm_dists = _greedy_core(
-        data,
-        graph,
-        query,
-        itopk,
-        config.search_width,
-        max_iter,
-        config.min_iterations,
-        table,
-        rng,
-        metric,
-        report,
-        filter_mask=filter_mask,
-    )
-    _collect_hash_counters(report, table)
-    ids = (topm_ids[:k] & INDEX_MASK).astype(np.uint32)
-    return ids, topm_dists[:k].copy(), report
-
-
 def _resolve_cta_per_query(config: SearchConfig) -> int:
     """Number of worker CTAs per query in multi-CTA mode.
 
@@ -381,60 +325,29 @@ def _resolve_cta_per_query(config: SearchConfig) -> int:
     return max(2, (max(config.itopk, 32) + 31) // 32)
 
 
-def _search_query_multi_cta(
+def _search_single_query_impl(
     data: np.ndarray,
     graph: FixedDegreeGraph,
     query: np.ndarray,
     k: int,
     config: SearchConfig,
+    algo: str,
     rng: np.random.Generator,
-    metric: str,
+    metric: str = "sqeuclidean",
     filter_mask: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, CostReport]:
-    num_cta = _resolve_cta_per_query(config)
-    worker_itopk = 32  # per-CTA internal list (Sec. IV-C2: p = 1, narrow list)
-    max_iter = config.resolved_max_iterations()
-    hash_config = config.hash_table or HashTableConfig(kind="standard", log2_size=13)
-    if hash_config.kind != "standard":
-        raise ValueError("multi-CTA requires the standard (device-memory) hash table")
-    table = _make_hash_table(hash_config, max_iter, num_cta, graph.degree)
+    """Search one query with an explicitly chosen implementation.
 
-    report = CostReport(
-        algo="multi_cta",
-        cta_count=num_cta,
-        hash_in_shared=False,
-        hash_log2_size=table.log2_size,
-    )
-    all_ids: list[np.ndarray] = []
-    all_dists: list[np.ndarray] = []
-    for _ in range(num_cta):
-        topm_ids, topm_dists = _greedy_core(
-            data,
-            graph,
-            query,
-            worker_itopk,
-            1,
-            max_iter,
-            config.min_iterations,
-            table,
-            rng,
-            metric,
-            report,
-            filter_mask=filter_mask,
-        )
-        all_ids.append(topm_ids)
-        all_dists.append(topm_dists)
-    _collect_hash_counters(report, table)
+    The caller-owned ``rng`` stream is consumed exactly as before the
+    engine refactor (same draws, same order), so interleaved calls that
+    share one generator keep their trajectories.
+    """
+    from repro.core.traversal import TraversalEngine
 
-    merged_ids, merged_dists = merge_topm(
-        np.concatenate(all_ids),
-        np.concatenate(all_dists),
-        np.empty(0, dtype=np.uint32),
-        np.empty(0),
-        max(config.itopk, k),
+    engine = TraversalEngine(
+        data, graph, metric=metric, precision=getattr(config, "precision", "fp32")
     )
-    ids = (merged_ids[:k] & INDEX_MASK).astype(np.uint32)
-    return ids, merged_dists[:k].copy(), report
+    return engine.search_single(query, k, config, algo, rng, filter_mask=filter_mask)
 
 
 def search_batch(
@@ -447,50 +360,53 @@ def search_batch(
     num_sms: int = 108,
     filter_mask: np.ndarray | None = None,
 ) -> SearchResult:
-    """Search a batch of queries.
+    """Search a batch of queries (reference fidelity).
 
-    The implementation (single- vs multi-CTA) follows the Fig. 7 rule
-    unless ``config.algo`` pins one explicitly.  Counters are accumulated
-    batch-wide in the returned :class:`CostReport`.
+    Thin shim over :class:`repro.core.traversal.TraversalEngine` in
+    ``mode="reference"``: the hash-faithful array-parallel backend, bit-
+    exact against the historical per-query loop (ids, distances and every
+    :class:`CostReport` counter).  The implementation (single- vs
+    multi-CTA) follows the Fig. 7 rule unless ``config.algo`` pins one
+    explicitly.
 
     ``filter_mask`` (length-N bool) enables filtered search: nodes whose
     entry is False are excluded from results (their computed distances
     are forced to +inf, like the production kernels do); use a larger
     ``itopk`` when the mask is very selective.
     """
-    config = config or SearchConfig()
-    queries = np.atleast_2d(queries)
-    if k < 1:
-        raise ValueError("k must be >= 1")
-    if k > max(config.itopk, 1):
-        raise ValueError(f"k={k} exceeds itopk={config.itopk}")
-    if filter_mask is not None:
-        filter_mask = np.asarray(filter_mask, dtype=bool)
-        if filter_mask.shape != (graph.num_nodes,):
-            raise ValueError("filter_mask must have one entry per dataset row")
-        if not filter_mask.any():
-            raise ValueError("filter_mask excludes every node")
-    batch = queries.shape[0]
-    algo = choose_algo(config, batch, num_sms=num_sms)
+    from repro.core.traversal import TraversalEngine
 
-    indices = np.empty((batch, k), dtype=np.uint32)
-    distances = np.empty((batch, k), dtype=np.float64)
-    total = CostReport(algo=algo, batch_size=batch, kernel_launches=1)
-    hash_in_shared = None
-    for i in range(batch):
-        # Per-query RNG stream: a query's result does not depend on its
-        # position in the batch (the CUDA kernels likewise derive their
-        # Philox streams from the query index).
-        rng = np.random.default_rng([config.seed, i])
-        ids, dists, report = search_single_query(
-            data, graph, queries[i], k, config, algo, rng, metric,
-            filter_mask=filter_mask,
+    config = config or SearchConfig()
+    engine = TraversalEngine(
+        data, graph, metric=metric, precision=getattr(config, "precision", "fp32")
+    )
+    return engine.search(
+        queries,
+        k,
+        config=config,
+        mode="reference",
+        num_sms=num_sms,
+        filter_mask=filter_mask,
+    )
+
+
+def __getattr__(name: str):
+    """Deprecation shim: ``search_single_query`` lives on for one release.
+
+    The per-query entry point became
+    :meth:`repro.core.traversal.TraversalEngine.search_single`; batch
+    callers should use :func:`search_batch` (or the engine directly),
+    which amortizes slab setup across the whole batch.
+    """
+    if name == "search_single_query":
+        import warnings
+
+        warnings.warn(
+            "search_single_query is deprecated; use "
+            "repro.core.traversal.TraversalEngine.search_single (or "
+            "search_batch for whole batches)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        indices[i] = ids
-        distances[i] = dists
-        total.merge_from(report)
-        hash_in_shared = report.hash_in_shared
-        total.hash_log2_size = report.hash_log2_size
-    if hash_in_shared is not None:
-        total.hash_in_shared = hash_in_shared
-    return SearchResult(indices=indices, distances=distances, report=total)
+        return _search_single_query_impl
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

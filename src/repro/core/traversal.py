@@ -1,0 +1,1099 @@
+"""The array-parallel traversal engine behind every CAGRA search entry point.
+
+The CAGRA hot loop used to live twice in this repo: the per-query reference
+in :mod:`repro.core.search` (``_greedy_core`` plus its single-/multi-CTA
+wrappers) and the vectorized lockstep chunk in
+:mod:`repro.core.batch_search`.  :class:`TraversalEngine` unifies them into
+one masked stepping loop where **all live queries advance one hop per
+vectorized step**: parent selection, neighbor gather, first-occurrence
+dedup, distance evaluation, visited probing and the top-M merge all run on
+a ``(live_queries, ...)`` array slab, with finished queries masked out (and
+periodically compacted away) instead of looping per query.
+
+Two visited backends select the fidelity/speed trade:
+
+* ``mode="reference"`` — a row-parallel emulation of the real
+  open-addressing hash tables (:class:`_HashSlab`), bit-exact against the
+  sequential reference: per-slot probe counts, full-table saturation,
+  forgettable resets with top-M re-registration, ``min_iterations``
+  re-seeding, and multi-CTA worker passes sharing one table and one RNG
+  stream per query.  ``search_batch``'s counters, ids and distances are
+  pinned bitwise against the pre-engine fixture.
+* ``mode="fast"`` — the exact dense boolean visited table with flat hash
+  accounting, byte-for-byte the semantics of the old
+  ``search_batch_fast`` (standard-table behaviour, ``min_iterations``
+  ignored), plus dead-query compaction so throughput tracks *live* queries
+  rather than batch size.
+
+The engine also owns the fp16 dataset path (``precision="fp16"`` stores the
+vectors half-precision; distances still accumulate in fp32, matching the
+CUDA kernels' ``half2`` loads) and threads ``team_size``/``dtype_bytes``
+into ``CostReport.extras`` so :meth:`repro.gpusim.GpuCostModel.search_time`
+prices distance work per point.
+
+Functions marked :func:`hot_path` form the hot loop; lint rule RL007
+forbids per-query Python ``for`` loops inside them (loops over lanes,
+workers or probe steps are fine — their trip counts don't grow with the
+batch).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import HashTableConfig, SearchConfig, choose_algo
+from repro.core.distances import as_storage_dtype, gathered_distances
+from repro.core.graph import INDEX_MASK, PARENT_FLAG, FixedDegreeGraph
+from repro.core.hashtable import standard_table_log2_size
+from repro.core.rng_init import make_streams, random_init_block
+from repro.core.search import (
+    CostReport,
+    SearchResult,
+    _collect_hash_counters,
+    _default_hash_config,
+    _greedy_core,
+    _make_hash_table,
+    _resolve_cta_per_query,
+)
+from repro.core.topm import bitonic_comparator_count, merge_topm, sort_strategy
+
+__all__ = [
+    "TraversalEngine",
+    "hot_path",
+    "search_batch_fast",
+]
+
+#: Supported dataset storage precisions.
+PRECISIONS = ("fp32", "fp16")
+
+#: Empty-slot sentinel and Knuth multiplicative constant — identical to
+#: :mod:`repro.core.hashtable` so slab probes land in the same slots.
+_EMPTY = np.uint32(0xFFFFFFFF)
+_HASH_MULT = 0x9E3779B9
+_KEY_MASK = 0xFFFFFFFF
+
+#: Budget for per-chunk traversal state (bytes); chunks are sized so the
+#: whole per-row slab — visited/hash slots, top-M buffer, candidate lanes
+#: and the gather scratch at the dataset's storage width — stays below it.
+_VISITED_BUDGET_BYTES = 256 * 1024 * 1024
+
+#: Compact the live slab once at least this fraction of its rows is dead.
+_COMPACT_FRACTION = 4  # 1/4
+
+#: Below this many queries, reference mode runs the sequential spec
+#: (:func:`repro.core.search._greedy_core`) per query instead of the hash
+#: slab: the slab's cost is nearly flat in batch size (whole-batch numpy
+#: calls), so under ~10 rows the per-call overhead dominates and the
+#: scalar loop is faster.  Outputs and counters are bitwise-identical
+#: either way (the parity tests pin both against the same fixture) — this
+#: is purely a latency dispatch, mirroring how CAGRA itself picks
+#: single- vs multi-CTA by batch size.
+_SCALAR_REFERENCE_ROWS = 8
+
+
+def hot_path(fn):
+    """Mark a function as part of the traversal hot loop.
+
+    RL007 rejects per-query Python ``for`` loops inside marked functions:
+    everything that scales with the batch must be a whole-array operation.
+    """
+    fn.__hot_path__ = True
+    return fn
+
+
+# ----------------------------------------------------------------------
+# helpers shared by both backends (moved here from batch_search)
+# ----------------------------------------------------------------------
+def _first_occurrence_rows(ids: np.ndarray) -> np.ndarray:
+    """Mask of the first occurrence of each value within its row.
+
+    The reference path feeds candidates one by one through the hash
+    table, so when a node id appears twice in the same gather only the
+    first occurrence reports "new" (one distance computation, one hash
+    insertion).  The lockstep path must dedupe the same way *before*
+    consulting the visited table, or intra-gather duplicates are
+    double-counted.
+    """
+    order = np.argsort(ids, axis=1, kind="stable")
+    sorted_ids = np.take_along_axis(ids, order, axis=1)
+    first_sorted = np.ones(ids.shape, dtype=bool)
+    first_sorted[:, 1:] = sorted_ids[:, 1:] != sorted_ids[:, :-1]
+    first = np.empty(ids.shape, dtype=bool)
+    np.put_along_axis(first, order, first_sorted, axis=1)
+    return first
+
+
+def _charge_iteration_sort(
+    report: CostReport, lengths: np.ndarray, itopk: int
+) -> None:
+    """Meter step ①'s sort+merge for the live lockstep queries.
+
+    ``lengths`` holds each live query's *current* candidate-list length:
+    the reference path charges with the actual gather size, which drops
+    below ``search_width * degree`` when a query has fewer unparented
+    top-M entries than ``search_width`` — so must we.
+    """
+    for length, count in zip(*np.unique(lengths, return_counts=True)):
+        length, count = int(length), int(count)
+        if length == 0:
+            continue
+        if sort_strategy(length) == "warp_bitonic":
+            report.sort_comparator_ops += count * bitonic_comparator_count(length)
+        else:
+            report.radix_sorted_elements += count * length
+        merged = itopk + length
+        report.sort_comparator_ops += count * (
+            bitonic_comparator_count(merged) // max(1, merged.bit_length()) * 2
+        )
+
+
+def _merge_rows(
+    topm_ids: np.ndarray,
+    topm_dists: np.ndarray,
+    cand_ids: np.ndarray,
+    cand_dists: np.ndarray,
+    m: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized per-row merge for the **fast** backend: dedupe bare ids
+    (top-M copy wins), keep the best ``m`` by distance.
+
+    Every ``+inf`` survivor is renormalized to a dummy entry — the dense
+    backend never expands infinite-distance nodes (its visited table is
+    exact, so an inf entry can only be a dup or an artifact).
+    """
+    ids = np.concatenate([topm_ids, cand_ids], axis=1)
+    dists = np.concatenate([topm_dists, cand_dists], axis=1)
+    bare = (ids & INDEX_MASK).astype(np.int64)
+
+    # Order by (bare id, original position): the first occurrence of each
+    # bare id is the top-M copy when both exist.
+    position = np.broadcast_to(np.arange(ids.shape[1]), ids.shape)
+    order = np.lexsort((position, bare), axis=1)
+    sorted_ids = np.take_along_axis(ids, order, axis=1)
+    sorted_bare = np.take_along_axis(bare, order, axis=1)
+    sorted_dists = np.take_along_axis(dists, order, axis=1)
+    dup = np.zeros_like(sorted_dists, dtype=bool)
+    dup[:, 1:] = sorted_bare[:, 1:] == sorted_bare[:, :-1]
+    sorted_dists = np.where(dup, np.inf, sorted_dists)
+    # Dummy entries (INDEX_MASK) deduped too; re-pad below via inf sort.
+
+    keep = np.argsort(sorted_dists, axis=1, kind="stable")[:, :m]
+    out_ids = np.take_along_axis(sorted_ids, keep, axis=1)
+    out_dists = np.take_along_axis(sorted_dists, keep, axis=1)
+    # Re-normalize removed dummies: positions with inf distance become
+    # dummies again (their stale ids must not be treated as parents).
+    out_ids = np.where(np.isinf(out_dists), INDEX_MASK, out_ids)
+    return out_ids.astype(np.uint32), out_dists
+
+
+def _merge_rows_reference(
+    topm_ids: np.ndarray,
+    topm_dists: np.ndarray,
+    cand_ids: np.ndarray,
+    cand_dists: np.ndarray,
+    m: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-parallel :func:`repro.core.topm.merge_topm` for the reference
+    backend.
+
+    Unlike :func:`_merge_rows` this keeps the scalar merge's exact
+    semantics: ties break by concatenation position (not bare id), and a
+    *real* id with an infinite distance survives with its id — the
+    reference search does expand such nodes, so erasing them would fork
+    the trajectory.  Only duplicate occurrences (a bare id's non-first
+    copy) are dropped, becoming dummy entries when they land in the
+    output.
+    """
+    ids = np.concatenate([topm_ids, cand_ids], axis=1).astype(np.uint32)
+    dists = np.concatenate([topm_dists, cand_dists], axis=1).astype(np.float64)
+    if ids.shape[1] < m:
+        pad = m - ids.shape[1]
+        ids = np.concatenate(
+            [ids, np.full((ids.shape[0], pad), INDEX_MASK, dtype=np.uint32)], axis=1
+        )
+        dists = np.concatenate([dists, np.full((ids.shape[0], pad), np.inf)], axis=1)
+    bare = (ids & INDEX_MASK).astype(np.int64)
+    dup = ~_first_occurrence_rows(bare)
+    key = np.where(dup, np.inf, dists)
+    position = np.broadcast_to(np.arange(ids.shape[1]), ids.shape)
+    # Primary: distance (dups pushed to +inf).  Secondary: non-dups first.
+    # Tertiary: original position — the scalar merge's stable tie-break.
+    order = np.lexsort((position, dup, key), axis=1)[:, :m]
+    out_ids = np.take_along_axis(ids, order, axis=1)
+    out_dists = np.take_along_axis(key, order, axis=1)
+    out_dup = np.take_along_axis(dup, order, axis=1)
+    out_ids = np.where(out_dup, INDEX_MASK, out_ids)
+    return out_ids.astype(np.uint32), out_dists
+
+
+# ----------------------------------------------------------------------
+# row-parallel open-addressing hash slab (reference backend)
+# ----------------------------------------------------------------------
+class _HashSlab:
+    """Row-parallel emulation of per-query open-addressing hash tables.
+
+    Row ``i`` of ``slots`` is query ``i``'s table.  Inserts advance every
+    row's probe sequence in lockstep, so the verdicts *and* the counters
+    (one lookup per started sequence, one probe per inspected slot, silent
+    "seen" after ``size`` probes of a full table) match feeding the same
+    keys one at a time through
+    :class:`repro.core.hashtable.StandardHashTable`.
+    """
+
+    def __init__(self, log2_size: int, rows: int):
+        self.log2_size = log2_size
+        self.size = 1 << log2_size
+        self._mask = self.size - 1
+        self.slots = np.full((rows, self.size), _EMPTY, dtype=np.uint32)
+        self.lookups = 0
+        self.probes = 0
+        self.insertions = 0
+        self.resets = 0
+
+    @hot_path
+    def insert_lane(self, keys: np.ndarray, active: np.ndarray) -> np.ndarray:
+        """One ``StandardHashTable.insert`` per active row, in lockstep.
+
+        Returns the per-row "was new" mask (False on inactive rows).  The
+        probe loop below runs once per *probe step*, not per query: all
+        still-unresolved rows inspect their next slot together.
+        """
+        rows = keys.shape[0]
+        fresh = np.zeros(rows, dtype=bool)
+        if not active.any():
+            return fresh
+        keys = keys.astype(np.uint32, copy=False)
+        self.lookups += int(active.sum())
+        product = (keys.astype(np.uint64) * np.uint64(_HASH_MULT)) & np.uint64(
+            _KEY_MASK
+        )
+        slot = (product >> np.uint64(32 - self.log2_size)).astype(np.int64)
+        unresolved = active.copy()
+        row_idx = np.arange(rows, dtype=np.int64)
+        for _ in range(self.size):  # probe steps, capped at table size
+            if not unresolved.any():
+                break
+            self.probes += int(unresolved.sum())
+            r = row_idx[unresolved]
+            s = slot[r]
+            v = self.slots[r, s]
+            empty = v == _EMPTY
+            found = v == keys[r]
+            if empty.any():
+                re = r[empty]
+                self.slots[re, s[empty]] = keys[re]
+                self.insertions += int(empty.sum())
+                fresh[re] = True
+            resolved = empty | found
+            unresolved[r[resolved]] = False
+            stuck = r[~resolved]
+            slot[stuck] = (s[~resolved] + 1) & self._mask
+        return fresh
+
+    @hot_path
+    def insert_unique(self, keys: np.ndarray, lane_active: np.ndarray) -> np.ndarray:
+        """Sequential-lane batch insert: ``(rows, W)`` keys, fresh mask out.
+
+        Lanes run in key order per row (the warp-serialized order the
+        reference uses), each lane vectorized across all rows.
+        """
+        fresh = np.zeros(keys.shape, dtype=bool)
+        for lane in range(keys.shape[1]):  # lane loop (width), not per-query
+            fresh[:, lane] = self.insert_lane(keys[:, lane], lane_active[:, lane])
+        return fresh
+
+    def reset_rows(self, rows_mask: np.ndarray) -> None:
+        """Wipe the masked rows' tables (forgettable reset)."""
+        self.slots[rows_mask] = _EMPTY
+        self.resets += int(rows_mask.sum())
+
+    @hot_path
+    def register_topm(self, topm_ids: np.ndarray, rows_mask: np.ndarray) -> None:
+        """Re-register the masked rows' top-M bare ids after a reset.
+
+        Dummy (``INDEX_MASK``) entries are skipped, like
+        ``ForgettableHashTable.maybe_reset`` does.
+        """
+        bare = (topm_ids & INDEX_MASK).astype(np.uint32)
+        for lane in range(bare.shape[1]):  # top-M lanes, not per-query
+            active = rows_mask & (bare[:, lane] != INDEX_MASK)
+            self.insert_lane(bare[:, lane], active)
+
+    def select(self, keep: np.ndarray) -> None:
+        """Drop dead rows' tables (dead-query compaction)."""
+        self.slots = self.slots[keep]
+
+    def collect(self, report: CostReport) -> None:
+        report.hash_lookups += self.lookups
+        report.hash_probes += self.probes
+        report.hash_insertions += self.insertions
+        report.hash_resets += self.resets
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+class TraversalEngine:
+    """One array-parallel stepping loop for all CAGRA search mappings.
+
+    Owns the (possibly fp16-quantized) dataset and the graph; ``search``
+    dispatches between the dense ``fast`` backend and the hash-emulating
+    ``reference`` backend (which itself maps to single- or multi-CTA per
+    the Fig. 7 rule).
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        graph: FixedDegreeGraph,
+        metric: str = "sqeuclidean",
+        precision: str = "fp32",
+    ):
+        if precision not in PRECISIONS:
+            raise ValueError(f"precision must be one of {PRECISIONS}, got {precision!r}")
+        self.graph = graph
+        self.metric = metric
+        self.precision = precision
+        # fp32 keeps the caller's array untouched (bitwise parity with the
+        # pre-engine paths, including float64 datasets); fp16 quantizes
+        # storage while distances still accumulate in fp32.
+        self.data = (
+            as_storage_dtype(data, "float16")
+            if precision == "fp16"
+            else np.asarray(data)
+        )
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int,
+        config: SearchConfig | None = None,
+        mode: str = "auto",
+        num_sms: int = 108,
+        filter_mask: np.ndarray | None = None,
+    ) -> SearchResult:
+        """Batched k-ANN search.
+
+        ``mode="reference"`` runs the hash-faithful backend (bitwise the
+        old ``search_batch``); ``mode="fast"`` runs the dense lockstep
+        backend (bitwise the old ``search_batch_fast``); ``mode="auto"``
+        currently selects ``fast``.
+        """
+        config = config or SearchConfig()
+        queries = np.atleast_2d(np.asarray(queries))
+        if mode == "auto":
+            mode = "fast"
+        if mode == "fast":
+            return self._search_fast(queries, k, config, filter_mask)
+        if mode != "reference":
+            raise ValueError(
+                f"mode must be 'auto', 'reference' or 'fast', got {mode!r}"
+            )
+        return self._search_reference(queries, k, config, num_sms, filter_mask)
+
+    def search_single(
+        self,
+        query: np.ndarray,
+        k: int,
+        config: SearchConfig,
+        algo: str,
+        rng: np.random.Generator,
+        filter_mask: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, CostReport]:
+        """One query with an explicit algo and a caller-owned RNG stream.
+
+        Backs the deprecated ``search_single_query``: the caller's
+        generator is consumed exactly as the sequential reference would —
+        the engine wraps it in a one-row stream set.
+        """
+        query = np.asarray(query)
+        filter_mask = self._checked_filter(filter_mask)
+        if algo == "single_cta":
+            return self._scalar_single_cta(query, k, config, rng, filter_mask)
+        return self._scalar_multi_cta(query, k, config, rng, filter_mask)
+
+    # ------------------------------------------------------------------
+    # reference backend (hash-faithful)
+    # ------------------------------------------------------------------
+    def _search_reference(
+        self,
+        queries: np.ndarray,
+        k: int,
+        config: SearchConfig,
+        num_sms: int,
+        filter_mask: np.ndarray | None,
+    ) -> SearchResult:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if k > max(config.itopk, 1):
+            raise ValueError(f"k={k} exceeds itopk={config.itopk}")
+        filter_mask = self._checked_filter(filter_mask)
+        batch = queries.shape[0]
+        algo = choose_algo(config, batch, num_sms=num_sms)
+
+        total = CostReport(algo=algo, batch_size=batch, kernel_launches=1)
+        self._stamp_extras(total, config)
+        indices = np.empty((batch, k), dtype=np.uint32)
+        distances = np.empty((batch, k), dtype=np.float64)
+        if batch < _SCALAR_REFERENCE_ROWS:
+            # Latency dispatch: tiny batches can't amortize the slab's
+            # whole-batch numpy calls, so run the sequential spec instead
+            # (bitwise-identical outputs and counters).
+            scalar = (
+                self._scalar_single_cta
+                if algo == "single_cta"
+                else self._scalar_multi_cta
+            )
+            hash_in_shared = None
+            for i in range(batch):
+                rng = np.random.default_rng([config.seed, i])
+                ids, dists, report = scalar(queries[i], k, config, rng, filter_mask)
+                indices[i] = ids
+                distances[i] = dists
+                total.merge_from(report)
+                hash_in_shared = report.hash_in_shared
+                total.hash_log2_size = report.hash_log2_size
+            if hash_in_shared is not None:
+                total.hash_in_shared = hash_in_shared
+            return SearchResult(indices=indices, distances=distances, report=total)
+        run = (
+            self._reference_single_cta
+            if algo == "single_cta"
+            else self._reference_multi_cta
+        )
+        chunk = self._chunk_rows_reference(config, algo)
+        for start in range(0, batch, chunk):  # memory-bounded chunks
+            sub = queries[start : start + chunk]
+            ids, dists = run(sub, k, config, total, filter_mask, seed_offset=start)
+            indices[start : start + sub.shape[0]] = ids
+            distances[start : start + sub.shape[0]] = dists
+        return SearchResult(indices=indices, distances=distances, report=total)
+
+    def _reference_single_cta(
+        self,
+        queries: np.ndarray,
+        k: int,
+        config: SearchConfig,
+        report: CostReport,
+        filter_mask: np.ndarray | None,
+        seed_offset: int = 0,
+        streams=None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        rows = queries.shape[0]
+        itopk = max(config.itopk, k)
+        max_iter = config.resolved_max_iterations()
+        hash_config = _default_hash_config("single_cta", config)
+        forgettable = hash_config.kind == "forgettable"
+        if forgettable:
+            log2 = hash_config.log2_size
+            interval = hash_config.reset_interval
+        else:
+            log2 = max(
+                hash_config.log2_size,
+                standard_table_log2_size(
+                    max_iter, config.search_width, self.graph.degree
+                ),
+            )
+            interval = 0
+        slab = _HashSlab(log2, rows)
+        if streams is None:
+            streams = make_streams(
+                config.seed, seed_offset, rows, self.graph.num_nodes
+            )
+        topm_ids, topm_dists = self._hash_pass(
+            queries,
+            itopk,
+            config.search_width,
+            max_iter,
+            config.min_iterations,
+            slab,
+            streams,
+            interval,
+            filter_mask,
+            report,
+        )
+        report.cta_count += rows
+        slab.collect(report)
+        report.hash_in_shared = forgettable
+        report.hash_log2_size = log2
+        return (topm_ids[:, :k] & INDEX_MASK).astype(np.uint32), topm_dists[:, :k]
+
+    def _reference_multi_cta(
+        self,
+        queries: np.ndarray,
+        k: int,
+        config: SearchConfig,
+        report: CostReport,
+        filter_mask: np.ndarray | None,
+        seed_offset: int = 0,
+        streams=None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        rows = queries.shape[0]
+        num_cta = _resolve_cta_per_query(config)
+        worker_itopk = 32  # per-CTA internal list (Sec. IV-C2: p = 1)
+        max_iter = config.resolved_max_iterations()
+        hash_config = config.hash_table or HashTableConfig(
+            kind="standard", log2_size=13
+        )
+        if hash_config.kind != "standard":
+            raise ValueError(
+                "multi-CTA requires the standard (device-memory) hash table"
+            )
+        log2 = max(
+            hash_config.log2_size,
+            standard_table_log2_size(max_iter, num_cta, self.graph.degree),
+        )
+        slab = _HashSlab(log2, rows)
+        if streams is None:
+            streams = make_streams(
+                config.seed, seed_offset, rows, self.graph.num_nodes
+            )
+        worker_ids: list[np.ndarray] = []
+        worker_dists: list[np.ndarray] = []
+        for _ in range(num_cta):  # sequential worker CTAs, not per-query
+            ids, dists = self._hash_pass(
+                queries,
+                worker_itopk,
+                1,
+                max_iter,
+                config.min_iterations,
+                slab,
+                streams,
+                0,
+                filter_mask,
+                report,
+            )
+            worker_ids.append(ids)
+            worker_dists.append(dists)
+        report.cta_count += rows * num_cta
+        slab.collect(report)
+        report.hash_in_shared = False
+        report.hash_log2_size = log2
+        merged_ids, merged_dists = _merge_rows_reference(
+            np.concatenate(worker_ids, axis=1),
+            np.concatenate(worker_dists, axis=1),
+            np.empty((rows, 0), dtype=np.uint32),
+            np.empty((rows, 0)),
+            max(config.itopk, k),
+        )
+        return (merged_ids[:, :k] & INDEX_MASK).astype(np.uint32), merged_dists[:, :k]
+
+    # -- sequential small-batch fallback (the executable spec, per query) --
+    def _scalar_single_cta(
+        self,
+        query: np.ndarray,
+        k: int,
+        config: SearchConfig,
+        rng: np.random.Generator,
+        filter_mask: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray, CostReport]:
+        itopk = max(config.itopk, k)
+        max_iter = config.resolved_max_iterations()
+        hash_config = _default_hash_config("single_cta", config)
+        table = _make_hash_table(
+            hash_config, max_iter, config.search_width, self.graph.degree
+        )
+        report = CostReport(
+            algo="single_cta",
+            cta_count=1,
+            hash_in_shared=hash_config.kind == "forgettable",
+            hash_log2_size=table.log2_size,
+        )
+        topm_ids, topm_dists = _greedy_core(
+            self.data,
+            self.graph,
+            query,
+            itopk,
+            config.search_width,
+            max_iter,
+            config.min_iterations,
+            table,
+            rng,
+            self.metric,
+            report,
+            filter_mask=filter_mask,
+        )
+        _collect_hash_counters(report, table)
+        ids = (topm_ids[:k] & INDEX_MASK).astype(np.uint32)
+        return ids, topm_dists[:k].copy(), report
+
+    def _scalar_multi_cta(
+        self,
+        query: np.ndarray,
+        k: int,
+        config: SearchConfig,
+        rng: np.random.Generator,
+        filter_mask: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray, CostReport]:
+        num_cta = _resolve_cta_per_query(config)
+        worker_itopk = 32  # per-CTA internal list (Sec. IV-C2: p = 1)
+        max_iter = config.resolved_max_iterations()
+        hash_config = config.hash_table or HashTableConfig(
+            kind="standard", log2_size=13
+        )
+        if hash_config.kind != "standard":
+            raise ValueError(
+                "multi-CTA requires the standard (device-memory) hash table"
+            )
+        table = _make_hash_table(hash_config, max_iter, num_cta, self.graph.degree)
+        report = CostReport(
+            algo="multi_cta",
+            cta_count=num_cta,
+            hash_in_shared=False,
+            hash_log2_size=table.log2_size,
+        )
+        all_ids: list[np.ndarray] = []
+        all_dists: list[np.ndarray] = []
+        for _ in range(num_cta):  # sequential worker CTAs
+            topm_ids, topm_dists = _greedy_core(
+                self.data,
+                self.graph,
+                query,
+                worker_itopk,
+                1,
+                max_iter,
+                config.min_iterations,
+                table,
+                rng,
+                self.metric,
+                report,
+                filter_mask=filter_mask,
+            )
+            all_ids.append(topm_ids)
+            all_dists.append(topm_dists)
+        _collect_hash_counters(report, table)
+        merged_ids, merged_dists = merge_topm(
+            np.concatenate(all_ids),
+            np.concatenate(all_dists),
+            np.empty(0, dtype=np.uint32),
+            np.empty(0),
+            max(config.itopk, k),
+        )
+        ids = (merged_ids[:k] & INDEX_MASK).astype(np.uint32)
+        return ids, merged_dists[:k].copy(), report
+
+    @hot_path
+    def _hash_pass(
+        self,
+        queries: np.ndarray,
+        itopk: int,
+        p: int,
+        max_iter: int,
+        min_iter: int,
+        slab: _HashSlab,
+        streams,
+        reset_interval: int,
+        filter_mask: np.ndarray | None,
+        report: CostReport,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One greedy pass for all rows, hash-faithful (see module doc).
+
+        Used once per batch in single-CTA mode and once per worker CTA in
+        multi-CTA mode (the slab and streams persist across workers, so a
+        later worker sees everything earlier workers visited and continues
+        their RNG streams — the paper's shared device-memory table).
+        """
+        n = self.graph.num_nodes
+        degree = self.graph.degree
+        width = p * degree
+        rows = queries.shape[0]
+        rown = np.arange(rows)
+        track_ever = reset_interval > 0
+        # Recomputed distances require the table to forget; with a standard
+        # table "fresh" implies "never computed", so the ever-computed slab
+        # only exists in forgettable mode.
+        ever = np.zeros((rows, n), dtype=bool) if track_ever else None
+        since_reset = np.zeros(rows, dtype=np.int64) if track_ever else None
+
+        # ⓪ random initialization.
+        seed_ids = streams.draw(n, width)
+        report.random_inits += rows * width
+        lane_usable = np.ones((rows, width), dtype=bool)
+        fresh = slab.insert_unique(seed_ids, lane_usable)
+        gather_int = seed_ids.astype(np.int64)
+        gd = gathered_distances(self.data, queries, gather_int, self.metric)
+        merge_dists = np.where(fresh, gd, np.inf)
+        if filter_mask is not None:
+            merge_dists = np.where(filter_mask[gather_int], merge_dists, np.inf)
+        report.distance_computations += int(fresh.sum())
+        report.skipped_distance_computations += int((~fresh).sum())
+        if track_ever:
+            rows2d = np.broadcast_to(rown[:, None], gather_int.shape)
+            ever[rows2d[fresh], gather_int[fresh]] = True
+        merge_ids = seed_ids
+
+        topm_ids = np.full((rows, itopk), INDEX_MASK, dtype=np.uint32)
+        topm_dists = np.full((rows, itopk), np.inf)
+        live = np.ones(rows, dtype=bool)
+        cand_width = np.full(rows, width, dtype=np.int64)
+
+        iteration = 0
+        while iteration < max_iter and live.any():
+            iteration += 1
+            report.iterations += int(live.sum())
+            _charge_iteration_sort(report, cand_width[live], itopk)
+
+            # ① merge candidates into the top-M buffer.  Dead rows carry
+            # all-dummy candidates, so the merge is a no-op for them.
+            topm_ids, topm_dists = _merge_rows_reference(
+                topm_ids, topm_dists, merge_ids, merge_dists, itopk
+            )
+
+            # ② pick the best p unparented entries per live row.
+            selectable = ((topm_ids & PARENT_FLAG) == 0) & (topm_ids != INDEX_MASK)
+            selectable &= live[:, None]
+            pick_order = np.argsort(~selectable, axis=1, kind="stable")[:, :p]
+            picked_mask = np.take_along_axis(selectable, pick_order, axis=1)
+            has_any = picked_mask.any(axis=1)
+            converged = live & ~has_any
+            # Converged before min_iterations: re-seed with fresh random
+            # nodes (the kernel's slack iterations); at/after: retire.
+            reseed = (
+                converged
+                if iteration < min_iter
+                else np.zeros(rows, dtype=bool)
+            )
+            live = live & (has_any | reseed)
+            work = live & has_any
+            if not live.any():
+                break
+
+            parent_entries = np.take_along_axis(topm_ids, pick_order, axis=1)
+            usable = picked_mask & work[:, None]
+            flagged = np.where(usable, parent_entries | PARENT_FLAG, parent_entries)
+            np.put_along_axis(topm_ids, pick_order, flagged, axis=1)
+            parent_nodes = np.where(
+                usable, (parent_entries & INDEX_MASK).astype(np.int64), 0
+            )
+
+            # ② gather neighbors for expanding rows.
+            gathered = self.graph.neighbors[parent_nodes].reshape(rows, -1).astype(
+                np.int64
+            )
+            lane_usable = np.repeat(usable, degree, axis=1)
+            report.candidate_gathers += int(usable.sum()) * degree
+            cand_width = np.where(work, usable.sum(axis=1) * degree, cand_width)
+            if reseed.any():
+                draws = streams.draw(n, width, mask=reseed)
+                gathered = np.where(reseed[:, None], draws.astype(np.int64), gathered)
+                lane_usable = lane_usable | reseed[:, None]
+                cand_width = np.where(reseed, width, cand_width)
+                # NB: the reference meters random_inits at ⓪ only — reseed
+                # draws ride the same stream but aren't counted.
+
+            # ③ first-time-only distance computation via the hash slab.
+            cand_u32 = gathered.astype(np.uint32)
+            fresh = slab.insert_unique(cand_u32, lane_usable)
+            gather_int = np.where(lane_usable, gathered, 0)
+            gd = gathered_distances(self.data, queries, gather_int, self.metric)
+            dists = np.where(fresh, gd, np.inf)
+            if filter_mask is not None:
+                dists = np.where(filter_mask[gather_int], dists, np.inf)
+            report.distance_computations += int(fresh.sum())
+            report.skipped_distance_computations += int(
+                (lane_usable & ~fresh).sum()
+            )
+            if track_ever:
+                rows2d = np.broadcast_to(rown[:, None], gathered.shape)
+                report.recomputed_distances += int(
+                    (fresh & ever[rows2d, gather_int]).sum()
+                )
+                ever[rows2d[fresh], gathered[fresh]] = True
+            # Unusable lanes become dummies: they sort after every real
+            # entry in the reference merge, so they can never perturb a
+            # row's buffer (unlike a real id with an inf distance, which
+            # the reference keeps and later expands).
+            merge_ids = np.where(lane_usable, cand_u32, INDEX_MASK).astype(np.uint32)
+            merge_dists = dists
+
+            # Forgettable reset (expanding rows only: a reseed iteration
+            # `continue`s before the reset hook in the reference).
+            if track_ever:
+                since_reset += work.astype(np.int64)
+                due = work & (since_reset >= reset_interval)
+                if due.any():
+                    since_reset[due] = 0
+                    slab.reset_rows(due)
+                    slab.register_topm(topm_ids, due)
+
+        return topm_ids, topm_dists
+
+    # ------------------------------------------------------------------
+    # fast backend (dense visited, flat hash accounting)
+    # ------------------------------------------------------------------
+    def _search_fast(
+        self,
+        queries: np.ndarray,
+        k: int,
+        config: SearchConfig,
+        filter_mask: np.ndarray | None,
+    ) -> SearchResult:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        filter_mask = self._checked_filter(filter_mask)
+        batch = queries.shape[0]
+        itopk = max(config.itopk, k)
+
+        report = CostReport(
+            algo="single_cta",
+            batch_size=batch,
+            hash_in_shared=True,
+            hash_log2_size=11,
+            kernel_launches=1,
+        )
+        self._stamp_extras(report, config)
+        indices = np.empty((batch, k), dtype=np.uint32)
+        distances = np.empty((batch, k), dtype=np.float64)
+        chunk = self._chunk_rows_fast(config, itopk)
+        for start in range(0, batch, chunk):  # memory-bounded chunks
+            sub = queries[start : start + chunk]
+            ids, dists = self._fast_block(
+                sub, k, itopk, config, filter_mask, start, report
+            )
+            indices[start : start + sub.shape[0]] = ids
+            distances[start : start + sub.shape[0]] = dists
+        report.cta_count = batch
+        return SearchResult(indices=indices, distances=distances, report=report)
+
+    @hot_path
+    def _fast_block(
+        self,
+        queries: np.ndarray,
+        k: int,
+        itopk: int,
+        config: SearchConfig,
+        filter_mask: np.ndarray | None,
+        seed_offset: int,
+        report: CostReport,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One dense lockstep chunk — the old ``_search_chunk_fast`` loop
+        plus dead-query compaction (finished rows retire their results and
+        leave the slab, so late iterations only pay for live queries)."""
+        n = self.graph.num_nodes
+        degree = self.graph.degree
+        p = config.search_width
+        width = p * degree
+        max_iter = config.resolved_max_iterations()
+        rows0 = queries.shape[0]
+
+        out_ids = np.empty((rows0, k), dtype=np.uint32)
+        out_dists = np.empty((rows0, k), dtype=np.float64)
+        row_ids = np.arange(rows0, dtype=np.int64)
+
+        # ⓪ per-query random initialization (bit-identical to the
+        # reference's per-query default_rng streams, vectorized).
+        cand_ids = random_init_block(config.seed, seed_offset, rows0, n, width)
+        report.random_inits += rows0 * width
+
+        visited = np.zeros((rows0, n), dtype=bool)
+        rows_idx = np.arange(rows0)[:, None]
+        cand_int = cand_ids.astype(np.int64)
+        fresh = _first_occurrence_rows(cand_int) & ~visited[rows_idx, cand_int]
+        visited[rows_idx, cand_int] = True
+        cand_dists = gathered_distances(self.data, queries, cand_int, self.metric)
+        cand_dists = np.where(fresh, cand_dists, np.inf)
+        if filter_mask is not None:
+            cand_dists = np.where(filter_mask[cand_int], cand_dists, np.inf)
+        report.distance_computations += int(fresh.sum())
+        report.skipped_distance_computations += int((~fresh).sum())
+        report.hash_lookups += fresh.size
+        report.hash_probes += 2 * fresh.size
+        report.hash_insertions += int(fresh.sum())
+
+        topm_ids = np.full((rows0, itopk), INDEX_MASK, dtype=np.uint32)
+        topm_dists = np.full((rows0, itopk), np.inf)
+        active = np.ones(rows0, dtype=bool)
+        cand_width = np.full(rows0, width, dtype=np.int64)
+        sentinels = n + np.arange(width, dtype=np.int64)
+
+        iteration = 0
+        while iteration < max_iter and active.any():
+            # Dead-query compaction: retire finished rows and shrink every
+            # slab once a quarter of the block is dead.  Counters are
+            # untouched — dead rows contribute nothing to any charge.
+            dead = ~active
+            if dead.any() and _COMPACT_FRACTION * int(dead.sum()) >= dead.size:
+                self._retire(
+                    out_ids, out_dists, row_ids[dead], topm_ids[dead],
+                    topm_dists[dead], k,
+                )
+                keep = active
+                row_ids = row_ids[keep]
+                queries = queries[keep]
+                visited = visited[keep]
+                topm_ids = topm_ids[keep]
+                topm_dists = topm_dists[keep]
+                cand_ids = cand_ids[keep]
+                cand_int = cand_int[keep]
+                cand_dists = cand_dists[keep]
+                cand_width = cand_width[keep]
+                active = active[keep]
+                rows_idx = np.arange(active.size)[:, None]
+
+            iteration += 1
+            report.iterations += int(active.sum())
+            _charge_iteration_sort(report, cand_width[active], itopk)
+
+            # ① merge candidates into the top-M buffer.
+            topm_ids, topm_dists = _merge_rows(
+                topm_ids, topm_dists, cand_ids, cand_dists, itopk
+            )
+
+            # ② pick the best p unparented entries per row.
+            selectable = ((topm_ids & PARENT_FLAG) == 0) & (topm_ids != INDEX_MASK)
+            selectable &= active[:, None]
+            pick_order = np.argsort(~selectable, axis=1, kind="stable")[:, :p]
+            picked_mask = np.take_along_axis(selectable, pick_order, axis=1)
+            has_any = picked_mask.any(axis=1)
+            active = active & has_any
+            if not active.any():
+                break
+
+            parent_entries = np.take_along_axis(topm_ids, pick_order, axis=1)
+            parent_nodes = (parent_entries & INDEX_MASK).astype(np.int64)
+            flagged = np.where(
+                picked_mask & active[:, None],
+                parent_entries | PARENT_FLAG,
+                parent_entries,
+            )
+            np.put_along_axis(topm_ids, pick_order, flagged, axis=1)
+
+            # Inactive/unselected slots traverse a harmless stand-in
+            # (node 0) whose candidates are masked to inf below.
+            usable = picked_mask & active[:, None]
+            parent_nodes = np.where(usable, parent_nodes, 0)
+
+            # ② gather neighbors, ③ compute first-time distances.
+            cand_ids = self.graph.neighbors[parent_nodes].reshape(active.size, -1)
+            cand_width = usable.sum(axis=1) * degree
+            report.candidate_gathers += int(usable.sum()) * degree
+            cand_int = cand_ids.astype(np.int64)
+            lane_usable = np.repeat(usable, degree, axis=1)
+            lane_ids = np.where(lane_usable, cand_int, sentinels)
+            fresh = (
+                _first_occurrence_rows(lane_ids)
+                & lane_usable
+                & ~visited[rows_idx, cand_int]
+            )
+            visited[rows_idx, cand_int] |= lane_usable
+            cand_dists = gathered_distances(self.data, queries, cand_int, self.metric)
+            cand_dists = np.where(fresh, cand_dists, np.inf)
+            if filter_mask is not None:
+                cand_dists = np.where(filter_mask[cand_int], cand_dists, np.inf)
+            report.distance_computations += int(fresh.sum())
+            report.skipped_distance_computations += int((lane_usable & ~fresh).sum())
+            report.hash_lookups += int(lane_usable.sum())
+            report.hash_probes += 2 * int(lane_usable.sum())
+            report.hash_insertions += int(fresh.sum())
+
+        self._retire(out_ids, out_dists, row_ids, topm_ids, topm_dists, k)
+        return out_ids, out_dists
+
+    @staticmethod
+    def _retire(out_ids, out_dists, row_ids, topm_ids, topm_dists, k) -> None:
+        out_ids[row_ids] = topm_ids[:, :k] & INDEX_MASK
+        out_dists[row_ids] = topm_dists[:, :k]
+
+    # ------------------------------------------------------------------
+    # sizing, validation, accounting
+    # ------------------------------------------------------------------
+    def _checked_filter(self, filter_mask):
+        if filter_mask is None:
+            return None
+        filter_mask = np.asarray(filter_mask, dtype=bool)
+        if filter_mask.shape != (self.graph.num_nodes,):
+            raise ValueError("filter_mask must have one entry per dataset row")
+        if not filter_mask.any():
+            raise ValueError("filter_mask excludes every node")
+        return filter_mask
+
+    def _gather_bytes_per_row(self, width: int, itopk: int) -> int:
+        """Per-live-row bytes of candidate lanes + distance gather scratch.
+
+        The gather materializes ``width`` vectors at the *storage* width
+        plus an fp32 compute copy — so fp16 datasets genuinely halve the
+        dominant term instead of over-allocating as if every lane were a
+        full-precision row.
+        """
+        dim = int(self.data.shape[1])
+        storage = int(self.data.dtype.itemsize)
+        compute = 8 if self.data.dtype == np.float64 else 4
+        lanes = width * 32  # ids/dists/masks/scratch per candidate lane
+        gather = width * dim * (storage + compute)
+        return lanes + gather + 12 * itopk
+
+    def _chunk_rows_fast(self, config: SearchConfig, itopk: int) -> int:
+        width = config.search_width * self.graph.degree
+        per_row = self.graph.num_nodes + self._gather_bytes_per_row(width, itopk)
+        return max(1, _VISITED_BUDGET_BYTES // max(1, per_row))
+
+    def _chunk_rows_reference(self, config: SearchConfig, algo: str) -> int:
+        max_iter = config.resolved_max_iterations()
+        degree = self.graph.degree
+        if algo == "single_cta":
+            hash_config = _default_hash_config("single_cta", config)
+            if hash_config.kind == "forgettable":
+                log2 = hash_config.log2_size
+                ever = self.graph.num_nodes  # ever-computed bool slab
+            else:
+                log2 = max(
+                    hash_config.log2_size,
+                    standard_table_log2_size(max_iter, config.search_width, degree),
+                )
+                ever = 0
+            width = config.search_width * degree
+            itopk = config.itopk
+        else:
+            num_cta = _resolve_cta_per_query(config)
+            hash_config = config.hash_table or HashTableConfig(
+                kind="standard", log2_size=13
+            )
+            log2 = max(
+                hash_config.log2_size,
+                standard_table_log2_size(max_iter, num_cta, degree),
+            )
+            ever = 0
+            width = degree
+            itopk = 32
+        per_row = 4 * (1 << log2) + ever + self._gather_bytes_per_row(width, itopk)
+        return max(1, _VISITED_BUDGET_BYTES // max(1, per_row))
+
+    def _stamp_extras(self, report: CostReport, config: SearchConfig) -> None:
+        """Record the knobs the GPU cost model prices per-point.
+
+        ``team_size`` 0 means "auto from dim" and is resolved by
+        ``GpuCostModel.search_time`` itself; ``dtype_bytes`` is the
+        *storage* width (2 for fp16), which scales simulated DRAM traffic
+        and load-waste.
+        """
+        report.extras["team_size"] = config.team_size
+        report.extras["dtype_bytes"] = int(self.data.dtype.itemsize)
+        report.extras["precision"] = self.precision
+
+
+# ----------------------------------------------------------------------
+# functional wrappers
+# ----------------------------------------------------------------------
+def search_batch_fast(
+    data: np.ndarray,
+    graph: FixedDegreeGraph,
+    queries: np.ndarray,
+    k: int,
+    config: SearchConfig | None = None,
+    metric: str = "sqeuclidean",
+    filter_mask: np.ndarray | None = None,
+) -> SearchResult:
+    """Lockstep single-CTA-semantics search over a whole query batch.
+
+    Functional form of ``TraversalEngine.search(mode="fast")`` for callers
+    that don't hold an engine; building an index-level engine (see
+    ``CagraIndex.search_fast``) amortizes the fp16 conversion instead.
+    """
+    config = config or SearchConfig()
+    engine = TraversalEngine(
+        data, graph, metric=metric, precision=getattr(config, "precision", "fp32")
+    )
+    return engine.search(queries, k, config=config, mode="fast", filter_mask=filter_mask)

@@ -13,6 +13,9 @@ about (see ``docs/static_analysis.md`` for the full catalogue):
 * **RL006** tombstone / mask / liveness arrays (the streaming layer's
   concurrent-visibility state) change only under the owning class's
   lock — guarded by name, not by observed convention;
+* **RL007** ``@hot_path`` traversal functions stay array-parallel: no
+  Python ``for`` loop over a query-scaling iterable on the search hot
+  path (fixed-size lane/probe loops are fine);
 * **RL101–RL104** lock discipline: guarded attributes accessed without
   their lock, unlocked mutation in thread targets, fork-unsafety in
   pool task bodies, blocking calls while holding a lock;

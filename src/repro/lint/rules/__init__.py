@@ -24,12 +24,14 @@ from repro.lint.rules import (
     dtypes,
     flags,
     streaming,
+    traversal,
 )
 
 __all__ = ["PROJECT_RULES", "RULES", "RuleChecker"]
 
 _MODULES = (
-    flags, dtypes, determinism, accounting, api, streaming, concurrency, contracts,
+    flags, dtypes, determinism, accounting, api, streaming, traversal,
+    concurrency, contracts,
 )
 
 

@@ -1,0 +1,110 @@
+"""RL007 — hot-path traversal functions must stay array-parallel.
+
+The traversal engine's contract (``docs/traversal.md``) is that every
+function on the search hot path — marked with the ``@hot_path``
+decorator in :mod:`repro.core.traversal` — advances *all* live queries
+with whole-array numpy operations.  A Python ``for``/``while`` loop
+whose iteration space scales with the number of queries re-introduces
+the per-query interpreter overhead the engine exists to eliminate, and
+does so silently: results stay correct, throughput quietly collapses at
+batch size.
+
+The rule fires on any ``for`` loop inside an ``@hot_path``-decorated
+function whose iterable mentions a query-count-ish symbol —
+``queries``, ``batch``, ``rows``, ``live``, ``row_ids`` and friends.
+Loops over *fixed-size* structures (hash probe steps, neighbor lanes,
+top-M slots) do not scale with the batch and are allowed, as are
+``while`` convergence loops (they step *iterations*, whose trip count
+is bounded by ``max_iterations``, not by the batch).  A genuine
+exception takes the standard waiver::
+
+    for i in range(batch):  # repro-lint: disable=RL007 — reason
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.lint.engine import FileContext, dotted_name
+from repro.lint.report import Violation
+
+__all__ = ["RULE_ID", "TITLE", "check"]
+
+RULE_ID = "RL007"
+TITLE = "per-query Python loop inside an @hot_path traversal function"
+
+#: Names whose appearance in a loop's iteration source marks the loop as
+#: scaling with the query batch.  Lane/slot/probe counters (``width``,
+#: ``itopk``, ``size``) are deliberately absent: those are O(1) in batch.
+_PER_QUERY_RE = re.compile(
+    r"(^|_)(quer(y|ies)|batch(es)?|rows?|n_rows|num_rows|row_ids|live|lanes_per_row)($|_)",
+    re.IGNORECASE,
+)
+
+_HOT_DECORATOR = "hot_path"
+
+
+def _is_hot(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        dotted = dotted_name(target)
+        if dotted and dotted.split(".")[-1] == _HOT_DECORATOR:
+            return True
+    return False
+
+
+def _per_query_symbol(expr: ast.expr) -> str | None:
+    """First query-scaling name mentioned anywhere in ``expr``, if any."""
+    for sub in ast.walk(expr):
+        if isinstance(sub, ast.Name) and _PER_QUERY_RE.search(sub.id):
+            return sub.id
+        if isinstance(sub, ast.Attribute) and _PER_QUERY_RE.search(sub.attr):
+            return sub.attr
+    return None
+
+
+def _loops(body: list[ast.stmt]):
+    """Yield every ``for`` loop in ``body``, excluding nested function
+    scopes (a nested function is its own hot/cold decision)."""
+    stack = list(body)
+    while stack:
+        stmt = stack.pop()
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            yield stmt
+        for name in ("body", "orelse", "finalbody"):
+            inner = getattr(stmt, name, None)
+            if isinstance(inner, list):
+                stack.extend(s for s in inner if isinstance(s, ast.stmt))
+        for handler in getattr(stmt, "handlers", []):
+            stack.extend(handler.body)
+
+
+def check(ctx: FileContext) -> list[Violation]:
+    violations: list[Violation] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _is_hot(node):
+            continue
+        for loop in _loops(node.body):
+            symbol = _per_query_symbol(loop.iter)
+            if symbol is None:
+                continue
+            violations.append(
+                Violation(
+                    path=ctx.path,
+                    line=loop.lineno,
+                    col=loop.col_offset,
+                    rule=RULE_ID,
+                    message=(
+                        f"@hot_path function '{node.name}' contains a for "
+                        f"loop over query-scaling symbol '{symbol}'; the hot "
+                        f"path must advance all live queries with array "
+                        f"operations (vectorize, or waive with a reason)"
+                    ),
+                )
+            )
+    return violations

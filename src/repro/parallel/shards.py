@@ -35,7 +35,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.batch_search import search_batch_fast
+from repro.core.traversal import search_batch_fast
 from repro.core.config import GraphBuildConfig, SearchConfig
 from repro.core.distances import as_storage_dtype
 from repro.core.graph import INDEX_MASK, FixedDegreeGraph

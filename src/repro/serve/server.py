@@ -11,7 +11,7 @@ flush runs through the served index's unified ``search(...)`` surface
 with ``mode="auto"``, which applies the Table II dispatch for CAGRA:
 
 * coalesced batches (size > 1) run the vectorized single-CTA fast path
-  (:func:`repro.core.batch_search.search_batch_fast`);
+  (:func:`repro.core.traversal.search_batch_fast`);
 * batch-of-1 flushes run the multi-CTA reference path
   (:meth:`CagraIndex.search` with ``algo="multi_cta"``).
 
@@ -296,7 +296,8 @@ class CagraServer:
         # Foreign AnnIndex implementations are their own "native" index.
         self._index = getattr(self._ann, "inner", self._ann)
         if self.config.profile:
-            # Tuned profiles overlay itopk/search_width/max_iterations;
+            # Tuned profiles overlay itopk/search_width/max_iterations
+            # (and team_size since profile schema v2);
             # stale/corrupt profiles warn and leave search_config alone.
             from repro.tune import resolve_profile
 

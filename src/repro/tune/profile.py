@@ -42,7 +42,10 @@ __all__ = [
     "sniff_profile",
 ]
 
-PROFILE_SCHEMA_VERSION = 1
+#: Schema history: v1 swept ``itopk × search_width × max_iterations``;
+#: v2 adds ``team_size`` to every point (absent in v1 payloads → 0/auto,
+#: so v1 profiles keep loading unchanged).
+PROFILE_SCHEMA_VERSION = 2
 
 #: Environment variable overriding the ``--profile auto`` search directory.
 PROFILE_DIR_ENV = "REPRO_PROFILE_DIR"
@@ -85,14 +88,23 @@ class TunedPoint:
     recall: float
     qps: float
     distance_computations_per_query: float
+    team_size: int = 0  # schema v2; 0 = auto (v1 payloads load as auto)
 
     def config_mapping(self) -> dict:
-        """The :meth:`SearchConfig.from_mapping` payload for this point."""
-        return {
+        """The :meth:`SearchConfig.from_mapping` payload for this point.
+
+        ``team_size`` is only emitted when genuinely tuned (non-zero):
+        0 means "auto" *and* "v1 profile that never swept the axis", and
+        neither should clobber a caller-chosen team size in ``base``.
+        """
+        mapping = {
             "itopk": self.itopk,
             "search_width": self.search_width,
             "max_iterations": self.max_iterations,
         }
+        if self.team_size:
+            mapping["team_size"] = self.team_size
+        return mapping
 
 
 @dataclass(frozen=True)
@@ -185,6 +197,7 @@ def _point_from_dict(payload: dict) -> TunedPoint:
         distance_computations_per_query=float(
             payload["distance_computations_per_query"]
         ),
+        team_size=int(payload.get("team_size", 0)),  # v1 read-compat
     )
 
 

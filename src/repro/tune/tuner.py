@@ -3,7 +3,8 @@
 The paper picks search parameters by hand per dataset (Table I/V:
 ``itopk`` 64–512, ``search_width`` 1–4 depending on recall regime).
 This module automates that: given an index and a recall target, sweep
-``itopk × search_width × max_iterations`` over a query sample with the
+``itopk × search_width × max_iterations × team_size`` over a query
+sample with the
 lockstep fast path, measure genuine recall against the brute-force
 oracle, price each point's operation counters with the GPU cost model
 (same pipeline as :func:`repro.bench.harness.run_cagra_sweep`), and pick
@@ -52,14 +53,20 @@ class TuneGrid:
     itopk_values: tuple[int, ...] = (16, 32, 64, 96, 128)
     search_widths: tuple[int, ...] = (1, 2, 4)
     max_iterations_values: tuple[int, ...] = (0,)
+    #: Distance-team widths swept (schema v2).  0 = auto from dim; the
+    #: default sweeps only auto so v1-sized grids stay the same size —
+    #: pass e.g. ``(0, 4, 8, 16, 32)`` to let the cost model separate
+    #: per-team load waste at the dataset's dimensionality.
+    team_size_values: tuple[int, ...] = (0,)
 
     def points(self, k: int):
-        """Valid (itopk, search_width, max_iterations) triples."""
+        """Valid (itopk, search_width, max_iterations, team_size) tuples."""
         itopks = [m for m in self.itopk_values if m >= k] or [max(k, 16)]
         for itopk in itopks:
             for width in self.search_widths:
                 for max_iter in self.max_iterations_values:
-                    yield itopk, width, max_iter
+                    for team in self.team_size_values:
+                        yield itopk, width, max_iter, team
 
 
 def sample_queries(
@@ -109,6 +116,7 @@ def _measure_point(
         qps=timing.qps(batch_size),
         distance_computations_per_query=result.report.distance_computations
         / real_batch,
+        team_size=config.team_size,
     )
 
 
@@ -151,9 +159,10 @@ def tune_search_params(
     truth, _ = exact_search(index.dataset, queries, k, metric=index.metric)
 
     sweep: list[TunedPoint] = []
-    for itopk, width, max_iter in grid.points(k):
+    for itopk, width, max_iter, team in grid.points(k):
         config = base_config.with_overrides(
-            itopk=itopk, search_width=width, max_iterations=max_iter
+            itopk=itopk, search_width=width, max_iterations=max_iter,
+            team_size=team,
         )
         started = time.perf_counter()
         point = _measure_point(index, queries, truth, k, config, batch_size, gpu)
@@ -165,6 +174,7 @@ def tune_search_params(
                     "itopk": point.itopk,
                     "search_width": point.search_width,
                     "max_iterations": point.max_iterations,
+                    "team_size": point.team_size,
                     "recall": point.recall,
                     "qps": point.qps,
                 },
@@ -178,11 +188,12 @@ def tune_search_params(
         (
             p
             for p in sweep
-            if (p.itopk, p.search_width, p.max_iterations)
+            if (p.itopk, p.search_width, p.max_iterations, p.team_size)
             == (
                 baseline_config.itopk,
                 baseline_config.search_width,
                 baseline_config.max_iterations,
+                baseline_config.team_size,
             )
         ),
         None,

@@ -1,0 +1,18 @@
+"""RL007 fixture: a per-query Python loop inside an ``@hot_path`` function."""
+
+import numpy as np
+
+__all__ = ["hot_path", "step_rows"]
+
+
+def hot_path(fn):
+    fn.__hot_path__ = True
+    return fn
+
+
+@hot_path
+def step_rows(queries: np.ndarray, batch: int) -> float:
+    total = 0.0
+    for i in range(batch):  # RL007: iteration count scales with the batch
+        total += float(queries[i].sum())
+    return total

@@ -4,9 +4,9 @@ import numpy as np
 import pytest
 
 from repro import SearchConfig
-from repro.core.batch_search import _merge_rows, search_batch_fast
 from repro.core.graph import INDEX_MASK, PARENT_FLAG
 from repro.core.metrics import recall
+from repro.core.traversal import _merge_rows, search_batch_fast  # noqa: F401
 
 
 class TestMergeRows:
@@ -155,24 +155,24 @@ class TestChunking:
     def test_chunked_equals_unchunked(self, small_index, small_queries, monkeypatch):
         """Forcing a tiny visited-table budget must not change results:
         per-query RNG streams are offset by chunk position."""
-        from repro.core import batch_search
+        from repro.core import traversal
 
         config = SearchConfig(itopk=32, seed=3)
         whole = small_index.search_fast(small_queries, 5, config)
         monkeypatch.setattr(
-            batch_search, "_VISITED_BUDGET_BYTES", small_index.size * 7
+            traversal, "_VISITED_BUDGET_BYTES", small_index.size * 7
         )
         chunked = small_index.search_fast(small_queries, 5, config)
         np.testing.assert_array_equal(whole.indices, chunked.indices)
         np.testing.assert_allclose(whole.distances, chunked.distances)
 
     def test_chunked_counters_aggregate(self, small_index, small_queries, monkeypatch):
-        from repro.core import batch_search
+        from repro.core import traversal
 
         config = SearchConfig(itopk=32, seed=3)
         whole = small_index.search_fast(small_queries, 5, config)
         monkeypatch.setattr(
-            batch_search, "_VISITED_BUDGET_BYTES", small_index.size * 7
+            traversal, "_VISITED_BUDGET_BYTES", small_index.size * 7
         )
         chunked = small_index.search_fast(small_queries, 5, config)
         assert chunked.report.batch_size == len(small_queries)
@@ -268,33 +268,31 @@ class TestCounterParity:
 
 
 class TestChunkReportIntegrity:
-    def test_chunk_reports_stay_intact(self, small_index, small_queries, monkeypatch):
-        """Merging chunk counters must not mutate any chunk's own report
-        (the old code aliased chunk 0's report as the accumulator)."""
-        from repro.core import batch_search
+    def test_chunk_totals_are_exact(self, small_index, small_queries, monkeypatch):
+        """The engine accumulates all chunks into one report; chunking must
+        split the work without perturbing a single counter (the historical
+        bug class was an aliased chunk-0 accumulator)."""
+        from repro.core import traversal
+
+        config = SearchConfig(itopk=32, seed=3)
+        whole = small_index.search_fast(small_queries, 5, config).report
 
         monkeypatch.setattr(
-            batch_search, "_VISITED_BUDGET_BYTES", small_index.size * 7
+            traversal, "_VISITED_BUDGET_BYTES", small_index.size * 7
         )
-        pieces = []
-        original = batch_search._search_chunk_fast
+        calls = []
+        original = traversal.TraversalEngine._fast_block
 
-        def recording(*args, **kwargs):
-            result = original(*args, **kwargs)
-            pieces.append(result.report)
-            return result
+        def recording(self, queries, *args, **kwargs):
+            calls.append(queries.shape[0])
+            return original(self, queries, *args, **kwargs)
 
-        monkeypatch.setattr(batch_search, "_search_chunk_fast", recording)
-        config = SearchConfig(itopk=32, seed=3)
+        monkeypatch.setattr(traversal.TraversalEngine, "_fast_block", recording)
         total = small_index.search_fast(small_queries, 5, config).report
-        assert len(pieces) > 1
-        assert total is not pieces[0]
-        assert sum(p.batch_size for p in pieces) == len(small_queries)
+        assert len(calls) > 1
+        assert sum(calls) == len(small_queries)
         assert total.batch_size == len(small_queries)
-        for name in ("distance_computations", "hash_insertions",
-                     "candidate_gathers", "sort_comparator_ops"):
-            assert getattr(total, name) == sum(getattr(p, name) for p in pieces)
-            assert all(getattr(p, name) < getattr(total, name) for p in pieces)
+        assert total.as_dict() == whole.as_dict()
 
 
 class TestRandomInitBlock:

@@ -246,12 +246,109 @@ class TestWaivers:
 
 
 # ----------------------------------------------------------------------
+# RL007 — @hot_path functions stay array-parallel
+# ----------------------------------------------------------------------
+_HOT_PREAMBLE = (
+    "def hot_path(fn):\n"
+    "    fn.__hot_path__ = True\n"
+    "    return fn\n\n\n"
+)
+
+
+class TestRL007:
+    def test_per_query_range_loop_is_flagged(self):
+        src = _HOT_PREAMBLE + (
+            "@hot_path\n"
+            "def step(queries, batch):\n"
+            "    for i in range(batch):\n"
+            "        queries[i] += 1\n"
+        )
+        assert "RL007" in rules_of(src)
+
+    def test_direct_iteration_over_queries_is_flagged(self):
+        src = _HOT_PREAMBLE + (
+            "@hot_path\n"
+            "def step(queries):\n"
+            "    for q in queries:\n"
+            "        q.sum()\n"
+        )
+        assert "RL007" in rules_of(src)
+
+    def test_shape_zero_loop_is_flagged(self):
+        src = _HOT_PREAMBLE + (
+            "@hot_path\n"
+            "def step(rows):\n"
+            "    for i in range(rows.shape[0]):\n"
+            "        rows[i] += 1\n"
+        )
+        assert "RL007" in rules_of(src)
+
+    def test_fixed_size_lane_and_probe_loops_pass(self):
+        src = _HOT_PREAMBLE + (
+            "@hot_path\n"
+            "def step(self, keys, queries):\n"
+            "    for _ in range(self.size):\n"
+            "        pass\n"
+            "    for lane in range(keys.shape[1]):\n"
+            "        pass\n"
+        )
+        assert "RL007" not in rules_of(src)
+
+    def test_while_convergence_loop_passes(self):
+        src = _HOT_PREAMBLE + (
+            "@hot_path\n"
+            "def step(live, max_iter):\n"
+            "    iteration = 0\n"
+            "    while iteration < max_iter and live.any():\n"
+            "        iteration += 1\n"
+        )
+        assert "RL007" not in rules_of(src)
+
+    def test_undecorated_function_is_exempt(self):
+        src = (
+            "def cold(queries):\n"
+            "    for q in queries:\n"
+            "        q.sum()\n"
+        )
+        assert "RL007" not in rules_of(src)
+
+    def test_nested_function_scope_is_its_own_decision(self):
+        src = _HOT_PREAMBLE + (
+            "@hot_path\n"
+            "def step(queries):\n"
+            "    def reporter():\n"
+            "        for q in queries:\n"
+            "            q.sum()\n"
+            "    return reporter\n"
+        )
+        assert "RL007" not in rules_of(src)
+
+    def test_waiver_with_reason_is_honoured(self):
+        src = _HOT_PREAMBLE + (
+            "@hot_path\n"
+            "def step(queries, batch):\n"
+            "    for i in range(batch):  # repro-lint: disable=RL007 — tail path\n"
+            "        queries[i] += 1\n"
+        )
+        assert "RL007" not in rules_of(src)
+
+    def test_shipped_traversal_engine_is_clean(self):
+        import repro.core.traversal as traversal
+
+        source = Path(traversal.__file__).read_text(encoding="utf-8")
+        rules = {
+            v.rule for v in lint_source(source, "src/repro/core/traversal.py")
+        }
+        assert "RL007" not in rules
+
+
+# ----------------------------------------------------------------------
 # registry + CLI over the committed fixtures
 # ----------------------------------------------------------------------
 class TestRegistryAndCli:
     def test_all_rules_registered(self):
         assert sorted(RULES) == [
-            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
             "RL101", "RL102", "RL103", "RL104",
             "RL201", "RL202",
         ]
@@ -261,7 +358,9 @@ class TestRegistryAndCli:
 
         assert sorted(PROJECT_RULES) == ["RL203"]
 
-    @pytest.mark.parametrize("rule_id", ["RL001", "RL002", "RL003", "RL004", "RL005"])
+    @pytest.mark.parametrize(
+        "rule_id", ["RL001", "RL002", "RL003", "RL004", "RL005", "RL007"]
+    )
     def test_each_fixture_fails_strict_lint(self, rule_id, capsys):
         fixture = next(FIXTURES.glob(f"{rule_id.lower()}_*.py"))
         exit_code = main(["lint", str(fixture), "--strict"])

@@ -164,8 +164,8 @@ class TestBatchMergeProperties:
         n_cand=st.integers(0, 20),
     )
     def test_vectorized_merge_matches_scalar(self, seed, rows, m, n_cand):
-        from repro.core.batch_search import _merge_rows
         from repro.core.topm import merge_topm
+        from repro.core.traversal import _merge_rows
 
         rng = np.random.default_rng(seed)
         topm_ids = np.stack(

@@ -1,0 +1,310 @@
+"""The array-parallel traversal engine (:mod:`repro.core.traversal`).
+
+Acceptance suite for the hot-loop unification:
+
+* all five production paths (reference-auto, fast, forced single-CTA,
+  forced multi-CTA, sharded-fast) stay bitwise identical to the
+  pre-engine regression fixture — ids, distances, and **every**
+  ``CostReport`` counter the fixture pins;
+* both reference dispatch arms (the scalar executable specification for
+  small batches, the array-parallel slab for large ones) produce the
+  same pinned results when forced onto the other arm's batch shape;
+* fp16 dataset storage keeps recall within 0.01 of fp32 with mostly
+  stable ids, halves the stamped storage width, and is deterministic;
+* the chunk-size heuristic accounts for the per-live-query slab width
+  (an fp16 engine never gets *smaller* chunks than fp32);
+* the ``search_batch_fast`` / ``search_single_query`` deprecation shims
+  warn and forward.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.core.traversal as traversal
+from repro.baselines.bruteforce import exact_search
+from repro.core.config import GraphBuildConfig, SearchConfig
+from repro.core.index import CagraIndex
+from repro.core.metrics import recall
+from repro.core.traversal import PRECISIONS, TraversalEngine
+
+FIXTURE = os.path.join(
+    os.path.dirname(__file__), "fixtures", "cagra_regression.npz"
+)
+
+
+@pytest.fixture(scope="module")
+def regression():
+    rng = np.random.default_rng(7)
+    data = rng.standard_normal((600, 24)).astype(np.float32)
+    queries = rng.standard_normal((32, 24)).astype(np.float32)
+    index = CagraIndex.build(data, GraphBuildConfig(graph_degree=16, seed=0))
+    with np.load(FIXTURE) as archive:
+        expected = {key: archive[key] for key in archive.files}
+    return data, queries, index, expected
+
+
+CONFIG = SearchConfig(itopk=64, seed=0)
+
+
+def assert_pinned(result, expected, prefix):
+    """Bitwise fixture parity: ids, distances, and all pinned counters."""
+    np.testing.assert_array_equal(result.indices, expected[f"{prefix}_indices"])
+    np.testing.assert_array_equal(
+        result.distances, expected[f"{prefix}_distances"]
+    )
+    names = [str(name) for name in expected["counter_names"]]
+    report = getattr(result, "report", None)
+    source = result.counters if report is None else report.as_dict()
+    got = np.array([source[name] for name in names], dtype=np.int64)
+    want = expected[f"{prefix}_counters"]
+    mismatch = {
+        name: (int(g), int(w))
+        for name, g, w in zip(names, got, want)
+        if g != w
+    }
+    assert not mismatch, f"{prefix} counter drift: {mismatch}"
+
+
+class TestFivePathFixtureParity:
+    """Every production path, pinned bitwise against the pre-engine runs."""
+
+    def test_reference_auto(self, regression):
+        _, queries, index, expected = regression
+        assert_pinned(index.search(queries, 10, config=CONFIG), expected, "ref")
+
+    def test_fast(self, regression):
+        _, queries, index, expected = regression
+        assert_pinned(
+            index.search_fast(queries, 10, config=CONFIG), expected, "fast"
+        )
+
+    def test_forced_single_cta(self, regression):
+        _, queries, index, expected = regression
+        result = index.search(
+            queries, 10, config=CONFIG.with_overrides(algo="single_cta")
+        )
+        assert_pinned(result, expected, "single")
+
+    def test_forced_multi_cta(self, regression):
+        _, queries, index, expected = regression
+        result = index.search(
+            queries[:1], 10, config=CONFIG.with_overrides(algo="multi_cta")
+        )
+        assert_pinned(result, expected, "multi")
+
+    def test_sharded_fast(self, regression):
+        data, queries, _, expected = regression
+        from repro.core.sharding import ShardedCagraIndex
+
+        sharded = ShardedCagraIndex.build(
+            data, 3, GraphBuildConfig(graph_degree=16, seed=0)
+        )
+        try:
+            result = sharded.search_fast(queries, 10, config=CONFIG)
+        finally:
+            sharded.close()
+        assert_pinned(result, expected, "sharded")
+
+
+class TestDispatchArms:
+    """The reference backend's two arms agree bitwise on either side of
+    the latency crossover, so the dispatch threshold is pure policy."""
+
+    def test_slab_arm_on_small_batch(self, regression, monkeypatch):
+        """Forcing the array-parallel slab onto a batch-1 multi-CTA query
+        reproduces the scalar arm's pinned fixture exactly."""
+        _, queries, index, expected = regression
+        monkeypatch.setattr(traversal, "_SCALAR_REFERENCE_ROWS", 0)
+        result = index.search(
+            queries[:1], 10, config=CONFIG.with_overrides(algo="multi_cta")
+        )
+        assert_pinned(result, expected, "multi")
+
+    def test_scalar_arm_on_large_batch(self, regression, monkeypatch):
+        """Forcing the sequential specification onto the batch-32 fixture
+        reproduces the slab arm's pinned results exactly."""
+        _, queries, index, expected = regression
+        monkeypatch.setattr(traversal, "_SCALAR_REFERENCE_ROWS", 10**9)
+        assert_pinned(index.search(queries, 10, config=CONFIG), expected, "ref")
+        result = index.search(
+            queries, 10, config=CONFIG.with_overrides(algo="single_cta")
+        )
+        assert_pinned(result, expected, "single")
+
+    def test_default_threshold_routes_small_batches_scalar(
+        self, regression, monkeypatch
+    ):
+        _, queries, index, _ = regression
+        calls = []
+        original = TraversalEngine._scalar_single_cta
+        monkeypatch.setattr(
+            TraversalEngine,
+            "_scalar_single_cta",
+            lambda self, *a, **kw: calls.append(1) or original(self, *a, **kw),
+        )
+        index.search(
+            queries[:2], 10, config=CONFIG.with_overrides(algo="single_cta")
+        )
+        assert len(calls) == 2  # one scalar run per query below the threshold
+        calls.clear()
+        index.search(queries, 10, config=CONFIG.with_overrides(algo="single_cta"))
+        assert not calls  # batch 32 goes through the array-parallel slab
+
+
+class TestFp16Storage:
+    def test_engine_quantizes_storage_only(self, regression):
+        _, _, index, _ = regression
+        engine = index.engine("fp16")
+        assert engine.data.dtype == np.float16
+        assert index.engine().data.dtype == np.float32
+
+    def test_recall_within_0_01_of_fp32(self, regression):
+        data, queries, index, _ = regression
+        truth, _ = exact_search(data, queries, 10)
+        fp32 = index.search_fast(queries, 10, config=CONFIG)
+        fp16 = index.search_fast(
+            queries, 10, config=CONFIG.with_overrides(precision="fp16")
+        )
+        r32 = recall(fp32.indices, truth)
+        r16 = recall(fp16.indices, truth)
+        assert r32 > 0.9
+        assert abs(r32 - r16) <= 0.01
+
+    def test_ids_mostly_stable_under_quantization(self, regression):
+        _, queries, index, _ = regression
+        fp32 = index.search_fast(queries, 10, config=CONFIG)
+        fp16 = index.search_fast(
+            queries, 10, config=CONFIG.with_overrides(precision="fp16")
+        )
+        overlap = np.mean(
+            [
+                len(set(a.tolist()) & set(b.tolist())) / 10.0
+                for a, b in zip(fp32.indices, fp16.indices)
+            ]
+        )
+        assert overlap >= 0.9
+
+    def test_fp16_deterministic(self, regression):
+        _, queries, index, _ = regression
+        config = CONFIG.with_overrides(precision="fp16")
+        first = index.search_fast(queries, 10, config=config)
+        second = index.search_fast(queries, 10, config=config)
+        np.testing.assert_array_equal(first.indices, second.indices)
+        np.testing.assert_array_equal(first.distances, second.distances)
+
+    def test_reference_mode_supports_fp16(self, regression):
+        data, queries, index, _ = regression
+        truth, _ = exact_search(data, queries, 10)
+        result = index.search(
+            queries, 10, config=CONFIG.with_overrides(precision="fp16")
+        )
+        assert recall(result.indices, truth) > 0.9
+
+    def test_extras_stamp_precision_and_team(self, regression):
+        _, queries, index, _ = regression
+        config = CONFIG.with_overrides(precision="fp16", team_size=8)
+        result = index.search_fast(queries, 10, config=config)
+        assert result.report.extras["precision"] == "fp16"
+        assert result.report.extras["dtype_bytes"] == 2
+        assert result.report.extras["team_size"] == 8
+        fp32 = index.search_fast(queries, 10, config=CONFIG)
+        assert fp32.report.extras["precision"] == "fp32"
+        assert fp32.report.extras["dtype_bytes"] == 4
+
+    def test_engine_cache_per_precision(self, regression):
+        _, _, index, _ = regression
+        assert index.engine("fp16") is index.engine("fp16")
+        assert index.engine("fp16") is not index.engine("fp32")
+
+    def test_invalid_precision_rejected(self, regression):
+        data, _, index, _ = regression
+        with pytest.raises(ValueError, match="precision"):
+            TraversalEngine(data, index.graph, precision="fp8")
+        with pytest.raises(ValueError, match="precision"):
+            SearchConfig(precision="fp64")
+        assert PRECISIONS == ("fp32", "fp16")
+
+
+class TestChunkHeuristic:
+    """Satellite: the chunk sizer charges the *storage* width per lane,
+    so fp16 never over-allocates (chunks can only grow vs fp32)."""
+
+    def test_fp16_rows_at_least_fp32(self, regression):
+        _, _, index, _ = regression
+        fp32 = index.engine("fp32")
+        fp16 = index.engine("fp16")
+        assert fp16._chunk_rows_fast(CONFIG, 64) >= fp32._chunk_rows_fast(
+            CONFIG, 64
+        )
+        assert fp16._chunk_rows_reference(
+            CONFIG, "single_cta"
+        ) >= fp32._chunk_rows_reference(CONFIG, "single_cta")
+
+    def test_gather_bytes_scale_with_storage(self, regression):
+        _, _, index, _ = regression
+        fp32 = index.engine("fp32")._gather_bytes_per_row(16, 64)
+        fp16 = index.engine("fp16")._gather_bytes_per_row(16, 64)
+        assert fp16 < fp32
+
+    def test_forced_chunking_is_transparent(self, regression, monkeypatch):
+        """A tiny budget forces many chunks; totals stay bitwise pinned."""
+        _, queries, index, expected = regression
+        whole = index.search_fast(queries, 10, config=CONFIG)
+        monkeypatch.setattr(traversal, "_VISITED_BUDGET_BYTES", 1)
+        chunked = index.search_fast(queries, 10, config=CONFIG)
+        np.testing.assert_array_equal(whole.indices, chunked.indices)
+        assert whole.report.as_dict() == chunked.report.as_dict()
+        assert_pinned(chunked, expected, "fast")
+
+
+class TestDeprecationShims:
+    def test_batch_search_module_warns_and_forwards(self):
+        import repro.core.batch_search as batch_search
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            alias = batch_search.search_batch_fast
+        assert alias is traversal.search_batch_fast
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+        with pytest.raises(AttributeError):
+            batch_search.no_such_name
+
+    def test_search_single_query_warns_and_works(self, regression):
+        import repro.core.search as search
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            fn = search.search_single_query
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+        _, queries, index, expected = regression
+        rng = np.random.default_rng([0, 0])
+        ids, dists, _ = fn(
+            index.dataset, index.graph, queries[0], 10, CONFIG, "single_cta", rng
+        )
+        np.testing.assert_array_equal(ids, expected["single_indices"][0])
+        with pytest.raises(AttributeError):
+            search.no_such_name
+
+
+class TestEngineValidation:
+    def test_mode_validated(self, regression):
+        _, queries, index, _ = regression
+        with pytest.raises(ValueError, match="mode"):
+            index.engine().search(queries, 10, config=CONFIG, mode="warp")
+
+    def test_k_exceeding_itopk_rejected_in_reference(self, regression):
+        _, queries, index, _ = regression
+        with pytest.raises(ValueError, match="exceeds itopk"):
+            index.search(queries, 70, config=CONFIG)
+
+    def test_auto_mode_is_fast(self, regression):
+        _, queries, index, _ = regression
+        auto = index.engine().search(queries, 10, config=CONFIG, mode="auto")
+        fast = index.search_fast(queries, 10, config=CONFIG)
+        np.testing.assert_array_equal(auto.indices, fast.indices)
+        assert auto.report.as_dict() == fast.report.as_dict()

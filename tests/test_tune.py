@@ -39,11 +39,23 @@ def tuned(small_index, small_queries):
 class TestTuneGrid:
     def test_drops_itopk_below_k(self):
         points = list(TuneGrid(itopk_values=(8, 16, 64)).points(k=10))
-        assert all(itopk >= 10 for itopk, _, _ in points)
+        assert all(itopk >= 10 for itopk, _, _, _ in points)
 
     def test_never_empty(self):
         points = list(TuneGrid(itopk_values=(8,)).points(k=32))
         assert points and points[0][0] == 32
+
+    def test_default_grid_sweeps_only_auto_team(self):
+        """The v1-sized grid: team_size stays on the auto setting unless
+        the caller opts into the v2 axis."""
+        points = list(TuneGrid(itopk_values=(16,), search_widths=(1,)).points(k=10))
+        assert [team for _, _, _, team in points] == [0]
+
+    def test_team_size_axis_multiplies_grid(self):
+        grid = TuneGrid(
+            itopk_values=(16,), search_widths=(1,), team_size_values=(0, 8, 32)
+        )
+        assert [team for _, _, _, team in grid.points(k=10)] == [0, 8, 32]
 
 
 class TestTuner:
@@ -97,11 +109,13 @@ class TestProfileRoundTrip:
         path = str(tmp_path / "profile.json")
         tuned.save(path)
         meta = sniff_profile(path)
+        from repro.tune.profile import PROFILE_SCHEMA_VERSION
+
         assert meta == {
             "fingerprint": tuned.fingerprint,
             "index_kind": "cagra",
             "k": 10,
-            "version": 1,
+            "version": PROFILE_SCHEMA_VERSION,
         }
         assert sniff_profile(str(tmp_path / "missing.json")) is None
 
@@ -138,6 +152,40 @@ class TestProfileRoundTrip:
         path.write_text(json.dumps({"version": 1, "k": "not-even"}))
         with pytest.raises(ProfileError):
             load_profile(str(path))
+
+    def test_v1_payload_read_compat(self, tuned, tmp_path):
+        """A v1 profile (no team_size anywhere) loads as team_size=0/auto
+        and still applies cleanly over a base config."""
+        payload = tuned.to_dict()
+        payload["version"] = 1
+        for point in [payload["chosen"], payload["baseline"], *payload["sweep"]]:
+            point.pop("team_size", None)
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(payload))
+        profile = load_profile(str(path))
+        assert profile.version == 1
+        assert profile.chosen.team_size == 0
+        assert all(p.team_size == 0 for p in profile.sweep)
+        config = profile.search_config(base=SearchConfig(team_size=16))
+        assert config.itopk == profile.chosen.itopk
+        assert config.team_size == 16  # auto never clobbers the base
+
+    def test_tuned_team_size_applies_over_base(self, tuned):
+        """A genuinely swept team_size (v2) does win over the base."""
+        point = tuned.chosen
+        v2_point = type(point)(
+            itopk=point.itopk,
+            search_width=point.search_width,
+            max_iterations=point.max_iterations,
+            recall=point.recall,
+            qps=point.qps,
+            distance_computations_per_query=point.distance_computations_per_query,
+            team_size=8,
+        )
+        config = SearchConfig.from_mapping(
+            v2_point.config_mapping(), base=SearchConfig(team_size=16)
+        )
+        assert config.team_size == 8
 
 
 class TestResolveProfile:
